@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark / experiment harness.
+
+Each benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md), prints it, and times a single run via
+pytest-benchmark.  Durations are kept short by default so the whole harness
+finishes in a couple of minutes; set ``REPRO_BENCH_DURATION`` (seconds of
+simulated time per run) for longer, more precise runs — e.g. the paper's
+530-second runs.
+"""
+
+import os
+
+import pytest
+
+
+def bench_duration(default: float) -> float:
+    """Simulated seconds per run (overridable via REPRO_BENCH_DURATION)."""
+    value = os.environ.get("REPRO_BENCH_DURATION")
+    return float(value) if value else default
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

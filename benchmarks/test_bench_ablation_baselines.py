@@ -1,0 +1,13 @@
+"""Benchmark/driver for Ablation A: baseline pollers vs. PFP."""
+
+from conftest import bench_duration
+
+from repro.experiments import format_baseline_comparison, run_baseline_comparison
+
+
+def test_bench_ablation_baselines(run_once):
+    rows = run_once(run_baseline_comparison,
+                    duration_seconds=bench_duration(3.0))
+    print("\n" + format_baseline_comparison(rows))
+    by_name = {row["poller"]: row for row in rows}
+    assert by_name["pfp (this paper)"]["bound_met"]

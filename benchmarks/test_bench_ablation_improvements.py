@@ -1,0 +1,12 @@
+"""Benchmark/driver for Ablation B: the three variable-interval improvements."""
+
+from conftest import bench_duration
+
+from repro.experiments import format_improvement_ablation, run_improvement_ablation
+
+
+def test_bench_ablation_improvements(run_once):
+    rows = run_once(run_improvement_ablation,
+                    duration_seconds=bench_duration(3.0))
+    print("\n" + format_improvement_ablation(rows))
+    assert all(row["bound_met"] for row in rows)

@@ -1,0 +1,13 @@
+"""Benchmark/driver for Extension E1: lossy channel with retransmissions."""
+
+from conftest import bench_duration
+
+from repro.experiments import format_lossy_channel, run_lossy_channel
+
+
+def test_bench_extension_lossy_channel(run_once):
+    rows = run_once(run_lossy_channel,
+                    duration_seconds=bench_duration(3.0))
+    print("\n" + format_lossy_channel(rows))
+    assert rows[0]["gs_retransmissions"] == 0
+    assert rows[-1]["gs_retransmissions"] > 0

@@ -1,0 +1,20 @@
+"""Benchmark/driver for Figure 5: throughput vs. requested delay bound."""
+
+from conftest import bench_duration
+
+from repro.experiments import format_figure5, run_figure5
+from repro.experiments.figure5 import default_delay_requirements
+
+
+def test_bench_figure5_throughput(run_once):
+    rows = run_once(run_figure5,
+                    delay_requirements=default_delay_requirements(points=5),
+                    duration_seconds=bench_duration(5.0))
+    print("\n" + format_figure5(rows))
+    assert all(row["admitted"] for row in rows)
+    assert all(not row["gs_bound_violated"] for row in rows)
+    # the Figure-5 shape: GS throughput flat, BE grows with looser bounds
+    for row in rows:
+        assert abs(row["S1"] - 64.0) < 5.0
+        assert abs(row["S2"] - 128.0) < 8.0
+        assert abs(row["S3"] - 64.0) < 5.0

@@ -1,0 +1,10 @@
+"""Benchmark/driver for Table 1: the derived Section-4.1 parameters."""
+
+from repro.experiments import compute_table1_parameters, format_table1
+
+
+def test_bench_table1_parameters(run_once):
+    result = run_once(compute_table1_parameters)
+    print("\n" + format_table1(result))
+    assert result["scenario"]["eta_min_bytes"] == 144.0
+    assert len(result["flows"]) == 4

@@ -1,0 +1,13 @@
+"""Benchmark/driver for Table 2: the requested delay bound is never exceeded."""
+
+from conftest import bench_duration
+
+from repro.experiments import format_delay_compliance, run_delay_compliance
+
+
+def test_bench_table2_delay_compliance(run_once):
+    rows = run_once(run_delay_compliance,
+                    duration_seconds=bench_duration(5.0))
+    print("\n" + format_delay_compliance(rows))
+    assert rows
+    assert all(row["bound_respected"] for row in rows)

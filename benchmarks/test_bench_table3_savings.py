@@ -1,0 +1,13 @@
+"""Benchmark/driver for Table 3: slots saved by the variable-interval poller."""
+
+from conftest import bench_duration
+
+from repro.experiments import format_bandwidth_savings, run_bandwidth_savings
+
+
+def test_bench_table3_bandwidth_savings(run_once):
+    rows = run_once(run_bandwidth_savings,
+                    duration_seconds=bench_duration(4.0))
+    print("\n" + format_bandwidth_savings(rows))
+    assert rows
+    assert all(row["slots_saved"] > 0 for row in rows)

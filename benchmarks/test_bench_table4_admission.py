@@ -1,0 +1,10 @@
+"""Benchmark/driver for Table 4: admission capacity with piggybacking."""
+
+from repro.experiments import format_admission_capacity, run_admission_capacity
+
+
+def test_bench_table4_admission_capacity(run_once):
+    rows = run_once(run_admission_capacity)
+    print("\n" + format_admission_capacity(rows))
+    assert any(row["accepted_with_piggyback"] > row["accepted_without_piggyback"]
+               for row in rows)

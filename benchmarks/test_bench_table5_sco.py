@@ -1,0 +1,13 @@
+"""Benchmark/driver for Table 5: PFP-scheduled GS voice vs. an SCO channel."""
+
+from conftest import bench_duration
+
+from repro.experiments import format_sco_comparison, run_sco_comparison
+
+
+def test_bench_table5_sco_comparison(run_once):
+    result = run_once(run_sco_comparison,
+                      duration_seconds=bench_duration(10.0))
+    print("\n" + format_sco_comparison(result))
+    sco, pfp = result["rows"]
+    assert pfp["slots_consumed_per_s"] < sco["slots_consumed_per_s"]

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The paper's Figure-4 scenario: four GS voice flows and eight BE flows.
+
+Reproduces one point of Figure 5: every Guaranteed Service flow keeps its
+64 kbit/s and its delay bound, while the best-effort slaves share the
+remaining capacity fairly.  Pass a delay requirement in milliseconds as the
+first argument (default 40 ms) and a duration in seconds as the second
+(default 30 s; the paper ran 530 s).
+
+Run with:  python examples/figure4_voice_piconet.py [delay_ms] [duration_s]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.traffic import build_figure4_scenario
+
+
+def main() -> None:
+    delay_ms = float(sys.argv[1]) if len(sys.argv) > 1 else 40.0
+    duration = float(sys.argv[2]) if len(sys.argv) > 2 else 30.0
+
+    scenario = build_figure4_scenario(delay_requirement=delay_ms / 1000.0)
+    if not scenario.all_gs_admitted:
+        for flow_id, setup in scenario.gs_setups.items():
+            if not setup.accepted:
+                print(f"GS flow {flow_id} rejected: {setup.reason}")
+        raise SystemExit(1)
+
+    print("Admitted Guaranteed Service flows:")
+    for flow_id, setup in scenario.gs_setups.items():
+        stream = scenario.manager.stream_for(flow_id)
+        print(f"  flow {flow_id}: priority {stream.priority}, "
+              f"rate {setup.rate:.0f} B/s, t={setup.interval * 1000:.2f} ms, "
+              f"u={stream.wait_bound * 1000:.2f} ms, "
+              f"bound {scenario.manager.delay_bound_for(flow_id) * 1000:.2f} ms")
+
+    scenario.run(duration)
+
+    print(f"\nPer-slave throughput after {duration:.0f} s "
+          f"(requested bound {delay_ms:.0f} ms):")
+    rows = [[f"S{slave}",
+             "GS" if slave in (1, 2, 3) else "BE",
+             scenario.slave_throughputs_kbps()[slave]]
+            for slave in sorted(scenario.slave_flows)]
+    print(format_table(["slave", "class", "kbit/s"], rows, float_format=".1f"))
+
+    print("\nGuaranteed Service delays:")
+    rows = []
+    for flow_id, summary in scenario.gs_delay_summary().items():
+        rows.append([flow_id, summary["packets"],
+                     summary["mean_delay_s"] * 1000.0,
+                     summary["max_delay_s"] * 1000.0,
+                     summary["analytical_bound_s"] * 1000.0,
+                     summary["max_delay_s"] <= delay_ms / 1000.0])
+    print(format_table(["flow", "packets", "mean [ms]", "max [ms]",
+                        "bound [ms]", "respected"], rows, float_format=".2f"))
+
+    accounting = scenario.piconet.slot_accounting()
+    print(f"\nslot usage: GS={accounting['gs']}, BE={accounting['be']}, "
+          f"idle={accounting['idle']}, "
+          f"empty GS polls={accounting['gs_polls_without_data']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs also work in
+offline environments whose setuptools/pip lack PEP 660 support (no
+``wheel`` package available).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Providing Delay Guarantees in Bluetooth' "
+        "(Ait Yaiz & Heijenk, ICDCSW 2003)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,42 @@
+"""Reproduction of "Providing Delay Guarantees in Bluetooth" (ICDCSW 2003).
+
+The package provides:
+
+* ``repro.sim`` — a small discrete-event simulation kernel (the ns-2
+  replacement);
+* ``repro.baseband`` / ``repro.piconet`` — a slot-accurate Bluetooth
+  piconet model (packet types, segmentation, channels, master TDD loop,
+  SCO reservations);
+* ``repro.core`` — the paper's contribution: Guaranteed Service admission
+  control and delay-bounded polling (fixed-interval poller, variable-interval
+  poller and the Predictive Fair Poller);
+* ``repro.schedulers`` — baseline pollers from the literature;
+* ``repro.traffic`` — traffic sources and the paper's Figure-4 workload;
+* ``repro.experiments`` — drivers that regenerate every table and figure of
+  the paper's evaluation;
+* ``repro.analysis`` — statistics and plain-text reporting helpers.
+
+Quick start::
+
+    from repro.traffic import build_figure4_scenario
+
+    scenario = build_figure4_scenario(delay_requirement=0.040)
+    scenario.run(duration_seconds=10.0)
+    print(scenario.slave_throughputs_kbps())
+    print(scenario.gs_delay_summary())
+"""
+
+__version__ = "1.0.0"
+
+from repro import analysis, baseband, core, piconet, schedulers, sim, traffic
+
+__all__ = [
+    "analysis",
+    "baseband",
+    "core",
+    "piconet",
+    "schedulers",
+    "sim",
+    "traffic",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Analysis and reporting utilities."""
+
+from repro.analysis.stats import (
+    confidence_interval,
+    summarize,
+    utilisation,
+)
+from repro.analysis.reporting import format_kv, format_table
+
+__all__ = [
+    "confidence_interval",
+    "format_kv",
+    "format_table",
+    "summarize",
+    "utilisation",
+]

@@ -1,0 +1,63 @@
+"""Summary statistics used by the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Mean, min, max, standard deviation and common percentiles."""
+    if not samples:
+        return {"count": 0, "mean": float("nan"), "min": float("nan"),
+                "max": float("nan"), "stdev": float("nan"),
+                "p50": float("nan"), "p95": float("nan"), "p99": float("nan")}
+    data = sorted(float(x) for x in samples)
+    n = len(data)
+    mean = sum(data) / n
+    if n > 1:
+        stdev = math.sqrt(sum((x - mean) ** 2 for x in data) / (n - 1))
+    else:
+        stdev = 0.0
+
+    def percentile(q: float) -> float:
+        pos = (n - 1) * q / 100.0
+        lo, hi = int(math.floor(pos)), int(math.ceil(pos))
+        if lo == hi:
+            return data[lo]
+        frac = pos - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    return {"count": n, "mean": mean, "min": data[0], "max": data[-1],
+            "stdev": stdev, "p50": percentile(50), "p95": percentile(95),
+            "p99": percentile(99)}
+
+
+def confidence_interval(samples: Sequence[float],
+                        level: float = 0.95) -> Tuple[float, float]:
+    """Normal-approximation confidence interval for the mean.
+
+    The experiments collect thousands of samples, so the normal
+    approximation is adequate; the function degrades gracefully for small
+    sample counts by returning a wide interval.
+    """
+    if not 0 < level < 1:
+        raise ValueError("confidence level must be in (0, 1)")
+    stats = summarize(samples)
+    n = stats["count"]
+    if n == 0:
+        return (float("nan"), float("nan"))
+    if n == 1:
+        return (stats["mean"], stats["mean"])
+    z = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}.get(round(level, 2), 1.960)
+    half_width = z * stats["stdev"] / math.sqrt(n)
+    return (stats["mean"] - half_width, stats["mean"] + half_width)
+
+
+def utilisation(busy_slots: int, total_slots: int) -> float:
+    """Fraction of slots spent busy."""
+    if total_slots <= 0:
+        raise ValueError("total_slots must be positive")
+    if busy_slots < 0 or busy_slots > total_slots:
+        raise ValueError("busy_slots must lie within [0, total_slots]")
+    return busy_slots / total_slots

@@ -1,0 +1,59 @@
+"""Bluetooth baseband substrate.
+
+Models the parts of the Bluetooth 1.x baseband that the paper's delay
+analysis depends on: the 625 us TDD slot grid, the ACL/SCO baseband packet
+catalogue with payload capacities and slot counts, segmentation of
+higher-layer packets into baseband packets, and a (configurable) radio
+channel model.
+"""
+
+from repro.baseband.constants import (
+    SLOT_SECONDS,
+    SLOT_US,
+    SLOTS_PER_SECOND,
+    slots_to_seconds,
+    slots_to_us,
+    us_to_seconds,
+)
+from repro.baseband.packets import (
+    ACL_TYPES,
+    BasebandPacket,
+    PacketType,
+    SCO_TYPES,
+    get_packet_type,
+    max_transaction_slots,
+    transaction_seconds,
+)
+from repro.baseband.segmentation import (
+    BestFitSegmentationPolicy,
+    LargestPacketSegmentationPolicy,
+    Reassembler,
+    SegmentationPolicy,
+    segment_sizes,
+)
+from repro.baseband.channel import Channel, GilbertElliottChannel, IdealChannel, LossyChannel
+
+__all__ = [
+    "ACL_TYPES",
+    "BasebandPacket",
+    "BestFitSegmentationPolicy",
+    "Channel",
+    "GilbertElliottChannel",
+    "IdealChannel",
+    "LargestPacketSegmentationPolicy",
+    "LossyChannel",
+    "PacketType",
+    "Reassembler",
+    "SCO_TYPES",
+    "SLOTS_PER_SECOND",
+    "SLOT_SECONDS",
+    "SLOT_US",
+    "SegmentationPolicy",
+    "get_packet_type",
+    "max_transaction_slots",
+    "segment_sizes",
+    "slots_to_seconds",
+    "slots_to_us",
+    "transaction_seconds",
+    "us_to_seconds",
+]

@@ -1,0 +1,120 @@
+"""Radio channel models.
+
+The paper's evaluation assumes an ideal radio environment (no transmission
+errors, no retransmissions).  The lossy models implement the paper's stated
+future work — a non-ideal environment in which the slots saved by the
+variable-interval poller can be spent on retransmissions.
+
+All models answer one question per baseband packet: *was this packet
+received correctly?*  ARQ itself (re-queueing a failed segment) is handled
+by the piconet layer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.baseband.packets import BasebandPacket
+
+#: Bits of baseband overhead per packet (access code + header), used when a
+#: bit-error-rate is translated into a packet error probability.
+PACKET_OVERHEAD_BITS = 72 + 54
+
+
+class Channel:
+    """Base class for channel models."""
+
+    def packet_error_probability(self, packet: BasebandPacket) -> float:
+        """Probability that ``packet`` is corrupted."""
+        raise NotImplementedError
+
+    def transmit(self, packet: BasebandPacket) -> bool:
+        """Return ``True`` when the packet is received correctly."""
+        raise NotImplementedError
+
+
+class IdealChannel(Channel):
+    """The paper's assumption: every transmission succeeds."""
+
+    def packet_error_probability(self, packet: BasebandPacket) -> float:
+        return 0.0
+
+    def transmit(self, packet: BasebandPacket) -> bool:
+        return True
+
+
+class LossyChannel(Channel):
+    """Independent (Bernoulli) packet errors.
+
+    Either a fixed per-packet error probability or a bit error rate can be
+    given; with a bit error rate the per-packet probability depends on the
+    packet length (and is reduced for FEC-protected packet types by a crude
+    factor-of-ten improvement, which is enough for the qualitative
+    retransmission experiments).
+    """
+
+    def __init__(self, packet_error_rate: Optional[float] = None,
+                 bit_error_rate: Optional[float] = None,
+                 rng: Optional[random.Random] = None):
+        if (packet_error_rate is None) == (bit_error_rate is None):
+            raise ValueError(
+                "specify exactly one of packet_error_rate / bit_error_rate")
+        if packet_error_rate is not None and not 0 <= packet_error_rate <= 1:
+            raise ValueError("packet_error_rate must be within [0, 1]")
+        if bit_error_rate is not None and not 0 <= bit_error_rate <= 1:
+            raise ValueError("bit_error_rate must be within [0, 1]")
+        self.packet_error_rate = packet_error_rate
+        self.bit_error_rate = bit_error_rate
+        self.rng = rng if rng is not None else random.Random(0)
+
+    def packet_error_probability(self, packet: BasebandPacket) -> float:
+        if self.packet_error_rate is not None:
+            return self.packet_error_rate
+        bits = PACKET_OVERHEAD_BITS + packet.payload * 8
+        ber = self.bit_error_rate
+        if packet.ptype.fec:
+            ber = ber / 10.0
+        return 1.0 - (1.0 - ber) ** bits
+
+    def transmit(self, packet: BasebandPacket) -> bool:
+        return self.rng.random() >= self.packet_error_probability(packet)
+
+
+class GilbertElliottChannel(Channel):
+    """Two-state burst-error channel (good/bad states).
+
+    ``p_gb`` and ``p_bg`` are the per-transmission transition probabilities
+    from good to bad and back; each state has its own packet error rate.
+    """
+
+    def __init__(self, p_gb: float = 0.01, p_bg: float = 0.1,
+                 per_good: float = 0.0, per_bad: float = 0.5,
+                 rng: Optional[random.Random] = None):
+        for name, value in (("p_gb", p_gb), ("p_bg", p_bg),
+                            ("per_good", per_good), ("per_bad", per_bad)):
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be within [0, 1]")
+        self.p_gb = p_gb
+        self.p_bg = p_bg
+        self.per_good = per_good
+        self.per_bad = per_bad
+        self.rng = rng if rng is not None else random.Random(0)
+        self.state_good = True
+
+    def packet_error_probability(self, packet: BasebandPacket) -> float:
+        return self.per_good if self.state_good else self.per_bad
+
+    def _advance_state(self) -> None:
+        if self.state_good:
+            if self.rng.random() < self.p_gb:
+                self.state_good = False
+        else:
+            if self.rng.random() < self.p_bg:
+                self.state_good = True
+
+    def transmit(self, packet: BasebandPacket) -> bool:
+        error_probability = self.packet_error_probability(packet)
+        ok = self.rng.random() >= error_probability
+        self._advance_state()
+        return ok

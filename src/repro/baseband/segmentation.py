@@ -1,0 +1,195 @@
+"""Segmentation of higher-layer packets into baseband packets.
+
+The paper (Section 3) notes that the way higher-layer packets are segmented
+into baseband packets, together with the set of allowed baseband packet
+types, determines the *poll efficiency* of a flow and therefore the poll
+rate needed to honour a delay bound.
+
+Two policies are provided:
+
+* :class:`BestFitSegmentationPolicy` — the paper's policy: "the largest
+  available baseband packet is used, unless there is a smaller baseband
+  packet available in which the remainder of the higher layer packet fits"
+  (instantiated with DH1+DH3 this is exactly the Section 4 policy: "DH3 is
+  used unless the remainder fits in DH1").
+* :class:`LargestPacketSegmentationPolicy` — always use the largest allowed
+  packet, regardless of the remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.baseband.packets import BasebandPacket, PacketType, resolve_types
+
+
+class SegmentationError(ValueError):
+    """Raised when a higher-layer packet cannot be segmented or reassembled."""
+
+
+class SegmentationPolicy:
+    """Base class: maps a higher-layer packet size to baseband packet sizes.
+
+    Parameters
+    ----------
+    allowed_types:
+        The ACL baseband packet types the policy may use (names or
+        :class:`PacketType` objects).
+    """
+
+    def __init__(self, allowed_types: Iterable):
+        self.allowed_types: Tuple[PacketType, ...] = resolve_types(allowed_types)
+        data_types = [t for t in self.allowed_types if t.max_payload > 0]
+        if not data_types:
+            raise ValueError("policy needs at least one data-carrying type")
+        #: allowed data types sorted by ascending capacity
+        self.by_capacity: Tuple[PacketType, ...] = tuple(
+            sorted(data_types, key=lambda t: (t.max_payload, t.slots)))
+        self.largest: PacketType = self.by_capacity[-1]
+        self.smallest: PacketType = self.by_capacity[0]
+
+    # -- interface ----------------------------------------------------------
+    def choose_type(self, remaining: int) -> PacketType:
+        """Choose the packet type for the next segment given the remainder."""
+        raise NotImplementedError
+
+    # -- derived operations ----------------------------------------------------
+    def segment_sizes(self, size: int) -> List[Tuple[PacketType, int]]:
+        """Return the list of ``(packet_type, payload_bytes)`` segments.
+
+        The segmentation is greedy front-to-back, as in the Bluetooth L2CAP
+        segmentation the paper assumes.
+        """
+        if size <= 0:
+            raise SegmentationError(f"higher-layer packet size must be positive, got {size}")
+        remaining = int(size)
+        segments: List[Tuple[PacketType, int]] = []
+        while remaining > 0:
+            ptype = self.choose_type(remaining)
+            take = min(remaining, ptype.max_payload)
+            segments.append((ptype, take))
+            remaining -= take
+        return segments
+
+    def segment_count(self, size: int) -> int:
+        """Number of baseband packets (polls) needed for a packet of ``size``."""
+        return len(self.segment_sizes(size))
+
+    def segment(self, size: int, flow_id: Optional[int] = None,
+                hl_packet_id: Optional[int] = None,
+                arrival_time: Optional[float] = None) -> List[BasebandPacket]:
+        """Build the actual :class:`BasebandPacket` segments for a packet."""
+        pieces = self.segment_sizes(size)
+        packets = []
+        for index, (ptype, payload) in enumerate(pieces):
+            packets.append(BasebandPacket(
+                ptype=ptype,
+                payload=payload,
+                flow_id=flow_id,
+                hl_packet_id=hl_packet_id,
+                segment_index=index,
+                is_last_segment=(index == len(pieces) - 1),
+                hl_packet_size=size,
+                hl_arrival_time=arrival_time,
+            ))
+        return packets
+
+    def max_segment_slots(self) -> int:
+        """Slots of the largest baseband packet the policy can emit."""
+        return self.largest.slots
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = "+".join(t.name for t in self.by_capacity)
+        return f"{type(self).__name__}({names})"
+
+
+class BestFitSegmentationPolicy(SegmentationPolicy):
+    """The paper's policy.
+
+    Use the largest allowed baseband packet, unless the remainder of the
+    higher-layer packet fits in a smaller one — in that case use the
+    *smallest* packet that still fits the remainder.
+    """
+
+    def choose_type(self, remaining: int) -> PacketType:
+        for ptype in self.by_capacity:
+            if remaining <= ptype.max_payload:
+                return ptype
+        return self.largest
+
+
+class LargestPacketSegmentationPolicy(SegmentationPolicy):
+    """Always use the largest allowed baseband packet type."""
+
+    def choose_type(self, remaining: int) -> PacketType:
+        return self.largest
+
+
+def segment_sizes(size: int, allowed_types: Iterable,
+                  policy_cls=BestFitSegmentationPolicy) -> List[Tuple[PacketType, int]]:
+    """Convenience wrapper: segment ``size`` bytes under a fresh policy."""
+    return policy_cls(allowed_types).segment_sizes(size)
+
+
+@dataclass
+class _PartialPacket:
+    expected_next: int = 0
+    received_bytes: int = 0
+    size: int = 0
+    arrival_time: Optional[float] = None
+    segments: List[BasebandPacket] = field(default_factory=list)
+
+
+class Reassembler:
+    """Reassembles higher-layer packets from baseband segments.
+
+    Segments of one higher-layer packet must arrive in order (Bluetooth ACL
+    links deliver in order); interleaving of *different* flows is allowed
+    because reassembly state is tracked per flow.
+    """
+
+    def __init__(self):
+        self._partial: Dict[Tuple[Optional[int], Optional[int]], _PartialPacket] = {}
+
+    def push(self, segment: BasebandPacket) -> Optional[dict]:
+        """Feed one segment; return packet info when it completes a packet.
+
+        Returns
+        -------
+        dict or None
+            ``None`` while the packet is incomplete.  When the last segment
+            arrives, a dictionary with keys ``flow_id``, ``hl_packet_id``,
+            ``size``, ``arrival_time`` and ``segments``.
+        """
+        if not segment.carries_data and not segment.is_last_segment:
+            return None
+        key = (segment.flow_id, segment.hl_packet_id)
+        state = self._partial.setdefault(key, _PartialPacket(
+            size=segment.hl_packet_size, arrival_time=segment.hl_arrival_time))
+        if segment.segment_index != state.expected_next:
+            raise SegmentationError(
+                f"out-of-order segment {segment.segment_index} for packet "
+                f"{key}; expected {state.expected_next}")
+        state.expected_next += 1
+        state.received_bytes += segment.payload
+        state.segments.append(segment)
+        if not segment.is_last_segment:
+            return None
+        del self._partial[key]
+        if state.size and state.received_bytes != state.size:
+            raise SegmentationError(
+                f"reassembled {state.received_bytes} bytes for packet {key}, "
+                f"expected {state.size}")
+        return {
+            "flow_id": segment.flow_id,
+            "hl_packet_id": segment.hl_packet_id,
+            "size": state.received_bytes,
+            "arrival_time": state.arrival_time,
+            "segments": list(state.segments),
+        }
+
+    @property
+    def pending(self) -> int:
+        """Number of higher-layer packets currently being reassembled."""
+        return len(self._partial)

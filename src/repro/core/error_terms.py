@@ -1,0 +1,69 @@
+"""Exported C and D error terms (Eq. 6/7 of the paper).
+
+A Guaranteed Service network element advertises how far it deviates from the
+ideal fluid server of rate ``R``: a rate-dependent part ``C`` (bytes — the
+deviation it causes is ``C / R`` seconds) and a rate-independent part ``D``
+(seconds).  For the paper's poller the deviation of flow *i* obeys::
+
+    delta_i <= eta_min_i / R_i + u_i                       (Eq. 7)
+
+so the exported terms are ``C_i = eta_min_i`` (bytes) and ``D_i = u_i``
+(seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class ErrorTerms:
+    """One network element's (or one path's accumulated) error terms."""
+
+    #: rate-dependent deviation, bytes
+    c_bytes: float
+    #: rate-independent deviation, seconds
+    d_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.c_bytes < 0:
+            raise ValueError("C term cannot be negative")
+        if self.d_seconds < 0:
+            raise ValueError("D term cannot be negative")
+
+    def deviation(self, rate: float) -> float:
+        """Total deviation from the fluid model at service rate ``rate`` (s)."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        return self.c_bytes / rate + self.d_seconds
+
+    def __add__(self, other: "ErrorTerms") -> "ErrorTerms":
+        return ErrorTerms(self.c_bytes + other.c_bytes,
+                          self.d_seconds + other.d_seconds)
+
+
+#: The error terms of an ideal fluid server (exported by elements that do not
+#: deviate at all; handy as the identity for accumulation).
+ZERO_ERROR_TERMS = ErrorTerms(0.0, 0.0)
+
+
+def export_error_terms(eta_min: float, wait_bound: float) -> ErrorTerms:
+    """The terms the Bluetooth poller exports for one flow (Eq. 7).
+
+    Parameters
+    ----------
+    eta_min:
+        Minimum poll efficiency of the flow, bytes (becomes ``C``).
+    wait_bound:
+        ``u_i`` of the flow in seconds (becomes ``D``).
+    """
+    return ErrorTerms(c_bytes=float(eta_min), d_seconds=float(wait_bound))
+
+
+def accumulate_error_terms(elements: Iterable[ErrorTerms]) -> ErrorTerms:
+    """Sum the error terms of all elements on a Guaranteed Service path."""
+    total = ZERO_ERROR_TERMS
+    for terms in elements:
+        total = total + terms
+    return total

@@ -1,0 +1,291 @@
+"""Guaranteed Service management for one piconet.
+
+:class:`GuaranteedServiceManager` ties the building blocks together: it
+derives the poll interval from each flow's TSpec and requested rate (or
+negotiates the rate from a requested delay bound using the exported error
+terms), runs the admission control, keeps the resulting poll streams sorted
+by priority and owns one poll planner per stream.
+
+The manager is deliberately simulator-agnostic: it works in seconds and
+never touches queues or the event loop.  The piconet-facing poller
+(:class:`repro.core.pfp.PredictiveFairPoller`) translates between the two
+worlds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baseband.constants import SLOT_SECONDS
+from repro.baseband.segmentation import BestFitSegmentationPolicy, SegmentationPolicy
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionResult,
+    GSFlowRequest,
+    PollStream,
+)
+from repro.core.error_terms import ErrorTerms, export_error_terms
+from repro.core.gs_math import delay_bound, rate_for_delay_bound
+from repro.core.planning import (
+    BasePlanner,
+    FixedIntervalPlanner,
+    PlannerConfig,
+    ServedSegment,
+    VariableIntervalPlanner,
+)
+from repro.core.poll_efficiency import min_poll_efficiency
+from repro.core.token_bucket import TSpec
+from repro.piconet.flows import DOWNLINK, FlowSpec
+
+
+@dataclass
+class GSFlowSetup:
+    """The outcome of adding one Guaranteed Service flow."""
+
+    spec: FlowSpec
+    tspec: TSpec
+    request: GSFlowRequest
+    accepted: bool
+    reason: str = ""
+    #: the delay bound requested by the application, if rate negotiation was
+    #: used (``None`` when the rate was specified directly)
+    requested_delay_bound: Optional[float] = None
+
+    @property
+    def rate(self) -> float:
+        """Admitted fluid-model service rate in bytes per second."""
+        return self.request.rate
+
+    @property
+    def interval(self) -> float:
+        """Poll interval ``t_i`` in seconds."""
+        return self.request.interval
+
+    @property
+    def eta_min(self) -> float:
+        return self.request.eta_min
+
+
+class GuaranteedServiceManager:
+    """Admission, error-term export and poll planning for GS flows.
+
+    Parameters
+    ----------
+    max_transaction_seconds:
+        ``M_t``: the longest transaction possible in the piconet (the Fig. 2
+        initial value).  With DH3 allowed for every flow: 6 slots = 3.75 ms.
+    piggyback_aware:
+        Whether admission exploits oppositely-directed flow pairs.
+    variable_interval:
+        ``True`` for the Section 3.2 poller (default, the paper's evaluated
+        configuration), ``False`` for the plain fixed-interval poller.
+    postpone_by_packet_size / postpone_after_unsuccessful /
+    skip_when_no_downlink_data:
+        Individual toggles for the three Section 3.2 improvements (only
+        relevant when ``variable_interval`` is true); used by the ablation
+        benchmark.
+    """
+
+    def __init__(self, max_transaction_seconds: float = 6 * SLOT_SECONDS,
+                 piggyback_aware: bool = True,
+                 variable_interval: bool = True,
+                 postpone_by_packet_size: bool = True,
+                 postpone_after_unsuccessful: bool = True,
+                 skip_when_no_downlink_data: bool = True,
+                 policy_cls=BestFitSegmentationPolicy):
+        self.admission = AdmissionController(
+            max_transaction_seconds=max_transaction_seconds,
+            piggyback_aware=piggyback_aware)
+        self.max_transaction_seconds = max_transaction_seconds
+        self.variable_interval = variable_interval
+        self.postpone_by_packet_size = postpone_by_packet_size
+        self.postpone_after_unsuccessful = postpone_after_unsuccessful
+        self.skip_when_no_downlink_data = skip_when_no_downlink_data
+        self.policy_cls = policy_cls
+        self._setups: Dict[int, GSFlowSetup] = {}
+        self._planners: Dict[int, BasePlanner] = {}
+        self._streams: List[PollStream] = []
+
+    # ------------------------------------------------------------------ setup
+    def add_flow(self, spec: FlowSpec, tspec: TSpec,
+                 delay_bound: Optional[float] = None,
+                 rate: Optional[float] = None,
+                 start_time: float = 0.0) -> GSFlowSetup:
+        """Request admission of a GS flow.
+
+        Exactly one of ``delay_bound`` (seconds) and ``rate`` (bytes per
+        second) must be given.  With a delay bound, the manager plays the
+        role of the Guaranteed Service receiver: it iterates between the
+        exported error terms and Eq. (1) to find the service rate that
+        achieves the bound, then requests that rate.
+        """
+        if (delay_bound is None) == (rate is None):
+            raise ValueError("specify exactly one of delay_bound / rate")
+        if not spec.is_gs:
+            raise ValueError(f"flow {spec.flow_id} is not a GS flow")
+        if spec.flow_id in self._setups:
+            raise ValueError(f"GS flow {spec.flow_id} already added")
+
+        policy = self.policy_cls(spec.allowed_types)
+        eta_min = min_poll_efficiency(tspec.m, tspec.M, policy=policy)
+        max_segment_slots = policy.max_segment_slots()
+
+        if rate is not None:
+            request = self._build_request(spec, tspec, max(rate, tspec.r),
+                                          eta_min, max_segment_slots)
+            result = self.admission.request_admission(request)
+        else:
+            request, result = self._negotiate_rate(
+                spec, tspec, delay_bound, eta_min, max_segment_slots)
+
+        setup = GSFlowSetup(spec=spec, tspec=tspec, request=request,
+                            accepted=result.accepted, reason=result.reason,
+                            requested_delay_bound=delay_bound)
+        if result.accepted:
+            self._setups[spec.flow_id] = setup
+            self._streams = self.admission.streams
+            self._rebuild_planners(start_time)
+        return setup
+
+    def _build_request(self, spec: FlowSpec, tspec: TSpec, rate: float,
+                       eta_min: float, max_segment_slots: int) -> GSFlowRequest:
+        return GSFlowRequest(
+            flow_id=spec.flow_id, slave=spec.slave, direction=spec.direction,
+            tspec=tspec, rate=rate, eta_min=eta_min,
+            max_segment_slots=max_segment_slots)
+
+    def _negotiate_rate(self, spec: FlowSpec, tspec: TSpec, target: float,
+                        eta_min: float, max_segment_slots: int
+                        ) -> Tuple[GSFlowRequest, AdmissionResult]:
+        """Find the service rate achieving ``target`` given the exported terms."""
+        rate = tspec.r
+        request = self._build_request(spec, tspec, rate, eta_min, max_segment_slots)
+        for _ in range(16):
+            request = self._build_request(spec, tspec, rate, eta_min,
+                                          max_segment_slots)
+            result = self.admission.evaluate(request)
+            if not result.accepted:
+                return request, result
+            stream = result.stream_for(spec.flow_id)
+            terms = export_error_terms(eta_min, stream.wait_bound)
+            needed = rate_for_delay_bound(tspec, target, terms.c_bytes,
+                                          terms.d_seconds)
+            if needed is None:
+                return request, AdmissionResult(
+                    False, reason=(
+                        f"delay bound {target * 1000:.2f} ms is infeasible: the "
+                        f"rate-independent deviation alone is "
+                        f"{terms.d_seconds * 1000:.2f} ms"))
+            needed = max(needed, tspec.r)
+            if abs(needed - rate) <= 1e-9 * max(1.0, needed):
+                rate = needed
+                break
+            rate = needed
+        request = self._build_request(spec, tspec, rate, eta_min, max_segment_slots)
+        return request, self.admission.request_admission(request)
+
+    def _rebuild_planners(self, start_time: float) -> None:
+        planners: Dict[int, BasePlanner] = {}
+        for stream in self._streams:
+            primary_id = stream.primary.flow_id
+            existing = self._planners.get(primary_id)
+            if existing is not None and \
+                    abs(existing.config.interval - stream.interval) < 1e-12:
+                planners[primary_id] = existing
+                continue
+            direction = "BOTH" if stream.secondary is not None \
+                else stream.primary.direction
+            config = PlannerConfig(flow_id=primary_id, interval=stream.interval,
+                                   rate=stream.rate, direction=direction)
+            if self.variable_interval:
+                planners[primary_id] = VariableIntervalPlanner(
+                    config, start_time=start_time,
+                    postpone_by_packet_size=self.postpone_by_packet_size,
+                    postpone_after_unsuccessful=self.postpone_after_unsuccessful,
+                    skip_when_no_downlink_data=self.skip_when_no_downlink_data)
+            else:
+                planners[primary_id] = FixedIntervalPlanner(
+                    config, start_time=start_time)
+        self._planners = planners
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def streams(self) -> List[PollStream]:
+        """Accepted poll streams, sorted by priority (1 = highest first)."""
+        return list(self._streams)
+
+    def setups(self) -> List[GSFlowSetup]:
+        return [self._setups[fid] for fid in sorted(self._setups)]
+
+    def setup(self, flow_id: int) -> GSFlowSetup:
+        return self._setups[flow_id]
+
+    def admitted_flow_ids(self) -> List[int]:
+        return sorted(self._setups)
+
+    def stream_for(self, flow_id: int) -> Optional[PollStream]:
+        for stream in self._streams:
+            if flow_id in stream.flow_ids:
+                return stream
+        return None
+
+    def planner_for(self, primary_flow_id: int) -> BasePlanner:
+        return self._planners[primary_flow_id]
+
+    def priority_of(self, flow_id: int) -> Optional[int]:
+        stream = self.stream_for(flow_id)
+        return stream.priority if stream else None
+
+    def wait_bound_of(self, flow_id: int) -> Optional[float]:
+        stream = self.stream_for(flow_id)
+        return stream.wait_bound if stream else None
+
+    def error_terms_for(self, flow_id: int) -> ErrorTerms:
+        """The C and D terms the poller exports for ``flow_id`` (Eq. 7)."""
+        stream = self.stream_for(flow_id)
+        if stream is None:
+            raise KeyError(f"flow {flow_id} is not admitted")
+        setup = self._setups.get(flow_id)
+        eta_min = setup.eta_min if setup is not None else stream.primary.eta_min
+        return export_error_terms(eta_min, stream.wait_bound)
+
+    def delay_bound_for(self, flow_id: int) -> float:
+        """The Eq. (1) delay bound for the flow at its admitted rate."""
+        setup = self._setups[flow_id]
+        terms = self.error_terms_for(flow_id)
+        return delay_bound(setup.tspec, setup.rate, terms.c_bytes, terms.d_seconds)
+
+    # ------------------------------------------------------------------ runtime
+    def due_streams(self, now: float,
+                    downlink_has_data: Optional[Callable[[int], bool]] = None
+                    ) -> List[Tuple[PollStream, BasePlanner]]:
+        """Streams whose planned poll time has passed, highest priority first.
+
+        ``downlink_has_data(flow_id)`` supplies master-side queue knowledge
+        for improvement 3 (skipping polls of pure downlink streams with an
+        empty queue); uplink availability is never consulted — the master
+        cannot know it.
+        """
+        due: List[Tuple[PollStream, BasePlanner]] = []
+        for stream in self._streams:
+            planner = self._planners[stream.primary.flow_id]
+            has_data: Optional[bool] = None
+            if (stream.secondary is None
+                    and stream.primary.direction == DOWNLINK
+                    and downlink_has_data is not None):
+                has_data = downlink_has_data(stream.primary.flow_id)
+            if planner.is_due(now, has_data):
+                due.append((stream, planner))
+        return due
+
+    def record_poll(self, primary_flow_id: int, actual_time: float,
+                    served: Optional[ServedSegment]) -> None:
+        """Tell the stream's planner about an executed poll."""
+        self._planners[primary_flow_id].record_poll(actual_time, served)
+
+    def next_planned_poll(self) -> Optional[float]:
+        """Earliest planned poll time over all streams (``None`` if no flows)."""
+        if not self._planners:
+            return None
+        return min(planner.planned_time() for planner in self._planners.values())

@@ -1,0 +1,97 @@
+"""Poll efficiency (Eq. 4 of the paper).
+
+The *poll efficiency* of a higher-layer packet is the average number of
+bytes transferred per poll when that packet is segmented under the flow's
+segmentation policy: ``eta = L / n_segments``.  The *minimum poll
+efficiency* of a flow is the minimum over all packet sizes the flow may use
+(``m <= L <= M``); the fixed-interval poller derives its poll interval from
+it (``t_i = eta_min_i / R_i``, Eq. 5).
+
+With the paper's Section-4 configuration (DH1+DH3 allowed, best-fit
+segmentation, packets of 144..176 bytes) every packet fits in a single DH3
+baseband packet, so the minimum efficiency is attained by the smallest
+packet: ``eta_min = 144`` bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Type
+
+from repro.baseband.segmentation import (
+    BestFitSegmentationPolicy,
+    SegmentationPolicy,
+)
+
+
+def _policy(allowed_types: Iterable,
+            policy_cls: Type[SegmentationPolicy],
+            policy: Optional[SegmentationPolicy]) -> SegmentationPolicy:
+    if policy is not None:
+        return policy
+    return policy_cls(allowed_types)
+
+
+def segments_needed(size: int, allowed_types: Iterable = ("DH1", "DH3"),
+                    policy_cls: Type[SegmentationPolicy] = BestFitSegmentationPolicy,
+                    policy: Optional[SegmentationPolicy] = None) -> int:
+    """Number of polls needed to transfer a packet of ``size`` bytes."""
+    return _policy(allowed_types, policy_cls, policy).segment_count(size)
+
+
+def poll_efficiency(size: int, allowed_types: Iterable = ("DH1", "DH3"),
+                    policy_cls: Type[SegmentationPolicy] = BestFitSegmentationPolicy,
+                    policy: Optional[SegmentationPolicy] = None) -> float:
+    """Average bytes per poll for a packet of ``size`` bytes (Eq. 4 numerator)."""
+    if size <= 0:
+        raise ValueError("packet size must be positive")
+    return size / segments_needed(size, allowed_types, policy_cls, policy)
+
+
+def _candidate_sizes(m: int, M: int, policy: SegmentationPolicy) -> Set[int]:
+    """Packet sizes at which the minimum efficiency can be attained.
+
+    Within a run of sizes using the same number of segments the efficiency
+    ``L / n`` is increasing in ``L``, so the minimum over ``[m, M]`` is
+    attained either at ``m`` or just after a breakpoint where the segment
+    count increases.  Breakpoints are at multiples/combinations of the
+    allowed capacities; enumerating one byte after every multiple of every
+    capacity (plus ``m`` and ``M``) is a safe superset for the greedy
+    policies used here.
+    """
+    candidates = {m, M}
+    capacities = sorted({t.max_payload for t in policy.by_capacity})
+    for cap in capacities:
+        k = 1
+        while k * cap + 1 <= M:
+            if k * cap + 1 >= m:
+                candidates.add(k * cap + 1)
+            # also the exact multiple (locally best but cheap to include)
+            if m <= k * cap <= M:
+                candidates.add(k * cap)
+            k += 1
+    return candidates
+
+
+def min_poll_efficiency(m: int, M: int, allowed_types: Iterable = ("DH1", "DH3"),
+                        policy_cls: Type[SegmentationPolicy] = BestFitSegmentationPolicy,
+                        policy: Optional[SegmentationPolicy] = None,
+                        exhaustive: bool = False) -> float:
+    """Minimum poll efficiency over packet sizes in ``[m, M]`` (Eq. 4).
+
+    Parameters
+    ----------
+    m, M:
+        Minimum policed unit and maximum transfer unit of the flow (bytes).
+    exhaustive:
+        Evaluate every integer size in ``[m, M]`` instead of the analytical
+        candidate set (used by the property tests to validate the candidate
+        enumeration).
+    """
+    if not 0 < m <= M:
+        raise ValueError("need 0 < m <= M")
+    pol = _policy(allowed_types, policy_cls, policy)
+    if exhaustive:
+        sizes = range(m, M + 1)
+    else:
+        sizes = sorted(_candidate_sizes(m, M, pol))
+    return min(size / pol.segment_count(size) for size in sizes)

@@ -1,0 +1,98 @@
+"""The Fig. 2 algorithm: maximum delay ``u_i`` of a planned poll.
+
+A planned poll for flow *i* may have to wait for (a) one ongoing
+transmission — at worst the longest transaction possible in the piconet,
+``M_t`` — and (b) polls of flows with a higher priority that are waiting or
+become due while flow *i* waits.  The paper's algorithm iterates::
+
+    u_i := M_t
+    repeat:
+        S := M_t + sum over higher-priority flows j of
+                   s_max_j * ceil(u_i / t_j)
+        if S <= u_i: converged
+        u_i := S
+        if u_i > t_i: abort (the flow cannot be admitted at this priority)
+
+``s_max_j`` is the longest transaction of flow *j* and ``t_j`` its poll
+interval; within a window of length ``u_i`` at most ``ceil(u_i / t_j)``
+polls of flow *j* can be planned.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class HigherPriorityStream:
+    """What the algorithm needs to know about one higher-priority poll stream."""
+
+    #: poll interval t_j (same time unit as max_transaction_time)
+    interval: float
+    #: longest transaction s_max_j of the stream
+    max_transaction_time: float
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("poll interval must be positive")
+        if self.max_transaction_time <= 0:
+            raise ValueError("transaction time must be positive")
+
+
+@dataclass(frozen=True)
+class WaitBoundResult:
+    """Outcome of the Fig. 2 iteration."""
+
+    #: the computed bound u_i (meaningful even when not converged: it is the
+    #: last iterate, which already exceeds the admission limit)
+    wait_bound: float
+    #: whether the iteration converged before exceeding the admission limit
+    converged: bool
+    #: number of iterations of step c that were executed
+    iterations: int
+
+
+def compute_wait_bound(max_transaction_time: float,
+                       higher_priority: Sequence[HigherPriorityStream],
+                       own_interval: Optional[float] = None,
+                       max_iterations: int = 1000) -> WaitBoundResult:
+    """Run the Fig. 2 algorithm.
+
+    Parameters
+    ----------
+    max_transaction_time:
+        ``M_t`` — the maximum transmission time of a segment (one complete
+        master+slave transaction) anywhere in the piconet.
+    higher_priority:
+        The poll streams with a priority higher than the flow under
+        consideration (empty for the highest-priority flow).
+    own_interval:
+        ``t_i`` of the flow under consideration.  When given, the iteration
+        aborts as soon as ``u_i`` exceeds it (paper step f: "avoid infinite
+        loop"); the admission test ``u_i <= t_i`` then fails.  When ``None``
+        the iteration runs until convergence or ``max_iterations``.
+    """
+    if max_transaction_time <= 0:
+        raise ValueError("max_transaction_time must be positive")
+    if own_interval is not None and own_interval <= 0:
+        raise ValueError("own_interval must be positive")
+
+    u = max_transaction_time
+    iterations = 0
+    while True:
+        iterations += 1
+        accumulated = max_transaction_time + sum(
+            stream.max_transaction_time * math.ceil(u / stream.interval - 1e-12)
+            for stream in higher_priority)
+        if accumulated <= u + 1e-12:
+            return WaitBoundResult(wait_bound=u, converged=True,
+                                   iterations=iterations)
+        u = accumulated
+        if own_interval is not None and u > own_interval + 1e-12:
+            return WaitBoundResult(wait_bound=u, converged=False,
+                                   iterations=iterations)
+        if iterations >= max_iterations:
+            return WaitBoundResult(wait_bound=u, converged=False,
+                                   iterations=iterations)

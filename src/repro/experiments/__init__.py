@@ -1,0 +1,57 @@
+"""Experiment drivers regenerating the paper's tables and figures.
+
+Every module corresponds to one entry of the experiment index in DESIGN.md
+and exposes a ``run_*`` function returning structured rows plus a
+``format_*`` helper that renders the same table the corresponding benchmark
+prints.  The benchmarks in ``benchmarks/`` are thin wrappers around these
+functions.
+"""
+
+from repro.experiments.table1_parameters import (
+    compute_table1_parameters,
+    format_table1,
+)
+from repro.experiments.delay_compliance import (
+    format_delay_compliance,
+    run_delay_compliance,
+)
+from repro.experiments.figure5 import format_figure5, run_figure5
+from repro.experiments.bandwidth_savings import (
+    format_bandwidth_savings,
+    run_bandwidth_savings,
+)
+from repro.experiments.admission_capacity import (
+    format_admission_capacity,
+    run_admission_capacity,
+)
+from repro.experiments.sco_comparison import format_sco_comparison, run_sco_comparison
+from repro.experiments.baseline_comparison import (
+    format_baseline_comparison,
+    run_baseline_comparison,
+)
+from repro.experiments.improvement_ablation import (
+    format_improvement_ablation,
+    run_improvement_ablation,
+)
+from repro.experiments.lossy_channel import format_lossy_channel, run_lossy_channel
+
+__all__ = [
+    "compute_table1_parameters",
+    "format_admission_capacity",
+    "format_bandwidth_savings",
+    "format_baseline_comparison",
+    "format_delay_compliance",
+    "format_figure5",
+    "format_improvement_ablation",
+    "format_lossy_channel",
+    "format_sco_comparison",
+    "format_table1",
+    "run_admission_capacity",
+    "run_bandwidth_savings",
+    "run_baseline_comparison",
+    "run_delay_compliance",
+    "run_figure5",
+    "run_improvement_ablation",
+    "run_lossy_channel",
+    "run_sco_comparison",
+]

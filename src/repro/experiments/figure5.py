@@ -1,0 +1,95 @@
+"""Figure 5: per-slave throughput versus the requested GS delay bound.
+
+The paper's main result plot: for delay requirements between (roughly)
+28 ms and 46 ms, every GS flow keeps its 64 kbit/s throughput while the
+best-effort slaves receive whatever capacity the Guaranteed Service polling
+leaves over, divided fairly — tight bounds squeeze the high-rate BE slaves
+first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.experiments.table1_parameters import compute_table1_parameters
+from repro.traffic.workloads import build_figure4_scenario
+
+
+def default_delay_requirements(points: int = 7) -> List[float]:
+    """A sweep across the feasible range computed by Table 1."""
+    params = compute_table1_parameters()["scenario"]
+    low = params["common_feasible_bound_min_ms"] / 1000.0 + 0.0005
+    high = params["common_feasible_bound_max_ms"] / 1000.0 - 0.0005
+    if points < 2:
+        return [high]
+    step = (high - low) / (points - 1)
+    return [low + i * step for i in range(points)]
+
+
+def run_figure5(delay_requirements: Optional[Sequence[float]] = None,
+                duration_seconds: float = 10.0,
+                seed: int = 1,
+                be_load_scale: float = 1.0) -> List[Dict]:
+    """Run the Figure-5 sweep; one result row per delay requirement.
+
+    Each row contains the per-slave throughput in kbit/s (keys
+    ``S1``..``S7``), the total throughput, and the worst observed GS packet
+    delay so the delay guarantee can be checked alongside the throughput.
+    """
+    if delay_requirements is None:
+        delay_requirements = default_delay_requirements()
+    rows: List[Dict] = []
+    for requirement in delay_requirements:
+        scenario = build_figure4_scenario(delay_requirement=requirement,
+                                          seed=seed,
+                                          be_load_scale=be_load_scale)
+        if not scenario.all_gs_admitted:
+            rejected = [fid for fid, s in scenario.gs_setups.items()
+                        if not s.accepted]
+            rows.append({"delay_requirement_s": requirement,
+                         "admitted": False,
+                         "rejected_flows": rejected})
+            continue
+        scenario.run(duration_seconds)
+        throughputs = scenario.slave_throughputs_kbps()
+        gs_delays = scenario.gs_delay_summary()
+        row: Dict = {"delay_requirement_s": requirement, "admitted": True}
+        for slave, value in throughputs.items():
+            row[f"S{slave}"] = value
+        row["total_kbps"] = sum(throughputs.values())
+        row["gs_max_delay_s"] = max(d["max_delay_s"] for d in gs_delays.values())
+        row["gs_bound_violated"] = any(
+            d["max_delay_s"] > d["requested_bound_s"] + 1e-9
+            for d in gs_delays.values())
+        row["gs_slots"] = scenario.piconet.slots_gs
+        row["be_slots"] = scenario.piconet.slots_be
+        rows.append(row)
+    return rows
+
+
+def format_figure5(rows: Optional[List[Dict]] = None, **kwargs) -> str:
+    """Render the Figure-5 series as a text table."""
+    rows = rows if rows is not None else run_figure5(**kwargs)
+    table_rows = []
+    for row in rows:
+        if not row.get("admitted", False):
+            table_rows.append([row["delay_requirement_s"] * 1000.0,
+                               "rejected", "-", "-", "-", "-", "-", "-", "-", "-"])
+            continue
+        table_rows.append([
+            row["delay_requirement_s"] * 1000.0,
+            row.get("S1", 0.0), row.get("S2", 0.0), row.get("S3", 0.0),
+            row.get("S4", 0.0), row.get("S5", 0.0), row.get("S6", 0.0),
+            row.get("S7", 0.0), row["total_kbps"],
+            row["gs_max_delay_s"] * 1000.0,
+        ])
+    table = format_table(
+        ["D_req [ms]", "S1 GS", "S2 GS", "S3 GS", "S4 BE", "S5 BE", "S6 BE",
+         "S7 BE", "total", "GS max delay [ms]"],
+        table_rows, float_format=".1f")
+    header = ("Figure 5 — throughput [kbit/s] per slave vs. requested GS delay "
+              "bound\n(paper: GS slaves flat at 64/128/64 kbit/s; BE slaves at "
+              "their offered load for loose bounds,\nsqueezed and fairly shared "
+              "for tight bounds; total max 656 kbit/s)")
+    return header + "\n\n" + table

@@ -1,0 +1,41 @@
+"""Piconet substrate: master, slaves, flows, queues and the TDD loop.
+
+A :class:`~repro.piconet.piconet.Piconet` wires together an environment, a
+channel model, up to seven slaves, a set of unidirectional flows (each with
+its own logical channel / queue) and a *poller* (the intra-piconet
+scheduler).  The master loop repeatedly asks the poller which transaction to
+run next and executes it slot-accurately.
+"""
+
+from repro.piconet.addressing import AMAddress, BDAddress
+from repro.piconet.flows import (
+    BE,
+    DOWNLINK,
+    GS,
+    FlowSpec,
+    HLPacket,
+    UPLINK,
+)
+from repro.piconet.queues import FlowQueue
+from repro.piconet.device import Master, Slave
+from repro.piconet.piconet import FlowState, Piconet, PiconetConfig
+from repro.piconet.sco import ScoLink, ScoReservationTable
+
+__all__ = [
+    "AMAddress",
+    "BDAddress",
+    "BE",
+    "DOWNLINK",
+    "FlowQueue",
+    "FlowSpec",
+    "FlowState",
+    "GS",
+    "HLPacket",
+    "Master",
+    "Piconet",
+    "PiconetConfig",
+    "ScoLink",
+    "ScoReservationTable",
+    "Slave",
+    "UPLINK",
+]

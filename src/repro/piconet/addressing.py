@@ -1,0 +1,62 @@
+"""Bluetooth addressing helpers.
+
+Only two address kinds matter for intra-piconet scheduling:
+
+* the 48-bit public device address (``BD_ADDR``), used for identification
+  in logs and scenario descriptions, and
+* the 3-bit active-member address (``AM_ADDR``), 1..7, that the master uses
+  to address an active slave (0 is the broadcast address).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_BD_ADDR_RE = re.compile(r"^([0-9A-Fa-f]{2}:){5}[0-9A-Fa-f]{2}$")
+
+
+@dataclass(frozen=True, order=True)
+class BDAddress:
+    """A 48-bit Bluetooth device address in ``AA:BB:CC:DD:EE:FF`` form."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not _BD_ADDR_RE.match(self.value):
+            raise ValueError(f"invalid BD_ADDR {self.value!r}")
+        object.__setattr__(self, "value", self.value.upper())
+
+    @classmethod
+    def from_int(cls, number: int) -> "BDAddress":
+        """Build an address from a 48-bit integer (useful for tests)."""
+        if not 0 <= number < 2 ** 48:
+            raise ValueError("BD_ADDR integer out of range")
+        raw = f"{number:012X}"
+        return cls(":".join(raw[i:i + 2] for i in range(0, 12, 2)))
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class AMAddress:
+    """A 3-bit active member address (1..7; 0 is broadcast)."""
+
+    value: int
+
+    BROADCAST = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 7:
+            raise ValueError(f"AM_ADDR must be in 0..7, got {self.value}")
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.value == self.BROADCAST
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        return f"AM{self.value}"

@@ -1,0 +1,418 @@
+"""The piconet and its master-driven TDD loop.
+
+The master repeatedly asks the attached poller for a :class:`TransactionPlan`
+and executes it slot-accurately: the master packet occupies 1/3/5 slots, the
+addressed slave's response the following 1/3/5 slots, and the next decision
+is taken at the next even slot boundary.  SCO reservations (if any) pre-empt
+ACL scheduling.
+
+Design notes
+------------
+* Simulation time is integer microseconds; one slot is 625 us.
+* The paper requires that a poll only serves uplink data that was already
+  available when the master *started* its transmission; the loop therefore
+  snapshots the uplink queue at transaction start.
+* Lost data segments (lossy channels) stay at the head of their queue and
+  are retransmitted by a later poll (ARQ).  SCO packets have no ARQ: they
+  are delivered regardless and residual errors are only counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.baseband.channel import Channel, IdealChannel
+from repro.baseband.constants import SLOT_US
+from repro.baseband.packets import BasebandPacket, null_packet, poll_packet
+from repro.baseband.segmentation import BestFitSegmentationPolicy, Reassembler
+from repro.piconet.device import DeviceRegistry, Slave
+from repro.piconet.flows import DOWNLINK, FlowSpec, GS, HLPacket, UPLINK
+from repro.piconet.queues import FlowQueue
+from repro.piconet.sco import ScoLink, ScoReservationTable
+from repro.schedulers.base import (
+    KIND_BE,
+    KIND_GS,
+    KIND_SCO,
+    PollOutcome,
+    SegmentDelivery,
+    TransactionPlan,
+)
+from repro.sim.engine import Environment
+from repro.sim.monitor import Monitor
+
+
+@dataclass
+class PiconetConfig:
+    """Static configuration of a piconet simulation."""
+
+    #: baseband packet types ACL flows may use by default
+    allowed_types: tuple = ("DH1", "DH3")
+    #: name used in reports
+    name: str = "piconet"
+    #: keep master transmissions aligned to even slots (Bluetooth TDD rule)
+    align_even_slots: bool = True
+
+
+@dataclass
+class FlowState:
+    """Run-time state and statistics of one flow."""
+
+    spec: FlowSpec
+    queue: FlowQueue
+    reassembler: Reassembler = field(default_factory=Reassembler)
+    delays: Monitor = field(default_factory=lambda: Monitor("delay_s"))
+    delivered_bytes: int = 0
+    delivered_packets: int = 0
+    delivered_segment_bytes: int = 0
+    segments_delivered: int = 0
+    retransmissions: int = 0
+    sco_residual_errors: int = 0
+
+    def throughput_bps(self, duration_seconds: float) -> float:
+        """Delivered higher-layer throughput in bits per second."""
+        if duration_seconds <= 0:
+            raise ValueError("duration must be positive")
+        return self.delivered_bytes * 8 / duration_seconds
+
+
+class Piconet:
+    """A Bluetooth piconet: one master, up to seven slaves, one poller."""
+
+    def __init__(self, env: Optional[Environment] = None,
+                 channel: Optional[Channel] = None,
+                 config: Optional[PiconetConfig] = None):
+        self.env = env if env is not None else Environment()
+        self.channel = channel if channel is not None else IdealChannel()
+        self.config = config if config is not None else PiconetConfig()
+        self.devices = DeviceRegistry()
+        self.poller = None
+        self.sco_table = ScoReservationTable()
+        self._states: Dict[int, FlowState] = {}
+        self._sco_flows: Dict[int, Dict[str, Optional[int]]] = {}
+        self._started = False
+        self._run_started_at: Optional[int] = None
+        self._run_ended_at: Optional[int] = None
+
+        # slot / transaction accounting
+        self.slots_idle = 0
+        self.slots_gs = 0
+        self.slots_be = 0
+        self.slots_sco = 0
+        self.transactions_gs = 0
+        self.transactions_be = 0
+        self.gs_polls_without_data = 0
+        self.be_polls_without_data = 0
+
+    # ------------------------------------------------------------------ setup
+    def add_slave(self, name: Optional[str] = None) -> Slave:
+        """Register a new slave (AM addresses are assigned in order)."""
+        return self.devices.add_slave(name)
+
+    def add_flow(self, spec: FlowSpec) -> FlowState:
+        """Register a flow; its queue lives at the transmitting side."""
+        if spec.flow_id in self._states:
+            raise ValueError(f"flow id {spec.flow_id} already registered")
+        if spec.slave not in self.devices:
+            raise ValueError(f"slave {spec.slave} is not part of the piconet")
+        policy = BestFitSegmentationPolicy(spec.allowed_types)
+        state = FlowState(spec=spec, queue=FlowQueue(spec, policy))
+        self._states[spec.flow_id] = state
+        slave = self.devices.slave(spec.slave)
+        if spec.is_downlink:
+            self.devices.master.tx_flow_ids.append(spec.flow_id)
+            slave.rx_flow_ids.append(spec.flow_id)
+        else:
+            slave.tx_flow_ids.append(spec.flow_id)
+            self.devices.master.rx_flow_ids.append(spec.flow_id)
+        return state
+
+    def add_sco_link(self, slave: int, packet_type: str = "HV3",
+                     dl_flow_id: Optional[int] = None,
+                     ul_flow_id: Optional[int] = None) -> ScoLink:
+        """Reserve SCO slots for ``slave``; optionally bind voice flows to it.
+
+        The bound flows must use the SCO packet type as their only allowed
+        type so segmentation matches the reserved packet size.
+        """
+        link = self.sco_table.add_link(slave=slave, packet_type=packet_type)
+        for flow_id in (dl_flow_id, ul_flow_id):
+            if flow_id is not None and flow_id not in self._states:
+                raise ValueError(f"unknown flow id {flow_id} for SCO link")
+        self._sco_flows[slave] = {"DL": dl_flow_id, "UL": ul_flow_id}
+        self.devices.slave(slave).has_sco = True
+        return link
+
+    def attach_poller(self, poller) -> None:
+        """Attach the intra-piconet scheduler."""
+        self.poller = poller
+        poller.attach(self)
+
+    # -------------------------------------------------------------- inspection
+    def flow_state(self, flow_id: int) -> FlowState:
+        try:
+            return self._states[flow_id]
+        except KeyError:
+            raise KeyError(f"unknown flow id {flow_id}") from None
+
+    def queue(self, flow_id: int) -> FlowQueue:
+        return self.flow_state(flow_id).queue
+
+    def flow_states(self) -> List[FlowState]:
+        return [self._states[fid] for fid in sorted(self._states)]
+
+    def flow_specs(self) -> List[FlowSpec]:
+        return [state.spec for state in self.flow_states()]
+
+    def gs_flow_specs(self) -> List[FlowSpec]:
+        return [spec for spec in self.flow_specs() if spec.is_gs]
+
+    def slaves(self) -> List[Slave]:
+        return self.devices.slaves
+
+    @property
+    def now_seconds(self) -> float:
+        return self.env.now / 1_000_000.0
+
+    # ------------------------------------------------------------- traffic API
+    def offer_packet(self, flow_id: int, size: int) -> HLPacket:
+        """Offer a higher-layer packet to a flow's queue (at the current time)."""
+        state = self.flow_state(flow_id)
+        packet = HLPacket(flow_id=flow_id, size=size, created=self.env.now)
+        state.queue.push(packet)
+        # Only master-side (downlink) arrivals are visible to the poller: the
+        # master has no knowledge of data availability at the slaves.
+        if self.poller is not None and state.spec.is_downlink:
+            self.poller.on_arrival(flow_id, packet)
+        return packet
+
+    # ------------------------------------------------------------------ running
+    def start(self) -> None:
+        """Start the master TDD loop (idempotent)."""
+        if not self._started:
+            self.env.process(self._master_process())
+            self._started = True
+            self._run_started_at = self.env.now
+
+    def run(self, duration_seconds: float) -> None:
+        """Run the simulation for ``duration_seconds`` of simulated time."""
+        if duration_seconds <= 0:
+            raise ValueError("duration must be positive")
+        self.start()
+        until = self.env.now + int(round(duration_seconds * 1_000_000))
+        self.env.run(until=until)
+        self._run_ended_at = self.env.now
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Simulated time elapsed since the loop was started."""
+        start = self._run_started_at if self._run_started_at is not None else 0
+        return (self.env.now - start) / 1_000_000.0
+
+    # ----------------------------------------------------------------- results
+    def flow_stats(self, flow_id: int,
+                   duration_seconds: Optional[float] = None) -> dict:
+        """Summary statistics for one flow."""
+        state = self.flow_state(flow_id)
+        duration = duration_seconds if duration_seconds else self.elapsed_seconds
+        stats = {
+            "flow_id": flow_id,
+            "name": state.spec.name,
+            "slave": state.spec.slave,
+            "direction": state.spec.direction,
+            "class": state.spec.traffic_class,
+            "offered_bytes": state.queue.offered_bytes,
+            "offered_packets": state.queue.offered_packets,
+            "delivered_bytes": state.delivered_bytes,
+            "delivered_packets": state.delivered_packets,
+            "retransmissions": state.retransmissions,
+            "throughput_bps": (state.delivered_bytes * 8 / duration
+                               if duration > 0 else float("nan")),
+        }
+        stats.update({f"delay_{k}": v for k, v in state.delays.summary().items()
+                      if k not in ("name",)})
+        return stats
+
+    def slave_throughput_bps(self, slave: int,
+                             duration_seconds: Optional[float] = None) -> float:
+        """Aggregate delivered throughput of all flows of one slave."""
+        duration = duration_seconds if duration_seconds else self.elapsed_seconds
+        if duration <= 0:
+            return float("nan")
+        delivered = sum(state.delivered_bytes for state in self.flow_states()
+                        if state.spec.slave == slave)
+        return delivered * 8 / duration
+
+    def total_throughput_bps(self, duration_seconds: Optional[float] = None) -> float:
+        duration = duration_seconds if duration_seconds else self.elapsed_seconds
+        if duration <= 0:
+            return float("nan")
+        delivered = sum(state.delivered_bytes for state in self.flow_states())
+        return delivered * 8 / duration
+
+    def slot_accounting(self) -> dict:
+        """Slots spent per activity since the simulation started."""
+        used = self.slots_gs + self.slots_be + self.slots_sco + self.slots_idle
+        return {
+            "gs": self.slots_gs,
+            "be": self.slots_be,
+            "sco": self.slots_sco,
+            "idle": self.slots_idle,
+            "accounted": used,
+            "gs_polls_without_data": self.gs_polls_without_data,
+            "be_polls_without_data": self.be_polls_without_data,
+        }
+
+    # ------------------------------------------------------------ master loop
+    def _master_process(self):
+        while True:
+            slot_index = self.env.now // SLOT_US
+
+            # 1. honour SCO reservations
+            link = self.sco_table.link_for_slot(slot_index) if len(self.sco_table) else None
+            if link is not None:
+                yield from self._execute_sco(link)
+                continue
+
+            # 2. ask the poller
+            plan = self.poller.select(self.env.now) if self.poller is not None else None
+
+            # 3. never start an ACL transaction that would overlap the next
+            #    SCO reservation
+            if plan is not None and len(self.sco_table):
+                next_reservation = self.sco_table.next_reservation(slot_index)
+                if next_reservation is not None:
+                    worst_slots = 2 * max(
+                        self.queue(plan.dl_flow_id).policy.max_segment_slots()
+                        if plan.dl_flow_id is not None else 1,
+                        self.queue(plan.ul_flow_id).policy.max_segment_slots()
+                        if plan.ul_flow_id is not None else 1)
+                    if slot_index + worst_slots > next_reservation:
+                        plan = None
+
+            if plan is None:
+                yield from self._idle()
+                continue
+
+            yield from self._execute_transaction(plan)
+
+    def _idle(self):
+        """Advance to the next usable master transmission slot."""
+        if self.config.align_even_slots:
+            slot_index = self.env.now // SLOT_US
+            advance = 2 if slot_index % 2 == 0 else 1
+        else:
+            advance = 1
+        self.slots_idle += advance
+        yield self.env.timeout(advance * SLOT_US)
+
+    def _execute_transaction(self, plan: TransactionPlan):
+        start = self.env.now
+
+        dl_state = (self._states.get(plan.dl_flow_id)
+                    if plan.dl_flow_id is not None else None)
+        ul_state = (self._states.get(plan.ul_flow_id)
+                    if plan.ul_flow_id is not None else None)
+
+        dl_segment = dl_state.queue.peek_segment() if dl_state is not None else None
+        # Snapshot the uplink queue at master transmission start (paper rule).
+        ul_segment = ul_state.queue.peek_segment() if ul_state is not None else None
+
+        dl_packet = dl_segment if dl_segment is not None else poll_packet()
+        ul_packet = ul_segment if ul_segment is not None else null_packet()
+
+        deliveries: List[SegmentDelivery] = []
+
+        # -- downlink ------------------------------------------------------
+        yield self.env.timeout(dl_packet.duration_us)
+        dl_ok = self.channel.transmit(dl_packet) if dl_segment is not None else True
+        dl_error = dl_segment is not None and not dl_ok
+        if dl_segment is not None:
+            if dl_ok:
+                dl_state.queue.confirm_segment()
+                deliveries.append(self._deliver(dl_state, dl_segment))
+            else:
+                dl_state.retransmissions += 1
+
+        # -- uplink ---------------------------------------------------------
+        yield self.env.timeout(ul_packet.duration_us)
+        ul_ok = self.channel.transmit(ul_packet) if ul_segment is not None else True
+        ul_error = ul_segment is not None and not ul_ok
+        if ul_segment is not None:
+            if ul_ok:
+                ul_state.queue.confirm_segment()
+                deliveries.append(self._deliver(ul_state, ul_segment))
+            else:
+                ul_state.retransmissions += 1
+
+        slots = dl_packet.slots + ul_packet.slots
+        carried = (dl_segment is not None and dl_ok) or (ul_segment is not None and ul_ok)
+        if plan.kind == KIND_GS:
+            self.slots_gs += slots
+            self.transactions_gs += 1
+            if not carried:
+                self.gs_polls_without_data += 1
+        else:
+            self.slots_be += slots
+            self.transactions_be += 1
+            if not carried:
+                self.be_polls_without_data += 1
+
+        outcome = PollOutcome(
+            plan=plan,
+            start=start,
+            end=self.env.now,
+            slots=slots,
+            dl_carried_data=dl_segment is not None and dl_ok,
+            ul_carried_data=ul_segment is not None and ul_ok,
+            dl_error=dl_error,
+            ul_error=ul_error,
+            deliveries=deliveries,
+        )
+        if self.poller is not None:
+            self.poller.notify(outcome)
+
+    def _execute_sco(self, link: ScoLink):
+        """Run one reserved SCO exchange (one slot each way, no ARQ)."""
+        flows = self._sco_flows.get(link.slave, {"DL": None, "UL": None})
+        yield self.env.timeout(2 * SLOT_US)
+        self.slots_sco += 2
+        for direction in (DOWNLINK, UPLINK):
+            flow_id = flows.get("DL" if direction == DOWNLINK else "UL")
+            if flow_id is None:
+                continue
+            state = self._states[flow_id]
+            segment = state.queue.peek_segment()
+            if segment is None:
+                continue
+            if segment.payload > link.packet_type.max_payload:
+                raise ValueError(
+                    f"SCO flow {flow_id} produced a segment of {segment.payload} "
+                    f"bytes which does not fit in {link.packet_type.name}")
+            state.queue.confirm_segment()
+            if not self.channel.transmit(segment):
+                # SCO has no retransmission: the (corrupted) payload is still
+                # played out, only the residual error is counted.
+                state.sco_residual_errors += 1
+            self._deliver(state, segment)
+
+    def _deliver(self, state: FlowState, segment: BasebandPacket) -> SegmentDelivery:
+        state.segments_delivered += 1
+        state.delivered_segment_bytes += segment.payload
+        delivery = SegmentDelivery(
+            flow_id=state.spec.flow_id,
+            payload=segment.payload,
+            is_last_segment=segment.is_last_segment,
+            hl_packet_id=segment.hl_packet_id,
+            hl_packet_size=segment.hl_packet_size,
+            hl_arrival_time=segment.hl_arrival_time,
+        )
+        result = state.reassembler.push(segment)
+        if result is not None:
+            arrival = result["arrival_time"]
+            delay_seconds = (self.env.now - arrival) / 1_000_000.0
+            state.delays.record(delay_seconds)
+            state.delivered_bytes += result["size"]
+            state.delivered_packets += 1
+            delivery.completed_at = self.env.now
+        return delivery

@@ -1,0 +1,66 @@
+"""Head-of-line priority poller, after Kalia, Bansal and Shorey.
+
+The master schedules based on the priority and age of the head-of-line
+packets of its *own* (downlink) queues: the slave with the oldest
+highest-priority head-of-line packet is served first; slaves without
+downlink data are polled round-robin with the residual capacity so uplink
+traffic is not starved.  Because the master cannot see uplink queues the
+scheme favours downlink traffic and offers no delay guarantee for uplink
+flows — one of the shortcomings the paper's GS poller addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.schedulers.base import KIND_BE, Poller, TransactionPlan
+
+
+class HolPriorityPoller(Poller):
+    """Serve the slave with the oldest, highest-priority head-of-line packet.
+
+    Parameters
+    ----------
+    flow_priorities:
+        Optional explicit priorities per flow id (lower value = higher
+        priority).  By default GS-class flows get priority 0 and BE-class
+        flows priority 1.
+    """
+
+    name = "hol-priority"
+
+    def __init__(self, flow_priorities: Optional[Dict[int, int]] = None):
+        super().__init__()
+        self.flow_priorities = dict(flow_priorities) if flow_priorities else {}
+        self._slaves: List[int] = []
+        self._rr_index = 0
+
+    def attach(self, piconet) -> None:
+        super().attach(piconet)
+        self._slaves = [s.address for s in piconet.slaves()]
+        for spec in piconet.flow_specs():
+            self.flow_priorities.setdefault(
+                spec.flow_id, 0 if spec.is_gs else 1)
+
+    def select(self, now: float) -> Optional[TransactionPlan]:
+        self._require_attached()
+        best_flow = None
+        best_key = None
+        for spec in self.piconet.flow_specs():
+            if not spec.is_downlink:
+                continue
+            queue = self.piconet.queue(spec.flow_id)
+            if not queue.has_data():
+                continue
+            age = now - (queue.head_arrival_time() or now)
+            key = (self.flow_priorities.get(spec.flow_id, 1), -age)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_flow = spec
+        if best_flow is not None:
+            return self.build_plan_for_slave(best_flow.slave, kind=KIND_BE)
+        if not self._slaves:
+            return None
+        slave = self._slaves[self._rr_index % len(self._slaves)]
+        self._rr_index += 1
+        return self.build_plan_for_slave(slave, kind=KIND_BE)

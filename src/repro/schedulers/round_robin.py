@@ -1,0 +1,53 @@
+"""Pure round-robin polling.
+
+The simplest Bluetooth poller: the master cycles over the slaves in AM
+address order and gives each exactly one transaction per visit, whether or
+not there is data to move.  It wastes slots on idle slaves and provides no
+delay differentiation — the reference point of the paper's Section 3 survey.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.schedulers.base import KIND_BE, Poller, TransactionPlan
+
+
+class PureRoundRobinPoller(Poller):
+    """Cycle over all slaves, one transaction each."""
+
+    name = "pure-round-robin"
+
+    def __init__(self):
+        super().__init__()
+        self._slave_cycle: List[int] = []
+        self._index = 0
+
+    def attach(self, piconet) -> None:
+        super().attach(piconet)
+        self._slave_cycle = [slave.address for slave in piconet.slaves()
+                             if piconet.flow_specs()
+                             and any(spec.slave == slave.address
+                                     for spec in piconet.flow_specs())]
+        self._index = 0
+
+    def select(self, now: float) -> Optional[TransactionPlan]:
+        self._require_attached()
+        if not self._slave_cycle:
+            return None
+        slave = self._slave_cycle[self._index % len(self._slave_cycle)]
+        self._index += 1
+        return self._plan_for(slave)
+
+    def _plan_for(self, slave: int) -> TransactionPlan:
+        dl_flow = None
+        ul_flow = None
+        for spec in self.flows_of_slave(slave):
+            if spec.is_downlink:
+                if dl_flow is None or self.downlink_has_data(spec.flow_id):
+                    if dl_flow is None or not self.downlink_has_data(dl_flow):
+                        dl_flow = spec.flow_id
+            elif ul_flow is None:
+                ul_flow = spec.flow_id
+        return TransactionPlan(slave=slave, dl_flow_id=dl_flow,
+                               ul_flow_id=ul_flow, kind=KIND_BE)

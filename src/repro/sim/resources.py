@@ -1,0 +1,134 @@
+"""Shared-resource primitives.
+
+Only the two primitives the Bluetooth model needs are provided:
+
+* :class:`Resource` — a counted resource with FIFO queueing of requests
+  (used e.g. to serialise access to the radio medium in unit tests).
+* :class:`Store` — an unbounded or bounded FIFO of Python objects with
+  blocking ``get`` (used for packet queues where a process style is more
+  convenient than the explicit :class:`repro.piconet.queues.FlowQueue`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.sim.events import Event
+
+
+class Request(Event):
+    """A pending request for one unit of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._request(self)
+
+    # Allow "with resource.request() as req:" in process code.
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> bool:
+        self.resource.release(self)
+        return False
+
+
+class Resource:
+    """A counted resource with FIFO request queueing."""
+
+    def __init__(self, env, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of units currently in use."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Request one unit; the returned event fires when granted."""
+        return Request(self)
+
+    def _request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed(self)
+        else:
+            self.queue.append(request)
+
+    def release(self, request: Request) -> None:
+        """Release a previously granted (or still queued) request."""
+        if request in self.users:
+            self.users.remove(request)
+            while self.queue and len(self.users) < self.capacity:
+                nxt = self.queue.popleft()
+                self.users.append(nxt)
+                nxt.succeed(self)
+        else:
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                pass
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put(self)
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._get(self)
+
+
+class Store:
+    """A FIFO store of items with blocking ``get`` and optional capacity."""
+
+    def __init__(self, env, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Add ``item``; the returned event fires once stored."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Remove and return the oldest item (blocks while empty)."""
+        return StoreGet(self)
+
+    def _put(self, event: StorePut) -> None:
+        if len(self.items) < self.capacity:
+            self.items.append(event.item)
+            event.succeed()
+            self._dispatch()
+        else:
+            self._putters.append(event)
+
+    def _get(self, event: StoreGet) -> None:
+        self._getters.append(event)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            getter.succeed(self.items.popleft())
+            while self._putters and len(self.items) < self.capacity:
+                putter = self._putters.popleft()
+                self.items.append(putter.item)
+                putter.succeed()

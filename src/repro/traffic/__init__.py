@@ -1,0 +1,22 @@
+"""Traffic generation and measurement."""
+
+from repro.traffic.sources import (
+    CBRSource,
+    OnOffSource,
+    PoissonSource,
+    TraceSource,
+    TrafficSource,
+)
+from repro.traffic.sinks import DelayThroughputSink
+from repro.traffic.workloads import Figure4Scenario, build_figure4_scenario
+
+__all__ = [
+    "CBRSource",
+    "DelayThroughputSink",
+    "Figure4Scenario",
+    "OnOffSource",
+    "PoissonSource",
+    "TraceSource",
+    "TrafficSource",
+    "build_figure4_scenario",
+]

@@ -1,0 +1,63 @@
+"""Measurement helpers around the piconet's per-flow statistics.
+
+The piconet itself records delay samples and delivered bytes per flow; the
+sink object gives that data a convenient, flow-oriented API used by the
+experiment drivers and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+
+class DelayThroughputSink:
+    """Read-only view of the delay/throughput statistics of a set of flows."""
+
+    def __init__(self, piconet, flow_ids: Optional[Iterable[int]] = None):
+        self.piconet = piconet
+        self.flow_ids: List[int] = (sorted(flow_ids) if flow_ids is not None
+                                    else [s.spec.flow_id
+                                          for s in piconet.flow_states()])
+
+    def _duration(self, duration_seconds: Optional[float]) -> float:
+        return duration_seconds if duration_seconds else self.piconet.elapsed_seconds
+
+    def throughput_bps(self, flow_id: int,
+                       duration_seconds: Optional[float] = None) -> float:
+        state = self.piconet.flow_state(flow_id)
+        return state.delivered_bytes * 8 / self._duration(duration_seconds)
+
+    def max_delay(self, flow_id: int) -> float:
+        return self.piconet.flow_state(flow_id).delays.maximum
+
+    def mean_delay(self, flow_id: int) -> float:
+        return self.piconet.flow_state(flow_id).delays.mean
+
+    def percentile_delay(self, flow_id: int, q: float) -> float:
+        return self.piconet.flow_state(flow_id).delays.percentile(q)
+
+    def delivered_packets(self, flow_id: int) -> int:
+        return self.piconet.flow_state(flow_id).delivered_packets
+
+    def summary(self, duration_seconds: Optional[float] = None) -> List[Dict]:
+        """One row per observed flow with throughput and delay statistics."""
+        rows = []
+        for flow_id in self.flow_ids:
+            state = self.piconet.flow_state(flow_id)
+            rows.append({
+                "flow_id": flow_id,
+                "slave": state.spec.slave,
+                "class": state.spec.traffic_class,
+                "direction": state.spec.direction,
+                "throughput_kbps": self.throughput_bps(
+                    flow_id, duration_seconds) / 1000.0,
+                "packets": state.delivered_packets,
+                "mean_delay_ms": state.delays.mean * 1000.0,
+                "max_delay_ms": state.delays.maximum * 1000.0,
+            })
+        return rows
+
+    def slave_throughput_kbps(self, slave: int,
+                              duration_seconds: Optional[float] = None) -> float:
+        return self.piconet.slave_throughput_bps(
+            slave, self._duration(duration_seconds)) / 1000.0

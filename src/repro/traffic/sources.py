@@ -1,0 +1,168 @@
+"""Traffic sources.
+
+Sources are simulation processes that offer higher-layer packets to a flow's
+queue.  The paper's evaluation uses CBR sources with a uniformly distributed
+packet size for the Guaranteed Service flows and fixed-size CBR sources for
+the best-effort flows; Poisson, on/off and trace-driven sources are provided
+for the examples and the extension experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple, Union
+
+SizeSpec = Union[int, Tuple[int, int]]
+
+_US_PER_SECOND = 1_000_000
+
+
+def _to_us(seconds: float) -> int:
+    return int(round(seconds * _US_PER_SECOND))
+
+
+class TrafficSource:
+    """Base class: binds a piconet flow to a packet-generation process."""
+
+    def __init__(self, piconet, flow_id: int, size: SizeSpec,
+                 rng: Optional[random.Random] = None,
+                 start_offset: float = 0.0):
+        self.piconet = piconet
+        self.flow_id = flow_id
+        self.size = size
+        self.rng = rng if rng is not None else random.Random(0)
+        self.start_offset = start_offset
+        self.packets_generated = 0
+        self.bytes_generated = 0
+        self._process = None
+
+    # -- packet sizes ----------------------------------------------------------
+    def next_size(self) -> int:
+        if isinstance(self.size, tuple):
+            low, high = self.size
+            return self.rng.randint(low, high)
+        return int(self.size)
+
+    # -- life cycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Start generating packets (idempotent)."""
+        if self._process is None:
+            self._process = self.piconet.env.process(self._run())
+
+    def _emit(self) -> None:
+        size = self.next_size()
+        self.piconet.offer_packet(self.flow_id, size)
+        self.packets_generated += 1
+        self.bytes_generated += size
+
+    def _intervals(self):
+        """Yield successive inter-packet gaps in seconds (subclasses override)."""
+        raise NotImplementedError
+
+    def _run(self):
+        if self.start_offset > 0:
+            yield self.piconet.env.timeout(_to_us(self.start_offset))
+        for gap in self._intervals():
+            self._emit()
+            yield self.piconet.env.timeout(max(1, _to_us(gap)))
+
+
+class CBRSource(TrafficSource):
+    """Constant-bit-rate source: one packet every ``interval`` seconds."""
+
+    def __init__(self, piconet, flow_id: int, interval: float, size: SizeSpec,
+                 rng: Optional[random.Random] = None, start_offset: float = 0.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        super().__init__(piconet, flow_id, size, rng, start_offset)
+        self.interval = interval
+
+    @classmethod
+    def from_rate(cls, piconet, flow_id: int, rate_bps: float, size: SizeSpec,
+                  rng: Optional[random.Random] = None,
+                  start_offset: float = 0.0) -> "CBRSource":
+        """Build a CBR source from a target bit rate and packet size."""
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if isinstance(size, tuple):
+            mean_size = (size[0] + size[1]) / 2
+        else:
+            mean_size = size
+        interval = mean_size * 8 / rate_bps
+        return cls(piconet, flow_id, interval, size, rng, start_offset)
+
+    def _intervals(self):
+        while True:
+            yield self.interval
+
+
+class PoissonSource(TrafficSource):
+    """Packets arrive as a Poisson process of the given rate."""
+
+    def __init__(self, piconet, flow_id: int, rate_packets_per_second: float,
+                 size: SizeSpec, rng: Optional[random.Random] = None,
+                 start_offset: float = 0.0):
+        if rate_packets_per_second <= 0:
+            raise ValueError("rate must be positive")
+        super().__init__(piconet, flow_id, size, rng, start_offset)
+        self.rate = rate_packets_per_second
+
+    def _intervals(self):
+        while True:
+            yield self.rng.expovariate(self.rate)
+
+
+class OnOffSource(TrafficSource):
+    """Exponential on/off source; CBR with ``interval`` while on."""
+
+    def __init__(self, piconet, flow_id: int, interval: float, size: SizeSpec,
+                 mean_on: float = 1.0, mean_off: float = 1.0,
+                 rng: Optional[random.Random] = None, start_offset: float = 0.0):
+        if min(interval, mean_on, mean_off) <= 0:
+            raise ValueError("interval, mean_on and mean_off must be positive")
+        super().__init__(piconet, flow_id, size, rng, start_offset)
+        self.interval = interval
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+
+    def _run(self):
+        if self.start_offset > 0:
+            yield self.piconet.env.timeout(_to_us(self.start_offset))
+        while True:
+            on_duration = self.rng.expovariate(1.0 / self.mean_on)
+            elapsed = 0.0
+            while elapsed < on_duration:
+                self._emit()
+                yield self.piconet.env.timeout(max(1, _to_us(self.interval)))
+                elapsed += self.interval
+            off_duration = self.rng.expovariate(1.0 / self.mean_off)
+            yield self.piconet.env.timeout(max(1, _to_us(off_duration)))
+
+    def _intervals(self):  # pragma: no cover - _run is overridden
+        raise NotImplementedError
+
+
+class TraceSource(TrafficSource):
+    """Replays an explicit ``(time_seconds, size_bytes)`` trace."""
+
+    def __init__(self, piconet, flow_id: int,
+                 trace: Sequence[Tuple[float, int]],
+                 start_offset: float = 0.0):
+        super().__init__(piconet, flow_id, size=0, start_offset=start_offset)
+        self.trace: List[Tuple[float, int]] = sorted(trace)
+
+    def _run(self):
+        if self.start_offset > 0:
+            yield self.piconet.env.timeout(_to_us(self.start_offset))
+        origin = self.piconet.env.now
+        for when, size in self.trace:
+            target = origin + _to_us(when)
+            delay = target - self.piconet.env.now
+            if delay > 0:
+                yield self.piconet.env.timeout(delay)
+            self.piconet.offer_packet(self.flow_id, size)
+            self.packets_generated += 1
+            self.bytes_generated += size
+
+    def _intervals(self):  # pragma: no cover - _run is overridden
+        raise NotImplementedError

@@ -1,0 +1,219 @@
+"""The paper's Figure-4 workload, parameterised.
+
+Seven slaves and a master form a piconet.  Flows 1..4 are Guaranteed
+Service flows of 64 kbit/s each (one packet of 144..176 bytes, uniformly
+distributed, every 20 ms); flows 5..12 are best-effort flows of 176-byte
+packets at 41.6 / 47.2 / 52.8 / 58.4 kbit/s (one rate per slave, one uplink
+and one downlink flow each).  DH1 and DH3 baseband packets are allowed and
+the best-fit segmentation policy is used.
+
+Flow directions are not stated explicitly in the paper; this reproduction
+uses the only assignment consistent with the reported aggregates (see
+DESIGN.md): flow 1 (slave S1) and flow 4 (slave S3) are uplink flows, flows
+2 and 3 form a downlink/uplink pair on slave S2 (so piggybacking applies),
+and every best-effort slave carries one downlink and one uplink flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baseband.channel import Channel
+from repro.baseband.constants import SLOT_SECONDS
+from repro.core.gs_manager import GSFlowSetup, GuaranteedServiceManager
+from repro.core.pfp import PredictiveFairPoller
+from repro.core.token_bucket import TSpec, cbr_tspec
+from repro.piconet.flows import BE, DOWNLINK, FlowSpec, GS, UPLINK
+from repro.piconet.piconet import Piconet
+from repro.sim.rng import RandomStreams
+from repro.traffic.sources import CBRSource, TrafficSource
+
+#: GS source parameters of Section 4.1.
+GS_PACKET_INTERVAL_S = 0.020
+GS_MIN_PACKET = 144
+GS_MAX_PACKET = 176
+
+#: Best-effort source parameters of Section 4.1: rate per flow, by slave.
+BE_RATES_BPS = {4: 41_600, 5: 47_200, 6: 52_800, 7: 58_400}
+BE_PACKET_SIZE = 176
+
+#: Packet types allowed in the Section 4.1 scenario.
+ALLOWED_TYPES = ("DH1", "DH3")
+
+#: Longest transaction in the scenario: DH3 downlink + DH3 uplink.
+MAX_TRANSACTION_SECONDS = 6 * SLOT_SECONDS
+
+
+def figure4_gs_tspec() -> TSpec:
+    """The token bucket of each GS flow (p = r = 8.8 kB/s, b = M = 176 B)."""
+    return cbr_tspec(GS_PACKET_INTERVAL_S, GS_MIN_PACKET, GS_MAX_PACKET)
+
+
+@dataclass
+class Figure4Scenario:
+    """A fully wired instance of the paper's simulation setup."""
+
+    piconet: Piconet
+    manager: GuaranteedServiceManager
+    poller: PredictiveFairPoller
+    gs_flow_ids: List[int]
+    be_flow_ids: List[int]
+    gs_setups: Dict[int, GSFlowSetup]
+    sources: List[TrafficSource]
+    delay_requirement: Optional[float]
+    #: slave -> flow ids, matching the Figure 5 legend grouping
+    slave_flows: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def all_gs_admitted(self) -> bool:
+        return all(setup.accepted for setup in self.gs_setups.values())
+
+    def run(self, duration_seconds: float) -> None:
+        """Start all sources and run the piconet."""
+        for source in self.sources:
+            source.start()
+        self.piconet.run(duration_seconds)
+
+    # -- result helpers -------------------------------------------------------
+    def slave_throughputs_kbps(self) -> Dict[int, float]:
+        """Per-slave delivered throughput in kbit/s (the Figure 5 y-axis)."""
+        return {slave: self.piconet.slave_throughput_bps(slave) / 1000.0
+                for slave in sorted(self.slave_flows)}
+
+    def gs_delay_summary(self) -> Dict[int, dict]:
+        """Per GS flow: delay statistics and the analytical bound."""
+        summary = {}
+        for flow_id in self.gs_flow_ids:
+            state = self.piconet.flow_state(flow_id)
+            setup = self.gs_setups[flow_id]
+            bound = (self.manager.delay_bound_for(flow_id)
+                     if setup.accepted else float("nan"))
+            summary[flow_id] = {
+                "requested_bound_s": self.delay_requirement,
+                "analytical_bound_s": bound,
+                "max_delay_s": state.delays.maximum,
+                "mean_delay_s": state.delays.mean,
+                "p99_delay_s": state.delays.percentile(99),
+                "packets": state.delivered_packets,
+            }
+        return summary
+
+
+def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
+                           gs_rate: Optional[float] = None,
+                           be_load_scale: float = 1.0,
+                           variable_interval: bool = True,
+                           piggyback_aware: bool = True,
+                           postpone_by_packet_size: bool = True,
+                           postpone_after_unsuccessful: bool = True,
+                           skip_when_no_downlink_data: bool = True,
+                           channel: Optional[Channel] = None,
+                           seed: int = 1,
+                           stagger_sources: bool = True) -> Figure4Scenario:
+    """Build the Section 4.1 piconet, flows, sources, manager and poller.
+
+    Parameters
+    ----------
+    delay_requirement:
+        The delay bound (seconds) requested for every GS flow; the service
+        rate is negotiated from the exported error terms, exactly as a
+        Guaranteed Service receiver would.  Pass ``None`` and set
+        ``gs_rate`` to request an explicit rate instead.
+    gs_rate:
+        Explicit fluid-model rate (bytes/second) for every GS flow.
+    be_load_scale:
+        Multiplier on the best-effort offered load (1.0 = the paper's).
+    variable_interval / piggyback_aware / postpone_* / skip_*:
+        Poller configuration (see :class:`GuaranteedServiceManager`).
+    channel:
+        Radio channel model (ideal when ``None``, as in the paper).
+    stagger_sources:
+        Give each source a random phase offset within its period (the
+        worst-case analysis does not depend on phases; staggering avoids a
+        fully synchronised, atypical start).
+    """
+    if (delay_requirement is None) == (gs_rate is None):
+        raise ValueError("specify exactly one of delay_requirement / gs_rate")
+    if be_load_scale < 0:
+        raise ValueError("be_load_scale cannot be negative")
+
+    streams = RandomStreams(seed)
+    piconet = Piconet(channel=channel)
+    for index in range(1, 8):
+        piconet.add_slave(f"S{index}")
+
+    # -- flow specifications ----------------------------------------------------
+    gs_specs = [
+        FlowSpec(1, slave=1, direction=UPLINK, traffic_class=GS,
+                 allowed_types=ALLOWED_TYPES),
+        FlowSpec(2, slave=2, direction=DOWNLINK, traffic_class=GS,
+                 allowed_types=ALLOWED_TYPES),
+        FlowSpec(3, slave=2, direction=UPLINK, traffic_class=GS,
+                 allowed_types=ALLOWED_TYPES),
+        FlowSpec(4, slave=3, direction=UPLINK, traffic_class=GS,
+                 allowed_types=ALLOWED_TYPES),
+    ]
+    be_specs = []
+    flow_id = 5
+    for slave in (4, 5, 6, 7):
+        for direction in (DOWNLINK, UPLINK):
+            be_specs.append(FlowSpec(flow_id, slave=slave, direction=direction,
+                                     traffic_class=BE,
+                                     allowed_types=ALLOWED_TYPES))
+            flow_id += 1
+
+    slave_flows: Dict[int, List[int]] = {}
+    for spec in gs_specs + be_specs:
+        piconet.add_flow(spec)
+        slave_flows.setdefault(spec.slave, []).append(spec.flow_id)
+
+    # -- Guaranteed Service setup -----------------------------------------------
+    manager = GuaranteedServiceManager(
+        max_transaction_seconds=MAX_TRANSACTION_SECONDS,
+        piggyback_aware=piggyback_aware,
+        variable_interval=variable_interval,
+        postpone_by_packet_size=postpone_by_packet_size,
+        postpone_after_unsuccessful=postpone_after_unsuccessful,
+        skip_when_no_downlink_data=skip_when_no_downlink_data)
+    tspec = figure4_gs_tspec()
+    gs_setups: Dict[int, GSFlowSetup] = {}
+    for spec in gs_specs:
+        if delay_requirement is not None:
+            setup = manager.add_flow(spec, tspec, delay_bound=delay_requirement)
+        else:
+            setup = manager.add_flow(spec, tspec, rate=gs_rate)
+        gs_setups[spec.flow_id] = setup
+
+    poller = PredictiveFairPoller(manager)
+    piconet.attach_poller(poller)
+
+    # -- traffic sources ----------------------------------------------------------
+    sources: List[TrafficSource] = []
+    for spec in gs_specs:
+        rng = streams.stream(f"gs-{spec.flow_id}")
+        offset = rng.uniform(0, GS_PACKET_INTERVAL_S) if stagger_sources else 0.0
+        sources.append(CBRSource(piconet, spec.flow_id, GS_PACKET_INTERVAL_S,
+                                 (GS_MIN_PACKET, GS_MAX_PACKET), rng=rng,
+                                 start_offset=offset))
+    if be_load_scale > 0:
+        for spec in be_specs:
+            rate = BE_RATES_BPS[spec.slave] * be_load_scale
+            rng = streams.stream(f"be-{spec.flow_id}")
+            interval = BE_PACKET_SIZE * 8 / rate
+            offset = rng.uniform(0, interval) if stagger_sources else 0.0
+            sources.append(CBRSource(piconet, spec.flow_id, interval,
+                                     BE_PACKET_SIZE, rng=rng,
+                                     start_offset=offset))
+
+    return Figure4Scenario(
+        piconet=piconet,
+        manager=manager,
+        poller=poller,
+        gs_flow_ids=[spec.flow_id for spec in gs_specs],
+        be_flow_ids=[spec.flow_id for spec in be_specs],
+        gs_setups=gs_setups,
+        sources=sources,
+        delay_requirement=delay_requirement,
+        slave_flows=slave_flows,
+    )

@@ -1,0 +1,68 @@
+"""Tests of the statistics and reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import confidence_interval, format_kv, format_table, summarize, utilisation
+
+
+def test_summarize_basic_statistics():
+    stats = summarize([1, 2, 3, 4, 5])
+    assert stats["count"] == 5
+    assert stats["mean"] == pytest.approx(3.0)
+    assert stats["min"] == 1 and stats["max"] == 5
+    assert stats["p50"] == pytest.approx(3.0)
+
+
+def test_summarize_empty_returns_nans():
+    stats = summarize([])
+    assert stats["count"] == 0
+    assert math.isnan(stats["mean"])
+
+
+def test_confidence_interval_contains_mean_and_shrinks_with_n():
+    small = confidence_interval([1, 2, 3, 4, 5] * 4)
+    large = confidence_interval([1, 2, 3, 4, 5] * 400)
+    assert small[0] < 3.0 < small[1]
+    assert (large[1] - large[0]) < (small[1] - small[0])
+    with pytest.raises(ValueError):
+        confidence_interval([1.0], level=1.5)
+
+
+def test_utilisation_bounds():
+    assert utilisation(800, 1600) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        utilisation(-1, 100)
+    with pytest.raises(ValueError):
+        utilisation(10, 0)
+    with pytest.raises(ValueError):
+        utilisation(101, 100)
+
+
+def test_format_table_alignment_and_content():
+    text = format_table(["name", "value"], [["alpha", 1.5], ["b", 22.25]],
+                        float_format=".1f", title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert any("alpha" in line and "1.5" in line for line in lines)
+    assert any("22.2" in line for line in lines)
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_table_renders_booleans():
+    text = format_table(["ok"], [[True], [False]])
+    assert "yes" in text and "no" in text
+
+
+def test_format_kv_alignment():
+    text = format_kv({"rate": 8.8, "flows": 4}, title="params")
+    lines = text.splitlines()
+    assert lines[0] == "params"
+    assert lines[1].startswith("rate ")
+    assert format_kv({}) == ""

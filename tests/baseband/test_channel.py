@@ -1,0 +1,75 @@
+"""Tests of the radio channel models."""
+
+import random
+
+import pytest
+
+from repro.baseband import GilbertElliottChannel, IdealChannel, LossyChannel
+from repro.baseband.packets import BasebandPacket, get_packet_type
+
+
+def _dh3(payload=100):
+    return BasebandPacket(get_packet_type("DH3"), payload=payload)
+
+
+def test_ideal_channel_never_fails():
+    channel = IdealChannel()
+    assert all(channel.transmit(_dh3()) for _ in range(100))
+    assert channel.packet_error_probability(_dh3()) == 0.0
+
+
+def test_lossy_channel_requires_exactly_one_rate():
+    with pytest.raises(ValueError):
+        LossyChannel()
+    with pytest.raises(ValueError):
+        LossyChannel(packet_error_rate=0.1, bit_error_rate=1e-4)
+
+
+def test_lossy_channel_rate_bounds_checked():
+    with pytest.raises(ValueError):
+        LossyChannel(packet_error_rate=1.5)
+    with pytest.raises(ValueError):
+        LossyChannel(bit_error_rate=-0.1)
+
+
+def test_lossy_channel_loss_fraction_matches_rate():
+    channel = LossyChannel(packet_error_rate=0.3, rng=random.Random(1))
+    outcomes = [channel.transmit(_dh3()) for _ in range(5000)]
+    loss = 1 - sum(outcomes) / len(outcomes)
+    assert 0.25 < loss < 0.35
+
+
+def test_ber_longer_packets_more_likely_corrupted():
+    channel = LossyChannel(bit_error_rate=1e-4)
+    short = BasebandPacket(get_packet_type("DH1"), payload=10)
+    long = BasebandPacket(get_packet_type("DH5"), payload=339)
+    assert channel.packet_error_probability(long) > \
+        channel.packet_error_probability(short)
+
+
+def test_ber_fec_packets_more_robust():
+    channel = LossyChannel(bit_error_rate=1e-4)
+    dm3 = BasebandPacket(get_packet_type("DM3"), payload=100)
+    dh3 = BasebandPacket(get_packet_type("DH3"), payload=100)
+    assert channel.packet_error_probability(dm3) < \
+        channel.packet_error_probability(dh3)
+
+
+def test_gilbert_elliott_parameter_validation():
+    with pytest.raises(ValueError):
+        GilbertElliottChannel(p_gb=1.5)
+
+
+def test_gilbert_elliott_produces_burstier_errors_than_iid():
+    rng = random.Random(3)
+    channel = GilbertElliottChannel(p_gb=0.02, p_bg=0.2, per_good=0.0,
+                                    per_bad=0.8, rng=rng)
+    outcomes = [channel.transmit(_dh3()) for _ in range(20000)]
+    losses = [not ok for ok in outcomes]
+    loss_rate = sum(losses) / len(losses)
+    assert 0.0 < loss_rate < 0.5
+    # measure clustering: probability a loss follows a loss should exceed the
+    # unconditional loss rate for a bursty channel
+    follow = sum(1 for i in range(1, len(losses)) if losses[i] and losses[i - 1])
+    conditional = follow / max(1, sum(losses[:-1]))
+    assert conditional > loss_rate * 1.5

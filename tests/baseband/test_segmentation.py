@@ -1,0 +1,111 @@
+"""Tests of segmentation policies and reassembly."""
+
+import pytest
+
+from repro.baseband import (
+    BestFitSegmentationPolicy,
+    LargestPacketSegmentationPolicy,
+    Reassembler,
+)
+from repro.baseband.segmentation import SegmentationError
+
+
+@pytest.fixture
+def paper_policy():
+    """The Section-4 policy: DH1 and DH3 allowed, best-fit on the remainder."""
+    return BestFitSegmentationPolicy(["DH1", "DH3"])
+
+
+def test_paper_packet_sizes_use_single_dh3(paper_policy):
+    # every GS packet of 144..176 bytes fits in one DH3
+    for size in (144, 160, 176):
+        pieces = paper_policy.segment_sizes(size)
+        assert len(pieces) == 1
+        assert pieces[0][0].name == "DH3"
+        assert pieces[0][1] == size
+
+
+def test_small_remainder_goes_to_dh1(paper_policy):
+    # 27 bytes fit in a DH1; the policy prefers the smaller packet
+    pieces = paper_policy.segment_sizes(27)
+    assert [(p.name, n) for p, n in pieces] == [("DH1", 27)]
+
+
+def test_multi_segment_packet_splits_greedily(paper_policy):
+    pieces = paper_policy.segment_sizes(183 + 20)
+    assert [(p.name, n) for p, n in pieces] == [("DH3", 183), ("DH1", 20)]
+
+
+def test_remainder_larger_than_dh1_uses_dh3(paper_policy):
+    pieces = paper_policy.segment_sizes(183 + 100)
+    assert [(p.name, n) for p, n in pieces] == [("DH3", 183), ("DH3", 100)]
+
+
+def test_largest_policy_always_uses_dh3():
+    policy = LargestPacketSegmentationPolicy(["DH1", "DH3"])
+    pieces = policy.segment_sizes(20)
+    assert pieces[0][0].name == "DH3"
+
+
+def test_segment_sizes_conserve_bytes(paper_policy):
+    for size in (1, 27, 28, 144, 183, 184, 400, 1500):
+        pieces = paper_policy.segment_sizes(size)
+        assert sum(n for _, n in pieces) == size
+
+
+def test_zero_size_rejected(paper_policy):
+    with pytest.raises(SegmentationError):
+        paper_policy.segment_sizes(0)
+
+
+def test_policy_needs_data_carrying_type():
+    with pytest.raises(ValueError):
+        BestFitSegmentationPolicy(["POLL"])
+
+
+def test_segment_builds_packets_with_metadata(paper_policy):
+    packets = paper_policy.segment(300, flow_id=7, hl_packet_id=99,
+                                   arrival_time=123.0)
+    assert len(packets) == 2
+    assert packets[0].segment_index == 0 and not packets[0].is_last_segment
+    assert packets[1].segment_index == 1 and packets[1].is_last_segment
+    assert all(p.flow_id == 7 for p in packets)
+    assert all(p.hl_packet_id == 99 for p in packets)
+    assert all(p.hl_packet_size == 300 for p in packets)
+    assert all(p.hl_arrival_time == 123.0 for p in packets)
+
+
+def test_reassembler_round_trip(paper_policy):
+    reassembler = Reassembler()
+    packets = paper_policy.segment(500, flow_id=1, hl_packet_id=5,
+                                   arrival_time=1.0)
+    results = [reassembler.push(p) for p in packets]
+    assert all(r is None for r in results[:-1])
+    final = results[-1]
+    assert final["size"] == 500
+    assert final["flow_id"] == 1
+    assert final["hl_packet_id"] == 5
+    assert reassembler.pending == 0
+
+
+def test_reassembler_interleaves_flows(paper_policy):
+    reassembler = Reassembler()
+    flow_a = paper_policy.segment(300, flow_id=1, hl_packet_id=1)
+    flow_b = paper_policy.segment(300, flow_id=2, hl_packet_id=2)
+    assert reassembler.push(flow_a[0]) is None
+    assert reassembler.push(flow_b[0]) is None
+    assert reassembler.push(flow_a[1])["flow_id"] == 1
+    assert reassembler.push(flow_b[1])["flow_id"] == 2
+
+
+def test_reassembler_detects_out_of_order(paper_policy):
+    reassembler = Reassembler()
+    packets = paper_policy.segment(400, flow_id=1, hl_packet_id=3)
+    with pytest.raises(SegmentationError):
+        reassembler.push(packets[1])
+
+
+def test_max_segment_slots(paper_policy):
+    assert paper_policy.max_segment_slots() == 3
+    assert BestFitSegmentationPolicy(["DH1"]).max_segment_slots() == 1
+    assert BestFitSegmentationPolicy(["DH5", "DH1"]).max_segment_slots() == 5

@@ -1,0 +1,137 @@
+"""Tests of the GuaranteedServiceManager (rate negotiation, planners, export)."""
+
+import pytest
+
+from repro.core import GuaranteedServiceManager, cbr_tspec
+from repro.core.planning import FixedIntervalPlanner, VariableIntervalPlanner
+from repro.piconet.flows import DOWNLINK, FlowSpec, GS, UPLINK
+
+M_T = 6 * 625e-6
+
+
+def gs_spec(flow_id, slave, direction=UPLINK):
+    return FlowSpec(flow_id, slave=slave, direction=direction, traffic_class=GS)
+
+
+@pytest.fixture
+def tspec():
+    return cbr_tspec(0.020, 144, 176)
+
+
+def test_add_flow_requires_exactly_one_of_rate_and_bound(tspec):
+    manager = GuaranteedServiceManager(M_T)
+    with pytest.raises(ValueError):
+        manager.add_flow(gs_spec(1, 1), tspec)
+    with pytest.raises(ValueError):
+        manager.add_flow(gs_spec(1, 1), tspec, rate=9000.0, delay_bound=0.04)
+
+
+def test_add_flow_rejects_non_gs_spec(tspec):
+    manager = GuaranteedServiceManager(M_T)
+    be_spec = FlowSpec(1, slave=1, direction=UPLINK, traffic_class="BE")
+    with pytest.raises(ValueError):
+        manager.add_flow(be_spec, tspec, rate=9000.0)
+
+
+def test_rate_based_admission_and_derived_quantities(tspec):
+    manager = GuaranteedServiceManager(M_T)
+    setup = manager.add_flow(gs_spec(1, 1), tspec, rate=9000.0)
+    assert setup.accepted
+    assert setup.eta_min == pytest.approx(144.0)
+    assert setup.interval == pytest.approx(144.0 / 9000.0)
+    assert manager.priority_of(1) == 1
+    assert manager.wait_bound_of(1) == pytest.approx(M_T)
+    terms = manager.error_terms_for(1)
+    assert terms.c_bytes == pytest.approx(144.0)
+    assert terms.d_seconds == pytest.approx(M_T)
+
+
+def test_delay_bound_negotiation_meets_target(tspec):
+    manager = GuaranteedServiceManager(M_T)
+    target = 0.030
+    setup = manager.add_flow(gs_spec(1, 1), tspec, delay_bound=target)
+    assert setup.accepted
+    assert manager.delay_bound_for(1) <= target + 1e-9
+    assert setup.rate >= tspec.r
+
+
+def test_delay_bound_negotiation_loose_target_uses_token_rate(tspec):
+    manager = GuaranteedServiceManager(M_T)
+    setup = manager.add_flow(gs_spec(1, 1), tspec, delay_bound=0.5)
+    assert setup.accepted
+    assert setup.rate == pytest.approx(tspec.r)
+
+
+def test_infeasible_delay_bound_rejected(tspec):
+    manager = GuaranteedServiceManager(M_T)
+    # tighter than the rate-independent deviation (u >= 3.75 ms)
+    setup = manager.add_flow(gs_spec(1, 1), tspec, delay_bound=0.003)
+    assert not setup.accepted
+    assert manager.admitted_flow_ids() == []
+
+
+def test_duplicate_flow_id_rejected(tspec):
+    manager = GuaranteedServiceManager(M_T)
+    manager.add_flow(gs_spec(1, 1), tspec, rate=9000.0)
+    with pytest.raises(ValueError):
+        manager.add_flow(gs_spec(1, 1), tspec, rate=9000.0)
+
+
+def test_planner_type_follows_configuration(tspec):
+    variable = GuaranteedServiceManager(M_T, variable_interval=True)
+    variable.add_flow(gs_spec(1, 1), tspec, rate=9000.0)
+    assert isinstance(variable.planner_for(1), VariableIntervalPlanner)
+    fixed = GuaranteedServiceManager(M_T, variable_interval=False)
+    fixed.add_flow(gs_spec(1, 1), tspec, rate=9000.0)
+    assert isinstance(fixed.planner_for(1), FixedIntervalPlanner)
+
+
+def test_piggybacked_pair_shares_one_planner(tspec):
+    manager = GuaranteedServiceManager(M_T)
+    manager.add_flow(gs_spec(2, 2, DOWNLINK), tspec, rate=9000.0)
+    manager.add_flow(gs_spec(3, 2, UPLINK), tspec, rate=9000.0)
+    streams = manager.streams
+    assert len(streams) == 1
+    assert set(streams[0].flow_ids) == {2, 3}
+    assert manager.priority_of(2) == manager.priority_of(3) == 1
+
+
+def test_due_streams_ordered_by_priority(tspec):
+    manager = GuaranteedServiceManager(M_T)
+    for flow_id, slave in [(1, 1), (2, 2), (3, 3)]:
+        manager.add_flow(gs_spec(flow_id, slave), tspec, rate=9000.0)
+    due = manager.due_streams(now=0.0)
+    assert [stream.priority for stream, _ in due] == [1, 2, 3]
+
+
+def test_due_streams_respects_downlink_skip(tspec):
+    manager = GuaranteedServiceManager(M_T)
+    manager.add_flow(gs_spec(1, 1, DOWNLINK), tspec, rate=9000.0)
+    assert manager.due_streams(0.0, downlink_has_data=lambda fid: False) == []
+    due = manager.due_streams(0.0, downlink_has_data=lambda fid: True)
+    assert len(due) == 1
+
+
+def test_record_poll_advances_planner(tspec):
+    manager = GuaranteedServiceManager(M_T)
+    manager.add_flow(gs_spec(1, 1), tspec, rate=9000.0)
+    planner = manager.planner_for(1)
+    before = planner.planned_time()
+    manager.record_poll(1, actual_time=0.001, served=None)
+    assert planner.planned_time() > before
+
+
+def test_existing_planner_state_preserved_when_new_flow_added(tspec):
+    manager = GuaranteedServiceManager(M_T)
+    manager.add_flow(gs_spec(1, 1), tspec, rate=9000.0)
+    manager.record_poll(1, actual_time=0.0, served=None)
+    planned = manager.planner_for(1).planned_time()
+    manager.add_flow(gs_spec(2, 2), tspec, rate=9000.0)
+    assert manager.planner_for(1).planned_time() == pytest.approx(planned)
+
+
+def test_next_planned_poll(tspec):
+    manager = GuaranteedServiceManager(M_T)
+    assert manager.next_planned_poll() is None
+    manager.add_flow(gs_spec(1, 1), tspec, rate=9000.0, start_time=2.0)
+    assert manager.next_planned_poll() == pytest.approx(2.0)

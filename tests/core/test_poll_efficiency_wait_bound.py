@@ -1,0 +1,107 @@
+"""Tests of poll efficiency (Eq. 4) and the Fig. 2 wait-bound algorithm."""
+
+import pytest
+
+from repro.core import compute_wait_bound, min_poll_efficiency, poll_efficiency
+from repro.core.poll_efficiency import segments_needed
+from repro.core.wait_bound import HigherPriorityStream
+
+MS = 1e-3
+
+
+def test_paper_minimum_poll_efficiency_is_144_bytes():
+    # Section 4.1: the minimum poll efficiency of the GS flows is achieved by
+    # a 144-byte packet sent in one DH3 packet.
+    assert min_poll_efficiency(144, 176, ("DH1", "DH3")) == pytest.approx(144.0)
+
+
+def test_poll_efficiency_single_segment_equals_size():
+    assert poll_efficiency(150, ("DH1", "DH3")) == pytest.approx(150.0)
+    assert segments_needed(150, ("DH1", "DH3")) == 1
+
+
+def test_poll_efficiency_drops_after_capacity_breakpoint():
+    # 183 bytes fit in one DH3; 184 bytes need DH3 + DH1
+    assert poll_efficiency(183, ("DH1", "DH3")) == pytest.approx(183.0)
+    assert poll_efficiency(184, ("DH1", "DH3")) == pytest.approx(92.0)
+
+
+def test_min_poll_efficiency_candidate_set_matches_exhaustive():
+    for (low, high) in [(100, 400), (144, 176), (27, 500), (180, 190)]:
+        fast = min_poll_efficiency(low, high, ("DH1", "DH3"))
+        slow = min_poll_efficiency(low, high, ("DH1", "DH3"), exhaustive=True)
+        assert fast == pytest.approx(slow)
+
+
+def test_min_poll_efficiency_with_dh5_allowed():
+    value = min_poll_efficiency(144, 176, ("DH1", "DH3", "DH5"))
+    assert value == pytest.approx(144.0)
+
+
+def test_min_poll_efficiency_validation():
+    with pytest.raises(ValueError):
+        min_poll_efficiency(0, 100)
+    with pytest.raises(ValueError):
+        min_poll_efficiency(200, 100)
+
+
+# ---------------------------------------------------------------- wait bound
+
+def test_highest_priority_flow_gets_max_transaction_time():
+    result = compute_wait_bound(3.75 * MS, [])
+    assert result.converged
+    assert result.wait_bound == pytest.approx(3.75 * MS)
+
+
+def test_paper_scenario_wait_bounds():
+    """The Figure-4 streams: flow 1, pair (2,3), flow 4 (DESIGN.md values)."""
+    m_t = 3.75 * MS
+    stream1 = HigherPriorityStream(interval=16.36 * MS,
+                                   max_transaction_time=2.5 * MS)
+    stream23 = HigherPriorityStream(interval=16.36 * MS,
+                                    max_transaction_time=3.75 * MS)
+    u1 = compute_wait_bound(m_t, [])
+    u2 = compute_wait_bound(m_t, [stream1])
+    u3 = compute_wait_bound(m_t, [stream1, stream23])
+    assert u1.wait_bound == pytest.approx(3.75 * MS)
+    assert u2.wait_bound == pytest.approx(6.25 * MS)
+    assert u3.wait_bound == pytest.approx(10.0 * MS)
+    assert all(r.converged for r in (u1, u2, u3))
+
+
+def test_wait_bound_grows_with_more_higher_priority_flows():
+    m_t = 3.75 * MS
+    streams = [HigherPriorityStream(interval=20 * MS, max_transaction_time=2.5 * MS)
+               for _ in range(5)]
+    bounds = [compute_wait_bound(m_t, streams[:k]).wait_bound for k in range(6)]
+    assert all(b2 >= b1 for b1, b2 in zip(bounds, bounds[1:]))
+
+
+def test_wait_bound_aborts_when_exceeding_own_interval():
+    m_t = 3.75 * MS
+    heavy = [HigherPriorityStream(interval=4 * MS, max_transaction_time=3.75 * MS)
+             for _ in range(3)]
+    result = compute_wait_bound(m_t, heavy, own_interval=10 * MS)
+    assert not result.converged
+    assert result.wait_bound > 10 * MS
+
+
+def test_wait_bound_ceil_effect_with_short_higher_priority_interval():
+    # a higher-priority stream polling faster than u accumulates several polls
+    m_t = 3.75 * MS
+    fast = HigherPriorityStream(interval=3 * MS, max_transaction_time=2.5 * MS)
+    result = compute_wait_bound(m_t, [fast], own_interval=60 * MS)
+    # iteration: 3.75 -> 3.75 + 2.5*ceil(3.75/3)=8.75 -> 3.75+2.5*3=11.25
+    # -> 3.75+2.5*4=13.75 -> 3.75+2.5*5=16.25 -> 3.75+2.5*6=18.75 ->
+    # 3.75+2.5*7=21.25 -> ... converges when ceil stops growing
+    assert result.converged
+    assert result.wait_bound > 8 * MS
+
+
+def test_wait_bound_input_validation():
+    with pytest.raises(ValueError):
+        compute_wait_bound(0, [])
+    with pytest.raises(ValueError):
+        compute_wait_bound(1.0, [], own_interval=0)
+    with pytest.raises(ValueError):
+        HigherPriorityStream(interval=-1, max_transaction_time=1)

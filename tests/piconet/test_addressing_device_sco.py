@@ -1,0 +1,86 @@
+"""Tests of addressing, the device registry and SCO reservations."""
+
+import pytest
+
+from repro.piconet import AMAddress, BDAddress, ScoReservationTable
+from repro.piconet.device import DeviceRegistry
+from repro.piconet.sco import ScoLink
+from repro.baseband.packets import get_packet_type
+
+
+def test_bd_addr_validation_and_normalisation():
+    addr = BDAddress("aa:bb:cc:dd:ee:ff")
+    assert str(addr) == "AA:BB:CC:DD:EE:FF"
+    with pytest.raises(ValueError):
+        BDAddress("not-an-address")
+
+
+def test_bd_addr_from_int():
+    assert str(BDAddress.from_int(1)) == "00:00:00:00:00:01"
+    with pytest.raises(ValueError):
+        BDAddress.from_int(2 ** 48)
+
+
+def test_am_addr_range_and_broadcast():
+    assert int(AMAddress(3)) == 3
+    assert AMAddress(0).is_broadcast
+    with pytest.raises(ValueError):
+        AMAddress(8)
+
+
+def test_device_registry_assigns_am_addresses_in_order():
+    registry = DeviceRegistry()
+    slaves = [registry.add_slave() for _ in range(3)]
+    assert [s.address for s in slaves] == [1, 2, 3]
+    assert registry.slave(2) is slaves[1]
+    assert len(registry) == 3
+    assert 2 in registry and 5 not in registry
+
+
+def test_device_registry_caps_at_seven_slaves():
+    registry = DeviceRegistry()
+    for _ in range(7):
+        registry.add_slave()
+    with pytest.raises(ValueError):
+        registry.add_slave()
+
+
+def test_sco_link_parameters():
+    link = ScoLink(slave=1, packet_type=get_packet_type("HV3"), t_sco=6)
+    assert link.rate_bps == pytest.approx(64_000)
+    assert link.slots_per_second == pytest.approx(533.33, rel=1e-3)
+    assert link.reserves(0) and link.reserves(6) and not link.reserves(2)
+
+
+def test_sco_link_validation():
+    with pytest.raises(ValueError):
+        ScoLink(slave=1, packet_type=get_packet_type("DH1"), t_sco=6)
+    with pytest.raises(ValueError):
+        ScoLink(slave=1, packet_type=get_packet_type("HV3"), t_sco=6, offset=1)
+
+
+def test_sco_table_assigns_non_conflicting_offsets():
+    table = ScoReservationTable()
+    first = table.add_link(1, "HV3")
+    second = table.add_link(2, "HV3")
+    assert first.offset != second.offset
+    assert len(table) == 2
+    assert table.slots_reserved_per_second() == pytest.approx(1066.7, rel=1e-3)
+
+
+def test_sco_table_rejects_overfull_reservations():
+    table = ScoReservationTable()
+    table.add_link(1, "HV3")
+    table.add_link(2, "HV3")
+    table.add_link(3, "HV3")
+    with pytest.raises(ValueError):
+        table.add_link(4, "HV3")
+
+
+def test_sco_table_lookup_and_next_reservation():
+    table = ScoReservationTable()
+    link = table.add_link(1, "HV3")
+    assert table.link_for_slot(link.offset) is link
+    assert table.link_for_slot(link.offset + 1) is None
+    assert table.next_reservation(link.offset + 1) == link.offset + 6
+    assert ScoReservationTable().next_reservation(0) is None

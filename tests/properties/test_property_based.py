@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) of the core invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baseband.segmentation import BestFitSegmentationPolicy
+from repro.core import TSpec, TokenBucket, cbr_tspec, compute_wait_bound, delay_bound, min_poll_efficiency, rate_for_delay_bound
+from repro.core.admission import AdmissionController, GSFlowRequest
+from repro.core.planning import PlannerConfig, ServedSegment, VariableIntervalPlanner
+from repro.core.wait_bound import HigherPriorityStream
+from repro.piconet.flows import DOWNLINK, UPLINK
+from repro.sim import Environment
+
+MS = 1e-3
+PAPER_TYPES = ("DH1", "DH3")
+
+
+# ----------------------------------------------------------- segmentation
+
+@given(size=st.integers(min_value=1, max_value=5000))
+def test_segmentation_conserves_bytes_and_respects_capacities(size):
+    policy = BestFitSegmentationPolicy(PAPER_TYPES)
+    pieces = policy.segment_sizes(size)
+    assert sum(n for _, n in pieces) == size
+    assert all(0 < n <= ptype.max_payload for ptype, n in pieces)
+    # only the last segment may be smaller than a full DH1
+    assert all(n > 0 for _, n in pieces)
+
+
+@given(size=st.integers(min_value=1, max_value=5000))
+def test_segment_count_is_monotone_lower_bound(size):
+    policy = BestFitSegmentationPolicy(PAPER_TYPES)
+    count = policy.segment_count(size)
+    assert count >= math.ceil(size / 183)
+    assert count <= math.ceil(size / 27)
+
+
+# ------------------------------------------------------- poll efficiency
+
+@given(m=st.integers(min_value=1, max_value=600),
+       span=st.integers(min_value=0, max_value=200))
+@settings(max_examples=40, deadline=None)
+def test_min_poll_efficiency_is_a_true_minimum(m, span):
+    M = m + span
+    eta = min_poll_efficiency(m, M, PAPER_TYPES)
+    exhaustive = min_poll_efficiency(m, M, PAPER_TYPES, exhaustive=True)
+    assert eta == exhaustive
+    policy = BestFitSegmentationPolicy(PAPER_TYPES)
+    # no packet size in range achieves a lower efficiency
+    for size in (m, M, (m + M) // 2):
+        assert size / policy.segment_count(size) >= eta - 1e-9
+
+
+# -------------------------------------------------------------- gs math
+
+@given(rate=st.floats(min_value=8800.0, max_value=200_000.0),
+       ctot=st.floats(min_value=0.0, max_value=1000.0),
+       dtot=st.floats(min_value=0.0, max_value=0.05))
+def test_delay_bound_positive_and_decreasing_in_rate(rate, ctot, dtot):
+    tspec = cbr_tspec(0.020, 144, 176)
+    bound = delay_bound(tspec, rate, ctot, dtot)
+    assert bound > 0
+    assert delay_bound(tspec, rate * 2, ctot, dtot) <= bound + 1e-12
+
+
+@given(target=st.floats(min_value=0.012, max_value=0.5),
+       dtot=st.floats(min_value=0.0, max_value=0.01))
+def test_rate_for_delay_bound_round_trip(target, dtot):
+    tspec = cbr_tspec(0.020, 144, 176)
+    rate = rate_for_delay_bound(tspec, target, ctot=144.0, dtot=dtot)
+    if target <= dtot:
+        assert rate is None
+    else:
+        assert rate is not None and rate >= tspec.r
+        assert delay_bound(tspec, rate, 144.0, dtot) <= target + 1e-9
+
+
+# ----------------------------------------------------------- token bucket
+
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=0.02),
+                          st.integers(min_value=144, max_value=176)),
+                min_size=1, max_size=100))
+def test_cbr_spaced_arrivals_always_conform(gaps_and_sizes):
+    tspec = cbr_tspec(0.020, 144, 176)
+    bucket = TokenBucket(tspec)
+    now = 0.0
+    for extra_gap, size in gaps_and_sizes:
+        now += 0.020 + extra_gap     # at least the CBR interval apart
+        assert bucket.consume(size, now)
+
+
+# ------------------------------------------------------------ wait bound
+
+@given(intervals=st.lists(st.floats(min_value=5 * MS, max_value=100 * MS),
+                          min_size=0, max_size=6))
+def test_wait_bound_monotone_in_higher_priority_set(intervals):
+    m_t = 3.75 * MS
+    streams = [HigherPriorityStream(interval=i, max_transaction_time=2.5 * MS)
+               for i in intervals]
+    previous = 0.0
+    for k in range(len(streams) + 1):
+        result = compute_wait_bound(m_t, streams[:k])
+        assert result.wait_bound >= max(previous, m_t) - 1e-12
+        previous = result.wait_bound
+
+
+# -------------------------------------------------------------- admission
+
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=7),
+                          st.sampled_from([UPLINK, DOWNLINK]),
+                          st.floats(min_value=8800.0, max_value=30_000.0)),
+                min_size=1, max_size=10))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_admission_always_satisfies_eq9_and_piggyback_never_hurts(flows):
+    tspec = cbr_tspec(0.020, 144, 176)
+
+    def admit(piggyback):
+        controller = AdmissionController(6 * 625e-6, piggyback_aware=piggyback)
+        accepted = 0
+        for index, (slave, direction, rate) in enumerate(flows, start=1):
+            request = GSFlowRequest(flow_id=index, slave=slave,
+                                    direction=direction, tspec=tspec,
+                                    rate=rate, eta_min=144.0)
+            if controller.request_admission(request).accepted:
+                accepted += 1
+        # invariant: every accepted stream satisfies Eq. 9
+        for stream in controller.streams:
+            assert stream.wait_bound <= stream.interval + 1e-12
+        # invariant: priorities are a permutation of 1..n_streams
+        priorities = sorted(s.priority for s in controller.streams)
+        assert priorities == list(range(1, len(priorities) + 1))
+        return accepted
+
+    assert admit(True) >= admit(False)
+
+
+# ---------------------------------------------------------------- planner
+
+@given(st.lists(st.tuples(st.booleans(),
+                          st.integers(min_value=144, max_value=176),
+                          st.floats(min_value=0.0, max_value=5 * MS)),
+                min_size=1, max_size=50))
+def test_variable_planner_never_plans_polls_closer_than_interval(events):
+    config = PlannerConfig(flow_id=1, interval=16 * MS, rate=9000.0,
+                           direction=UPLINK)
+    planner = VariableIntervalPlanner(config, start_time=0.0)
+    now = 0.0
+    previous_planned = None
+    for packet_id, (has_data, size, jitter) in enumerate(events, start=1):
+        now = max(now, planner.planned_time()) + jitter
+        served = None
+        if has_data:
+            served = ServedSegment(hl_packet_id=packet_id, is_last_segment=True,
+                                   hl_packet_size=size, hl_arrival_time=None)
+        planner.record_poll(now, served)
+        planned = planner.planned_time()
+        if previous_planned is not None:
+            assert planned >= previous_planned - 1e-9
+        previous_planned = planned
+
+
+# ------------------------------------------------------------------- DES
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                max_size=50))
+def test_event_loop_processes_timeouts_in_order(delays):
+    env = Environment()
+    fired = []
+
+    def waiter(env, delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    for delay in delays:
+        env.process(waiter(env, delay))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)

@@ -1,0 +1,144 @@
+"""Tests of event primitives: success/failure, conditions, interrupts."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Event, Interrupt
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = Event(env)
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+
+
+def test_event_value_unavailable_until_triggered():
+    env = Environment()
+    event = Event(env)
+    with pytest.raises(AttributeError):
+        _ = event.value
+    event.succeed("v")
+    assert event.value == "v"
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    event = Event(env)
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_failed_event_raises_in_waiting_process():
+    env = Environment()
+    event = Event(env)
+    seen = []
+
+    def waiter(env):
+        try:
+            yield event
+        except ValueError as exc:
+            seen.append(str(exc))
+
+    def trigger(env):
+        yield env.timeout(1)
+        event.fail(ValueError("broken"))
+
+    env.process(waiter(env))
+    env.process(trigger(env))
+    env.run()
+    assert seen == ["broken"]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    finish_times = []
+
+    def waiter(env):
+        yield AllOf(env, [env.timeout(5), env.timeout(9), env.timeout(2)])
+        finish_times.append(env.now)
+
+    env.process(waiter(env))
+    env.run()
+    assert finish_times == [9]
+
+
+def test_any_of_fires_at_first_event():
+    env = Environment()
+    finish_times = []
+
+    def waiter(env):
+        yield AnyOf(env, [env.timeout(5), env.timeout(9), env.timeout(2)])
+        finish_times.append(env.now)
+
+    env.process(waiter(env))
+    env.run()
+    assert finish_times == [2]
+
+
+def test_all_of_empty_list_fires_immediately():
+    env = Environment()
+    condition = AllOf(env, [])
+    assert condition.triggered
+
+
+def test_interrupt_raises_inside_process():
+    env = Environment()
+    causes = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            causes.append(interrupt.cause)
+            causes.append(env.now)
+
+    def interrupter(env, victim):
+        yield env.timeout(10)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert causes == ["wake up", 10]
+
+
+def test_cannot_interrupt_finished_process():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    process = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        process.interrupt()
+
+
+def test_process_is_alive_until_done():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(5)
+
+    process = env.process(quick(env))
+    assert process.is_alive
+    env.run()
+    assert not process.is_alive
+
+
+def test_yielding_non_event_raises_type_error():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(TypeError):
+        env.run()
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)

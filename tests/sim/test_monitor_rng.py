@@ -1,0 +1,90 @@
+"""Tests of monitors, counters and seeded random streams."""
+
+import math
+
+import pytest
+
+from repro.sim import Counter, Monitor, RandomStreams, TimeSeriesMonitor
+
+
+def test_monitor_summary_statistics():
+    monitor = Monitor("delays")
+    monitor.extend([1.0, 2.0, 3.0, 4.0])
+    assert monitor.count == 4
+    assert monitor.mean == pytest.approx(2.5)
+    assert monitor.minimum == 1.0
+    assert monitor.maximum == 4.0
+    assert monitor.percentile(50) == pytest.approx(2.5)
+    assert monitor.percentile(0) == 1.0
+    assert monitor.percentile(100) == 4.0
+
+
+def test_monitor_empty_statistics_are_nan():
+    monitor = Monitor()
+    assert math.isnan(monitor.mean)
+    assert math.isnan(monitor.maximum)
+    assert math.isnan(monitor.percentile(50))
+
+
+def test_monitor_percentile_bounds_checked():
+    monitor = Monitor()
+    monitor.record(1.0)
+    with pytest.raises(ValueError):
+        monitor.percentile(150)
+
+
+def test_monitor_variance_and_stdev():
+    monitor = Monitor()
+    monitor.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert monitor.variance == pytest.approx(4.571428, rel=1e-5)
+    assert monitor.stdev == pytest.approx(math.sqrt(4.571428), rel=1e-5)
+
+
+def test_time_series_time_average_piecewise_constant():
+    series = TimeSeriesMonitor("queue")
+    series.record(0.0, 0.0)
+    series.record(10.0, 5.0)
+    series.record(20.0, 0.0)
+    # value 0 for 10s, 5 for 10s, then 0 afterwards
+    assert series.time_average(until=20.0) == pytest.approx(2.5)
+    assert series.time_average(until=40.0) == pytest.approx(1.25)
+
+
+def test_time_series_rejects_unordered_times():
+    series = TimeSeriesMonitor()
+    series.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        series.record(4.0, 1.0)
+
+
+def test_counter_increments():
+    counter = Counter("slots", "slots")
+    counter.increment()
+    counter.increment(4)
+    assert int(counter) == 5
+    counter.reset()
+    assert int(counter) == 0
+
+
+def test_random_streams_are_deterministic():
+    a = RandomStreams(7).stream("source-1")
+    b = RandomStreams(7).stream("source-1")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_random_streams_differ_by_name_and_seed():
+    streams = RandomStreams(7)
+    first = [streams.stream("a").random() for _ in range(5)]
+    second = [streams.stream("b").random() for _ in range(5)]
+    assert first != second
+    other_seed = [RandomStreams(8).stream("a").random() for _ in range(5)]
+    assert first != other_seed
+
+
+def test_random_streams_independent_of_creation_order():
+    forward = RandomStreams(3)
+    backward = RandomStreams(3)
+    forward.stream("x")
+    value_forward = forward.stream("y").random()
+    value_backward = backward.stream("y").random()
+    assert value_forward == value_backward

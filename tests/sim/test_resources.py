@@ -1,0 +1,128 @@
+"""Tests of Resource and Store."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    grant_times = []
+
+    def user(env, hold):
+        request = resource.request()
+        yield request
+        grant_times.append(env.now)
+        yield env.timeout(hold)
+        resource.release(request)
+
+    for _ in range(3):
+        env.process(user(env, 10))
+    env.run()
+    assert grant_times == [0, 0, 10]
+
+
+def test_resource_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_context_manager_releases():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    order = []
+
+    def user(env, name):
+        with resource.request() as request:
+            yield request
+            order.append((name, env.now))
+            yield env.timeout(5)
+
+    env.process(user(env, "a"))
+    env.process(user(env, "b"))
+    env.run()
+    assert order == [("a", 0), ("b", 5)]
+
+
+def test_resource_release_of_queued_request():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    first = resource.request()
+    second = resource.request()
+    assert first.triggered and not second.triggered
+    resource.release(second)  # cancel the queued request
+    assert resource.count == 1
+    resource.release(first)
+    assert resource.count == 0
+
+
+def test_store_put_get_fifo():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for item in ("x", "y", "z"):
+            yield store.put(item)
+            yield env.timeout(1)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_item_available():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer(env):
+        item = yield store.get()
+        times.append((item, env.now))
+
+    def producer(env):
+        yield env.timeout(7)
+        yield store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert times == [("late", 7)]
+
+
+def test_store_respects_capacity():
+    env = Environment()
+    store = Store(env, capacity=1)
+    progress = []
+
+    def producer(env):
+        yield store.put("a")
+        progress.append(("a", env.now))
+        yield store.put("b")
+        progress.append(("b", env.now))
+
+    def consumer(env):
+        yield env.timeout(10)
+        yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert progress == [("a", 0), ("b", 10)]
+
+
+def test_store_len_reflects_items():
+    env = Environment()
+    store = Store(env)
+    store.put("a")
+    store.put("b")
+    env.run()
+    assert len(store) == 2
