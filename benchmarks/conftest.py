@@ -6,6 +6,11 @@ pytest-benchmark.  Durations are kept short by default so the whole harness
 finishes in a couple of minutes; set ``REPRO_BENCH_DURATION`` (seconds of
 simulated time per run) for longer, more precise runs — e.g. the paper's
 530-second runs.
+
+Benchmarks that route their table through the sweep orchestrator pick up the
+``--workers`` option (``pytest benchmarks --workers 4``) via the
+``sweep_runner`` fixture, so the whole table is produced by a parallel
+sweep instead of a sequential driver loop.
 """
 
 import os
@@ -17,6 +22,27 @@ def bench_duration(default: float) -> float:
     """Simulated seconds per run (overridable via REPRO_BENCH_DURATION)."""
     value = os.environ.get("REPRO_BENCH_DURATION")
     return float(value) if value else default
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers", action="store", type=int, default=1,
+        help="worker processes for orchestrator-backed benchmarks")
+
+
+@pytest.fixture
+def sweep_workers(request):
+    """Worker count for orchestrator-backed benchmarks (default 1)."""
+    # getoption with a default tolerates the option being unregistered when
+    # the whole repo (not just benchmarks/) is collected
+    return request.config.getoption("--workers", default=1) or 1
+
+
+@pytest.fixture
+def sweep_runner(sweep_workers):
+    """A SweepRunner honoring ``--workers`` (no cache: benchmarks time work)."""
+    from repro.experiments.orchestrator import SweepRunner
+    return SweepRunner(max_workers=sweep_workers)
 
 
 @pytest.fixture

@@ -33,17 +33,11 @@ def summarize(samples: Sequence[float]) -> Dict[str, float]:
             "p99": percentile(99)}
 
 
-def confidence_interval(samples: Sequence[float],
-                        level: float = 0.95) -> Tuple[float, float]:
-    """Normal-approximation confidence interval for the mean.
-
-    The experiments collect thousands of samples, so the normal
-    approximation is adequate; the function degrades gracefully for small
-    sample counts by returning a wide interval.
-    """
+def _interval_from_summary(stats: Dict[str, float],
+                           level: float) -> Tuple[float, float]:
+    """The normal-approximation interval for an already-computed summary."""
     if not 0 < level < 1:
         raise ValueError("confidence level must be in (0, 1)")
-    stats = summarize(samples)
     n = stats["count"]
     if n == 0:
         return (float("nan"), float("nan"))
@@ -52,6 +46,30 @@ def confidence_interval(samples: Sequence[float],
     z = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}.get(round(level, 2), 1.960)
     half_width = z * stats["stdev"] / math.sqrt(n)
     return (stats["mean"] - half_width, stats["mean"] + half_width)
+
+
+def confidence_interval(samples: Sequence[float],
+                        level: float = 0.95) -> Tuple[float, float]:
+    """Normal-approximation confidence interval for the mean.
+
+    The experiments collect thousands of samples, so the normal
+    approximation is adequate; the function degrades gracefully for small
+    sample counts by returning a wide interval.
+    """
+    return _interval_from_summary(summarize(samples), level)
+
+
+def aggregate_mean_ci(samples: Sequence[float],
+                      level: float = 0.95) -> Dict[str, float]:
+    """Mean plus confidence interval of replicated measurements.
+
+    The sweep orchestrator reduces every numeric metric of a parameter
+    point's replications through this function, so aggregated experiment
+    rows all carry the same ``mean`` / ``ci_low`` / ``ci_high`` shape.
+    """
+    stats = summarize(samples)
+    low, high = _interval_from_summary(stats, level)
+    return {"mean": stats["mean"], "ci_low": low, "ci_high": high}
 
 
 def utilisation(busy_slots: int, total_slots: int) -> float:

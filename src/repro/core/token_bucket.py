@@ -130,7 +130,10 @@ class TokenBucket:
         """Consume tokens for a packet if conformant; return conformance."""
         ok = self.conforms(size, now)
         if ok:
-            self._tokens -= max(size, self.spec.m)
+            # conforms() accepts a packet within a 1e-9 tolerance, so the
+            # subtraction may land epsilon below zero; clamp so the deficit
+            # cannot persist (and compound) across refills
+            self._tokens = max(0.0, self._tokens - max(size, self.spec.m))
         return ok
 
 

@@ -41,12 +41,19 @@ class HigherPriorityStream:
             raise ValueError("transaction time must be positive")
 
 
+#: Finite sentinel reported as the wait bound of a flow whose higher-priority
+#: set diverges (no finite fixed point exists).  Kept finite so callers can
+#: compare/ceil it without overflow; any real admission limit is far below it.
+UNBOUNDED_WAIT = 1e18
+
+
 @dataclass(frozen=True)
 class WaitBoundResult:
     """Outcome of the Fig. 2 iteration."""
 
     #: the computed bound u_i (meaningful even when not converged: it is the
-    #: last iterate, which already exceeds the admission limit)
+    #: last iterate, which already exceeds the admission limit, clamped to
+    #: ``UNBOUNDED_WAIT`` when the recursion diverges)
     wait_bound: float
     #: whether the iteration converged before exceeding the admission limit
     converged: bool
@@ -79,6 +86,18 @@ def compute_wait_bound(max_transaction_time: float,
     if own_interval is not None and own_interval <= 0:
         raise ValueError("own_interval must be positive")
 
+    # When the higher-priority set alone saturates the channel
+    # (sum s_max_j / t_j >= 1) the recursion has no finite fixed point:
+    # without an own_interval abort the iterate grows geometrically and
+    # overflows to float infinity before max_iterations is reached.  The
+    # flow can never be admitted below such a set, so report
+    # non-convergence up front with the finite sentinel.
+    utilization = sum(s.max_transaction_time / s.interval
+                      for s in higher_priority)
+    if utilization >= 1.0 - 1e-12:
+        return WaitBoundResult(wait_bound=UNBOUNDED_WAIT,
+                               converged=False, iterations=0)
+
     u = max_transaction_time
     iterations = 0
     while True:
@@ -86,6 +105,11 @@ def compute_wait_bound(max_transaction_time: float,
         accumulated = max_transaction_time + sum(
             stream.max_transaction_time * math.ceil(u / stream.interval - 1e-12)
             for stream in higher_priority)
+        if not math.isfinite(accumulated) or accumulated > UNBOUNDED_WAIT:
+            # defensive: a runaway iterate (float-epsilon corner of the
+            # utilization test) is clamped to the same sentinel
+            return WaitBoundResult(wait_bound=UNBOUNDED_WAIT, converged=False,
+                                   iterations=iterations)
         if accumulated <= u + 1e-12:
             return WaitBoundResult(wait_bound=u, converged=True,
                                    iterations=iterations)

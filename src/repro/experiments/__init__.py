@@ -5,6 +5,16 @@ and exposes a ``run_*`` function returning structured rows plus a
 ``format_*`` helper that renders the same table the corresponding benchmark
 prints.  The benchmarks in ``benchmarks/`` are thin wrappers around these
 functions.
+
+Each module additionally registers an :class:`ExperimentSpec` (a parameter
+grid plus a per-point ``run_point(params, seed)`` function) with the sweep
+registry, so every experiment can be run in parallel with seed replications
+and confidence intervals through the orchestrator::
+
+    python -m repro.experiments list
+    python -m repro.experiments run figure5 --workers 4 --replications 3
+
+See ``src/repro/experiments/README.md`` for the subsystem documentation.
 """
 
 from repro.experiments.table1_parameters import (
@@ -34,8 +44,28 @@ from repro.experiments.improvement_ablation import (
     run_improvement_ablation,
 )
 from repro.experiments.lossy_channel import format_lossy_channel, run_lossy_channel
+from repro.experiments.orchestrator import (
+    ResultCache,
+    SweepResult,
+    SweepRunner,
+    format_sweep,
+)
+from repro.experiments.registry import (
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+    register,
+)
 
 __all__ = [
+    "ExperimentSpec",
+    "ResultCache",
+    "SweepResult",
+    "SweepRunner",
+    "experiment_names",
+    "format_sweep",
+    "get_experiment",
+    "register",
     "compute_table1_parameters",
     "format_admission_capacity",
     "format_bandwidth_savings",

@@ -1,0 +1,119 @@
+"""Command-line front end of the sweep orchestrator.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run figure5 --workers 4 --replications 3 \
+        --json out.json
+    python -m repro.experiments run lossy_channel \
+        --set packet_error_rate='[0.0,0.2]' --set duration_seconds=2.0
+
+``run`` caches raw task results under ``--cache-dir`` (default
+``.repro-cache``), so repeated invocations only execute new
+(experiment, params, seed) combinations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.experiments.orchestrator import SweepRunner, format_sweep
+from repro.experiments.registry import experiment_names, get_experiment
+
+
+def _parse_overrides(assignments: List[str]) -> Dict[str, object]:
+    """Parse ``--set key=value`` pairs; values are JSON with string fallback."""
+    overrides: Dict[str, object] = {}
+    for assignment in assignments:
+        key, separator, raw = assignment.partition("=")
+        if not separator or not key:
+            raise SystemExit(
+                f"--set expects key=value, got {assignment!r}")
+        try:
+            overrides[key] = json.loads(raw)
+        except ValueError:
+            overrides[key] = raw
+    return overrides
+
+
+def _cmd_list() -> int:
+    width = max((len(name) for name in experiment_names()), default=0)
+    for name in experiment_names():
+        spec = get_experiment(name)
+        axes = ", ".join(f"{axis}[{len(values)}]"
+                         for axis, values in spec.grid.items())
+        print(f"{name.ljust(width)}  {spec.description}  (grid: {axes})")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = SweepRunner(
+        max_workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir)
+    result = runner.run(args.experiment,
+                        overrides=_parse_overrides(args.set),
+                        replications=args.replications,
+                        master_seed=args.seed)
+    if args.json:
+        if args.json == "-":
+            print(result.to_json())
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(result.to_json() + "\n")
+    if args.json != "-":
+        print(format_sweep(result))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper's experiments as parallel, replicated "
+                    "sweeps with mean/CI aggregation and result caching.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the registered experiments")
+
+    run_parser = commands.add_parser(
+        "run", help="run one experiment's sweep")
+    run_parser.add_argument("experiment", help="registered experiment name")
+    run_parser.add_argument("--workers", type=int, default=1,
+                            help="worker processes (1 = run inline)")
+    run_parser.add_argument("--replications", type=int, default=None,
+                            help="seed replications per sweep point")
+    run_parser.add_argument("--seed", type=int, default=0,
+                            help="master seed for replication seeds")
+    run_parser.add_argument("--json", metavar="PATH",
+                            help="write the aggregated result as JSON "
+                                 "('-' for stdout)")
+    run_parser.add_argument("--cache-dir", default=".repro-cache",
+                            help="result cache directory "
+                                 "(default: %(default)s)")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="disable the on-disk result cache")
+    run_parser.add_argument("--set", action="append", default=[],
+                            metavar="KEY=VALUE",
+                            help="override a grid axis or fixed parameter "
+                                 "(value parsed as JSON, repeatable)")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    try:
+        return _cmd_run(args)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error.args[0]) if error.args else str(error))
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); exit quietly
+        # with the conventional SIGPIPE status
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.baseband.constants import SLOT_SECONDS
+from repro.experiments.registry import ExperimentSpec, register
 from repro.core.admission import AdmissionController, GSFlowRequest
 from repro.core.poll_efficiency import min_poll_efficiency
 from repro.piconet.flows import DOWNLINK, UPLINK
@@ -47,21 +48,35 @@ def _admit_count(requests: Sequence[GSFlowRequest], piggyback_aware: bool) -> in
     return accepted
 
 
+#: the default requested-rate sweep (bytes per second)
+DEFAULT_RATES = [8_800.0, 12_000.0, 16_000.0, 20_000.0, 28_000.0, 38_000.0]
+
+
+def run_point(params: Dict, seed: int) -> List[Dict]:
+    """One requested rate: flows accepted with / without piggybacking.
+
+    Purely analytic — the admission control is deterministic, so ``seed``
+    is ignored.
+    """
+    rate = params["rate_bytes_per_second"]
+    requests = _build_requests(rate, params.get("pairs", 7))
+    return [{
+        "rate_kBps": rate / 1000.0,
+        "offered_flows": len(requests),
+        "accepted_with_piggyback": _admit_count(requests, True),
+        "accepted_without_piggyback": _admit_count(requests, False),
+    }]
+
+
 def run_admission_capacity(rates_bytes_per_second: Optional[Sequence[float]] = None,
                            pairs: int = 7) -> List[Dict]:
-    """One row per requested rate: flows accepted with / without piggybacking."""
+    """One row per requested rate; wrapper over run_point."""
     if rates_bytes_per_second is None:
-        rates_bytes_per_second = [8_800.0, 12_000.0, 16_000.0, 20_000.0,
-                                  28_000.0, 38_000.0]
-    rows = []
+        rates_bytes_per_second = DEFAULT_RATES
+    rows: List[Dict] = []
     for rate in rates_bytes_per_second:
-        requests = _build_requests(rate, pairs)
-        rows.append({
-            "rate_kBps": rate / 1000.0,
-            "offered_flows": len(requests),
-            "accepted_with_piggyback": _admit_count(requests, True),
-            "accepted_without_piggyback": _admit_count(requests, False),
-        })
+        rows.extend(run_point({"rate_bytes_per_second": rate,
+                               "pairs": pairs}, seed=0))
     return rows
 
 
@@ -80,3 +95,13 @@ def format_admission_capacity(rows: Optional[List[Dict]] = None, **kwargs) -> st
               "admission control\n(paper: piggybacking makes it possible to "
               "accept more GS flows)")
     return header + "\n\n" + table
+
+
+register(ExperimentSpec(
+    name="admission_capacity",
+    description="Flows accepted with/without piggybacking (Table 4)",
+    run_point=run_point,
+    grid={"rate_bytes_per_second": DEFAULT_RATES},
+    defaults={"pairs": 7},
+    stochastic=False,
+))

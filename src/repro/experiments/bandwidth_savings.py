@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.experiments.figure5 import default_delay_requirements
+from repro.experiments.registry import ExperimentSpec, register
 from repro.traffic.workloads import build_figure4_scenario
 
 
@@ -44,27 +45,55 @@ def _run_one(requirement: float, variable_interval: bool,
     }
 
 
+def run_point(params: Dict, seed: int) -> List[Dict]:
+    """One delay requirement: fixed- vs. variable-interval poller.
+
+    The per-poller metrics are flattened into ``fixed_*`` / ``variable_*``
+    keys so every one of them gets mean/CI aggregation over replications
+    (nested dicts would pass through the orchestrator unaggregated).
+    """
+    requirement = params["delay_requirement"]
+    duration_seconds = params.get("duration_seconds", 5.0)
+    fixed = _run_one(requirement, False, duration_seconds, seed)
+    variable = _run_one(requirement, True, duration_seconds, seed)
+    if fixed is None or variable is None:
+        return []
+    row: Dict = {"delay_requirement_s": requirement}
+    for prefix, metrics in (("fixed", fixed), ("variable", variable)):
+        for key, value in metrics.items():
+            row[f"{prefix}_{key}"] = value
+    row["slots_saved"] = fixed["gs_slots"] - variable["gs_slots"]
+    row["slots_saved_fraction"] = (
+        (fixed["gs_slots"] - variable["gs_slots"]) / fixed["gs_slots"]
+        if fixed["gs_slots"] else 0.0)
+    return [row]
+
+
+def _nest_poller_metrics(flat: Dict) -> Dict:
+    """The historical row shape: per-poller metrics under fixed/variable."""
+    row: Dict = {"fixed": {}, "variable": {}}
+    for key, value in flat.items():
+        for prefix in ("fixed", "variable"):
+            if key.startswith(prefix + "_"):
+                row[prefix][key[len(prefix) + 1:]] = value
+                break
+        else:
+            row[key] = value
+    return row
+
+
 def run_bandwidth_savings(delay_requirements: Optional[Sequence[float]] = None,
                           duration_seconds: float = 5.0,
                           seed: int = 1) -> List[Dict]:
-    """One row per delay requirement comparing the two pollers."""
+    """One row per delay requirement; wrapper over run_point."""
     if delay_requirements is None:
         delay_requirements = default_delay_requirements(points=4)
     rows: List[Dict] = []
     for requirement in delay_requirements:
-        fixed = _run_one(requirement, False, duration_seconds, seed)
-        variable = _run_one(requirement, True, duration_seconds, seed)
-        if fixed is None or variable is None:
-            continue
-        rows.append({
-            "delay_requirement_s": requirement,
-            "fixed": fixed,
-            "variable": variable,
-            "slots_saved": fixed["gs_slots"] - variable["gs_slots"],
-            "slots_saved_fraction": (
-                (fixed["gs_slots"] - variable["gs_slots"]) / fixed["gs_slots"]
-                if fixed["gs_slots"] else 0.0),
-        })
+        rows.extend(_nest_poller_metrics(flat)
+                    for flat in run_point({"delay_requirement": requirement,
+                                           "duration_seconds": duration_seconds},
+                                          seed))
     return rows
 
 
@@ -91,3 +120,12 @@ def format_bandwidth_savings(rows: Optional[List[Dict]] = None, **kwargs) -> str
               "variable-interval (PFP) poller\n(paper: the variable-interval "
               "poller saves bandwidth usable for BE traffic or retransmissions)")
     return header + "\n\n" + table
+
+
+register(ExperimentSpec(
+    name="bandwidth_savings",
+    description="GS slots: fixed vs. variable-interval poller (Table 3)",
+    run_point=run_point,
+    grid={"delay_requirement": default_delay_requirements(points=4)},
+    defaults={"duration_seconds": 5.0},
+))

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis.reporting import format_table
+from repro.experiments.registry import ExperimentSpec, register
 from repro.schedulers import (
     DemandBasedPoller,
     EfficientDoubleCyclePoller,
@@ -36,42 +37,48 @@ BASELINE_FACTORIES: Dict[str, Callable] = {
 }
 
 
+#: registry key of the paper's own poller in the ``poller`` sweep axis
+PFP_NAME = "pfp (this paper)"
+
+
+def run_point(params: Dict, seed: int) -> List[Dict]:
+    """One poller under the Figure-4 traffic: GS delay statistics."""
+    poller_name = params["poller"]
+    delay_requirement = params.get("delay_requirement", 0.040)
+    scenario = build_figure4_scenario(
+        delay_requirement=delay_requirement, seed=seed,
+        be_load_scale=params.get("be_load_scale", 1.0))
+    if poller_name != PFP_NAME:
+        # replace the GS-aware poller with the baseline under test
+        scenario.piconet.attach_poller(BASELINE_FACTORIES[poller_name]())
+    scenario.run(params.get("duration_seconds", 5.0))
+    delays = scenario.gs_delay_summary()
+    gs_throughput = sum(
+        scenario.piconet.flow_state(fid).delivered_bytes * 8
+        for fid in scenario.gs_flow_ids) / scenario.piconet.elapsed_seconds
+    return [{
+        "poller": poller_name,
+        "gs_max_delay_ms": max(d["max_delay_s"] for d in delays.values()) * 1000.0,
+        "gs_mean_delay_ms": (sum(d["mean_delay_s"] for d in delays.values())
+                             / len(delays)) * 1000.0,
+        "gs_throughput_kbps": gs_throughput / 1000.0,
+        "target_bound_ms": delay_requirement * 1000.0,
+        "bound_met": all(d["max_delay_s"] <= delay_requirement + 1e-9
+                         for d in delays.values()),
+    }]
+
+
 def run_baseline_comparison(delay_requirement: float = 0.040,
                             duration_seconds: float = 5.0,
                             seed: int = 1,
                             be_load_scale: float = 1.0) -> List[Dict]:
-    """One row per poller: delay statistics of the GS flows."""
+    """One row per poller; wrapper over run_point."""
     rows: List[Dict] = []
-
-    def measure(scenario, poller_name: str) -> Dict:
-        delays = scenario.gs_delay_summary()
-        gs_throughput = sum(
-            scenario.piconet.flow_state(fid).delivered_bytes * 8
-            for fid in scenario.gs_flow_ids) / scenario.piconet.elapsed_seconds
-        return {
-            "poller": poller_name,
-            "gs_max_delay_ms": max(d["max_delay_s"] for d in delays.values()) * 1000.0,
-            "gs_mean_delay_ms": (sum(d["mean_delay_s"] for d in delays.values())
-                                 / len(delays)) * 1000.0,
-            "gs_throughput_kbps": gs_throughput / 1000.0,
-            "target_bound_ms": delay_requirement * 1000.0,
-            "bound_met": all(d["max_delay_s"] <= delay_requirement + 1e-9
-                             for d in delays.values()),
-        }
-
-    # the paper's poller first
-    scenario = build_figure4_scenario(delay_requirement=delay_requirement,
-                                      seed=seed, be_load_scale=be_load_scale)
-    scenario.run(duration_seconds)
-    rows.append(measure(scenario, "pfp (this paper)"))
-
-    for name, factory in BASELINE_FACTORIES.items():
-        scenario = build_figure4_scenario(delay_requirement=delay_requirement,
-                                          seed=seed, be_load_scale=be_load_scale)
-        # replace the GS-aware poller with the baseline under test
-        scenario.piconet.attach_poller(factory())
-        scenario.run(duration_seconds)
-        rows.append(measure(scenario, name))
+    for poller in [PFP_NAME, *BASELINE_FACTORIES]:
+        rows.extend(run_point({"poller": poller,
+                               "delay_requirement": delay_requirement,
+                               "duration_seconds": duration_seconds,
+                               "be_load_scale": be_load_scale}, seed))
     return rows
 
 
@@ -88,3 +95,13 @@ def format_baseline_comparison(rows: Optional[List[Dict]] = None, **kwargs) -> s
               "vs. PFP\n(paper Section 3: none of the existing pollers "
               "guarantees delay bounds)")
     return header + "\n\n" + table
+
+
+register(ExperimentSpec(
+    name="baseline_comparison",
+    description="GS delays under baseline pollers vs. PFP (Ablation A)",
+    run_point=run_point,
+    grid={"poller": [PFP_NAME, *BASELINE_FACTORIES]},
+    defaults={"delay_requirement": 0.040, "duration_seconds": 5.0,
+              "be_load_scale": 1.0},
+))

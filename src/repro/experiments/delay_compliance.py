@@ -13,33 +13,43 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.experiments.figure5 import default_delay_requirements
+from repro.experiments.registry import ExperimentSpec, register
 from repro.traffic.workloads import build_figure4_scenario
+
+
+def run_point(params: Dict, seed: int) -> List[Dict]:
+    """One delay requirement: a compliance row per admitted GS flow."""
+    requirement = params["delay_requirement"]
+    scenario = build_figure4_scenario(delay_requirement=requirement, seed=seed)
+    if not scenario.all_gs_admitted:
+        return []
+    scenario.run(params.get("duration_seconds", 10.0))
+    rows: List[Dict] = []
+    for flow_id, summary in scenario.gs_delay_summary().items():
+        rows.append({
+            "delay_requirement_s": requirement,
+            "flow_id": flow_id,
+            "analytical_bound_s": summary["analytical_bound_s"],
+            "max_delay_s": summary["max_delay_s"],
+            "mean_delay_s": summary["mean_delay_s"],
+            "p99_delay_s": summary["p99_delay_s"],
+            "packets": summary["packets"],
+            "bound_respected": summary["max_delay_s"]
+            <= requirement + 1e-9,
+        })
+    return rows
 
 
 def run_delay_compliance(delay_requirements: Optional[Sequence[float]] = None,
                          duration_seconds: float = 10.0,
                          seed: int = 1) -> List[Dict]:
-    """One row per (delay requirement, GS flow)."""
+    """One row per (delay requirement, GS flow); wrapper over run_point."""
     if delay_requirements is None:
         delay_requirements = default_delay_requirements(points=4)
     rows: List[Dict] = []
     for requirement in delay_requirements:
-        scenario = build_figure4_scenario(delay_requirement=requirement, seed=seed)
-        if not scenario.all_gs_admitted:
-            continue
-        scenario.run(duration_seconds)
-        for flow_id, summary in scenario.gs_delay_summary().items():
-            rows.append({
-                "delay_requirement_s": requirement,
-                "flow_id": flow_id,
-                "analytical_bound_s": summary["analytical_bound_s"],
-                "max_delay_s": summary["max_delay_s"],
-                "mean_delay_s": summary["mean_delay_s"],
-                "p99_delay_s": summary["p99_delay_s"],
-                "packets": summary["packets"],
-                "bound_respected": summary["max_delay_s"]
-                <= requirement + 1e-9,
-            })
+        rows.extend(run_point({"delay_requirement": requirement,
+                               "duration_seconds": duration_seconds}, seed))
     return rows
 
 
@@ -56,3 +66,12 @@ def format_delay_compliance(rows: Optional[List[Dict]] = None, **kwargs) -> str:
     header = ("Table 2 — delay-bound compliance of the GS flows\n"
               "(paper: the requested delay bound is never exceeded)")
     return header + "\n\n" + table
+
+
+register(ExperimentSpec(
+    name="delay_compliance",
+    description="Delay-bound compliance per GS flow (Table 2)",
+    run_point=run_point,
+    grid={"delay_requirement": default_delay_requirements(points=4)},
+    defaults={"duration_seconds": 10.0},
+))

@@ -12,59 +12,74 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.table1_parameters import compute_table1_parameters
 from repro.traffic.workloads import build_figure4_scenario
 
 
 def default_delay_requirements(points: int = 7) -> List[float]:
-    """A sweep across the feasible range computed by Table 1."""
+    """A sweep of ``points`` values across the feasible range of Table 1."""
+    if points < 1:
+        raise ValueError(f"points must be a positive integer, got {points}")
     params = compute_table1_parameters()["scenario"]
     low = params["common_feasible_bound_min_ms"] / 1000.0 + 0.0005
     high = params["common_feasible_bound_max_ms"] / 1000.0 - 0.0005
-    if points < 2:
+    if points == 1:
         return [high]
     step = (high - low) / (points - 1)
     return [low + i * step for i in range(points)]
+
+
+def run_point(params: Dict, seed: int) -> List[Dict]:
+    """One Figure-5 parameter point: a single delay requirement.
+
+    Returns one row with the per-slave throughput in kbit/s (keys
+    ``S1``..``S7``), the total throughput, and the worst observed GS packet
+    delay so the delay guarantee can be checked alongside the throughput.
+    """
+    requirement = params["delay_requirement"]
+    scenario = build_figure4_scenario(
+        delay_requirement=requirement, seed=seed,
+        be_load_scale=params.get("be_load_scale", 1.0))
+    if not scenario.all_gs_admitted:
+        rejected = [fid for fid, s in scenario.gs_setups.items()
+                    if not s.accepted]
+        return [{"delay_requirement_s": requirement,
+                 "admitted": False,
+                 "rejected_flows": rejected}]
+    scenario.run(params.get("duration_seconds", 10.0))
+    throughputs = scenario.slave_throughputs_kbps()
+    gs_delays = scenario.gs_delay_summary()
+    row: Dict = {"delay_requirement_s": requirement, "admitted": True}
+    for slave, value in throughputs.items():
+        row[f"S{slave}"] = value
+    row["total_kbps"] = sum(throughputs.values())
+    row["gs_max_delay_s"] = max(d["max_delay_s"] for d in gs_delays.values())
+    row["gs_bound_violated"] = any(
+        d["max_delay_s"] > d["requested_bound_s"] + 1e-9
+        for d in gs_delays.values())
+    row["gs_slots"] = scenario.piconet.slots_gs
+    row["be_slots"] = scenario.piconet.slots_be
+    return [row]
 
 
 def run_figure5(delay_requirements: Optional[Sequence[float]] = None,
                 duration_seconds: float = 10.0,
                 seed: int = 1,
                 be_load_scale: float = 1.0) -> List[Dict]:
-    """Run the Figure-5 sweep; one result row per delay requirement.
+    """Run the Figure-5 sweep sequentially; one result row per requirement.
 
-    Each row contains the per-slave throughput in kbit/s (keys
-    ``S1``..``S7``), the total throughput, and the worst observed GS packet
-    delay so the delay guarantee can be checked alongside the throughput.
+    Compatibility wrapper around :func:`run_point`; use the sweep
+    orchestrator (``python -m repro.experiments run figure5``) for parallel,
+    replicated runs.
     """
     if delay_requirements is None:
         delay_requirements = default_delay_requirements()
     rows: List[Dict] = []
     for requirement in delay_requirements:
-        scenario = build_figure4_scenario(delay_requirement=requirement,
-                                          seed=seed,
-                                          be_load_scale=be_load_scale)
-        if not scenario.all_gs_admitted:
-            rejected = [fid for fid, s in scenario.gs_setups.items()
-                        if not s.accepted]
-            rows.append({"delay_requirement_s": requirement,
-                         "admitted": False,
-                         "rejected_flows": rejected})
-            continue
-        scenario.run(duration_seconds)
-        throughputs = scenario.slave_throughputs_kbps()
-        gs_delays = scenario.gs_delay_summary()
-        row: Dict = {"delay_requirement_s": requirement, "admitted": True}
-        for slave, value in throughputs.items():
-            row[f"S{slave}"] = value
-        row["total_kbps"] = sum(throughputs.values())
-        row["gs_max_delay_s"] = max(d["max_delay_s"] for d in gs_delays.values())
-        row["gs_bound_violated"] = any(
-            d["max_delay_s"] > d["requested_bound_s"] + 1e-9
-            for d in gs_delays.values())
-        row["gs_slots"] = scenario.piconet.slots_gs
-        row["be_slots"] = scenario.piconet.slots_be
-        rows.append(row)
+        rows.extend(run_point({"delay_requirement": requirement,
+                               "duration_seconds": duration_seconds,
+                               "be_load_scale": be_load_scale}, seed))
     return rows
 
 
@@ -93,3 +108,12 @@ def format_figure5(rows: Optional[List[Dict]] = None, **kwargs) -> str:
               "their offered load for loose bounds,\nsqueezed and fairly shared "
               "for tight bounds; total max 656 kbit/s)")
     return header + "\n\n" + table
+
+
+register(ExperimentSpec(
+    name="figure5",
+    description="Per-slave throughput vs. requested GS delay bound (Fig. 5)",
+    run_point=run_point,
+    grid={"delay_requirement": default_delay_requirements()},
+    defaults={"duration_seconds": 10.0, "be_load_scale": 1.0},
+))

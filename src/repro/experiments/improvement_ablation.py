@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.analysis.reporting import format_table
+from repro.experiments.registry import ExperimentSpec, register
 from repro.traffic.workloads import build_figure4_scenario
 
 #: named improvement combinations evaluated by the ablation
@@ -33,30 +34,44 @@ CONFIGURATIONS = [
 ]
 
 
+#: label -> poller options, for lookup by the per-point runner
+_CONFIGURATION_OPTIONS = dict(CONFIGURATIONS)
+
+
+def run_point(params: Dict, seed: int) -> List[Dict]:
+    """One improvement combination under the Figure-4 traffic."""
+    label = params["configuration"]
+    delay_requirement = params.get("delay_requirement", 0.036)
+    scenario = build_figure4_scenario(delay_requirement=delay_requirement,
+                                      seed=seed,
+                                      **_CONFIGURATION_OPTIONS[label])
+    if not scenario.all_gs_admitted:
+        return []
+    scenario.run(params.get("duration_seconds", 5.0))
+    piconet = scenario.piconet
+    be_throughput = sum(piconet.slave_throughput_bps(s)
+                        for s in (4, 5, 6, 7)) / 1000.0
+    gs_max_delay = max(d["max_delay_s"]
+                       for d in scenario.gs_delay_summary().values())
+    return [{
+        "configuration": label,
+        "gs_slots": piconet.slots_gs,
+        "gs_polls_without_data": piconet.gs_polls_without_data,
+        "be_throughput_kbps": be_throughput,
+        "gs_max_delay_ms": gs_max_delay * 1000.0,
+        "bound_met": gs_max_delay <= delay_requirement + 1e-9,
+    }]
+
+
 def run_improvement_ablation(delay_requirement: float = 0.036,
                              duration_seconds: float = 5.0,
                              seed: int = 1) -> List[Dict]:
-    """One row per improvement combination."""
+    """One row per improvement combination; wrapper over run_point."""
     rows: List[Dict] = []
-    for label, options in CONFIGURATIONS:
-        scenario = build_figure4_scenario(delay_requirement=delay_requirement,
-                                          seed=seed, **options)
-        if not scenario.all_gs_admitted:
-            continue
-        scenario.run(duration_seconds)
-        piconet = scenario.piconet
-        be_throughput = sum(piconet.slave_throughput_bps(s)
-                            for s in (4, 5, 6, 7)) / 1000.0
-        gs_max_delay = max(d["max_delay_s"]
-                           for d in scenario.gs_delay_summary().values())
-        rows.append({
-            "configuration": label,
-            "gs_slots": piconet.slots_gs,
-            "gs_polls_without_data": piconet.gs_polls_without_data,
-            "be_throughput_kbps": be_throughput,
-            "gs_max_delay_ms": gs_max_delay * 1000.0,
-            "bound_met": gs_max_delay <= delay_requirement + 1e-9,
-        })
+    for label, _ in CONFIGURATIONS:
+        rows.extend(run_point({"configuration": label,
+                               "delay_requirement": delay_requirement,
+                               "duration_seconds": duration_seconds}, seed))
     return rows
 
 
@@ -72,3 +87,12 @@ def format_improvement_ablation(rows: Optional[List[Dict]] = None, **kwargs) -> 
     header = ("Ablation B — contribution of the Section-3.2 improvements "
               "(slots saved while keeping the delay bound)")
     return header + "\n\n" + table
+
+
+register(ExperimentSpec(
+    name="improvement_ablation",
+    description="Contribution of the Section-3.2 improvements (Ablation B)",
+    run_point=run_point,
+    grid={"configuration": [label for label, _ in CONFIGURATIONS]},
+    defaults={"delay_requirement": 0.036, "duration_seconds": 5.0},
+))

@@ -15,47 +15,60 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.baseband.channel import LossyChannel
+from repro.experiments.registry import ExperimentSpec, register
 from repro.sim.rng import RandomStreams
 from repro.traffic.workloads import build_figure4_scenario
+
+#: the default packet-error-rate sweep
+DEFAULT_ERROR_RATES = [0.0, 0.01, 0.05, 0.10]
+
+
+def run_point(params: Dict, seed: int) -> List[Dict]:
+    """One packet error rate of the lossy-channel extension."""
+    per = params["packet_error_rate"]
+    delay_requirement = params.get("delay_requirement", 0.040)
+    channel = None
+    if per > 0:
+        channel = LossyChannel(packet_error_rate=per,
+                               rng=RandomStreams(seed).stream("channel"))
+    scenario = build_figure4_scenario(delay_requirement=delay_requirement,
+                                      channel=channel, seed=seed)
+    if not scenario.all_gs_admitted:
+        return []
+    scenario.run(params.get("duration_seconds", 5.0))
+    piconet = scenario.piconet
+    delays = scenario.gs_delay_summary()
+    retransmissions = sum(piconet.flow_state(fid).retransmissions
+                          for fid in scenario.gs_flow_ids)
+    gs_throughput = sum(piconet.flow_state(fid).delivered_bytes * 8
+                        for fid in scenario.gs_flow_ids) / \
+        piconet.elapsed_seconds
+    return [{
+        "packet_error_rate": per,
+        "gs_throughput_kbps": gs_throughput / 1000.0,
+        "gs_mean_delay_ms": (sum(d["mean_delay_s"] for d in delays.values())
+                             / len(delays)) * 1000.0,
+        "gs_max_delay_ms": max(d["max_delay_s"]
+                               for d in delays.values()) * 1000.0,
+        "gs_retransmissions": retransmissions,
+        "bound_met": max(d["max_delay_s"] for d in delays.values())
+        <= delay_requirement + 1e-9,
+        "idle_slots": piconet.slots_idle,
+    }]
 
 
 def run_lossy_channel(packet_error_rates: Optional[Sequence[float]] = None,
                       delay_requirement: float = 0.040,
                       duration_seconds: float = 5.0,
                       seed: int = 1) -> List[Dict]:
-    """One row per packet error rate."""
+    """One row per packet error rate; wrapper over run_point."""
     if packet_error_rates is None:
-        packet_error_rates = [0.0, 0.01, 0.05, 0.10]
+        packet_error_rates = DEFAULT_ERROR_RATES
     rows: List[Dict] = []
     for per in packet_error_rates:
-        channel = None
-        if per > 0:
-            channel = LossyChannel(packet_error_rate=per,
-                                   rng=RandomStreams(seed).stream("channel"))
-        scenario = build_figure4_scenario(delay_requirement=delay_requirement,
-                                          channel=channel, seed=seed)
-        if not scenario.all_gs_admitted:
-            continue
-        scenario.run(duration_seconds)
-        piconet = scenario.piconet
-        delays = scenario.gs_delay_summary()
-        retransmissions = sum(piconet.flow_state(fid).retransmissions
-                              for fid in scenario.gs_flow_ids)
-        gs_throughput = sum(piconet.flow_state(fid).delivered_bytes * 8
-                            for fid in scenario.gs_flow_ids) / \
-            piconet.elapsed_seconds
-        rows.append({
-            "packet_error_rate": per,
-            "gs_throughput_kbps": gs_throughput / 1000.0,
-            "gs_mean_delay_ms": (sum(d["mean_delay_s"] for d in delays.values())
-                                 / len(delays)) * 1000.0,
-            "gs_max_delay_ms": max(d["max_delay_s"]
-                                   for d in delays.values()) * 1000.0,
-            "gs_retransmissions": retransmissions,
-            "bound_met": max(d["max_delay_s"] for d in delays.values())
-            <= delay_requirement + 1e-9,
-            "idle_slots": piconet.slots_idle,
-        })
+        rows.extend(run_point({"packet_error_rate": per,
+                               "delay_requirement": delay_requirement,
+                               "duration_seconds": duration_seconds}, seed))
     return rows
 
 
@@ -72,3 +85,12 @@ def format_lossy_channel(rows: Optional[List[Dict]] = None, **kwargs) -> str:
               "(paper future work;\nthe delay guarantee is only claimed for the "
               "ideal channel)")
     return header + "\n\n" + table
+
+
+register(ExperimentSpec(
+    name="lossy_channel",
+    description="Figure-4 scenario over a lossy channel with ARQ (Ext. E1)",
+    run_point=run_point,
+    grid={"packet_error_rate": DEFAULT_ERROR_RATES},
+    defaults={"delay_requirement": 0.040, "duration_seconds": 5.0},
+))

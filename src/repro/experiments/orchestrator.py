@@ -1,0 +1,341 @@
+"""Parallel, replication-aware sweep execution for registered experiments.
+
+The :class:`SweepRunner` turns an :class:`~repro.experiments.registry.
+ExperimentSpec` into a list of (parameter point, seed replication) tasks,
+fans them out over a :class:`~concurrent.futures.ProcessPoolExecutor`,
+aggregates the replications of every point into mean / confidence-interval
+rows via :mod:`repro.analysis.stats`, and caches raw task results as JSON on
+disk keyed by ``(experiment, params, seed)`` so repeated sweeps are
+incremental.
+
+Determinism: every task's seed is derived from the master seed, the
+experiment name, the canonical JSON of the point's parameters and the
+replication index via the :func:`repro.sim.rng.derive_seed` scheme, and
+aggregation happens in the parent process in task order — so a sweep's
+result (including its JSON serialisation) is byte-identical no matter how
+many workers executed it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.stats import aggregate_mean_ci
+from repro.sim.rng import derive_seed
+
+from repro.experiments.registry import ExperimentSpec, get_experiment
+
+
+def canonical_params(params: Mapping[str, object]) -> str:
+    """A canonical JSON rendering of a parameter dict (sorted, compact)."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def point_seed(master_seed: int, experiment: str,
+               params: Mapping[str, object], replication: int) -> int:
+    """Deterministic seed of one (experiment, point, replication) task."""
+    label = f"{experiment}:{canonical_params(params)}:rep{replication}"
+    return derive_seed(master_seed, label)
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of work: a parameter point under one replication seed."""
+
+    experiment: str
+    point_index: int
+    replication: int
+    params: Dict[str, object]
+    seed: int
+
+
+class ResultCache:
+    """On-disk JSON cache of raw task results keyed by (experiment, params,
+    seed).
+
+    One file per task under ``directory/<experiment>/<sha256>.json``; the key
+    hash covers the experiment name, the canonical parameter JSON and the
+    seed, so any parameter change misses cleanly.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+
+    def _path(self, experiment: str, params: Mapping[str, object],
+              seed: int) -> str:
+        key = f"{experiment}|{canonical_params(params)}|{seed}"
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return os.path.join(self.directory, experiment, digest + ".json")
+
+    def get(self, experiment: str, params: Mapping[str, object],
+            seed: int) -> Optional[List[Dict]]:
+        path = self._path(experiment, params, seed)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        # a corrupted / foreign / older-format file is a miss, not a crash
+        rows = payload.get("rows") if isinstance(payload, dict) else None
+        return rows if isinstance(rows, list) else None
+
+    def put(self, experiment: str, params: Mapping[str, object], seed: int,
+            rows: List[Dict]) -> None:
+        path = self._path(experiment, params, seed)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {"experiment": experiment, "params": dict(params),
+                   "seed": seed, "rows": rows}
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)
+
+
+def execute_point(experiment: str, params: Dict[str, object],
+                  seed: int) -> List[Dict]:
+    """Run one task in the current process (also the worker entry point).
+
+    Workers (fork or spawn) resolve ``experiment`` through the registry:
+    importing this module first executes the ``repro.experiments`` package
+    ``__init__``, which imports every driver and thereby registers all
+    specs.
+    """
+    spec = get_experiment(experiment)
+    rows = spec.run_point(dict(params), seed)
+    if isinstance(rows, dict):
+        rows = [rows]
+    return list(rows)
+
+
+@dataclass
+class SweepResult:
+    """Aggregated outcome of one sweep run."""
+
+    experiment: str
+    master_seed: int
+    replications: int
+    confidence: float
+    #: one entry per (point, row index): ``point`` holds the swept axis
+    #: values, ``mean`` every metric's replication mean (non-numeric metrics
+    #: pass through unchanged), ``ci95``-style bounds under ``ci``
+    rows: List[Dict]
+    tasks_total: int = 0
+    tasks_run: int = 0
+    cache_hits: int = 0
+
+    def to_json(self) -> str:
+        """Deterministic JSON rendering (byte-identical across runs)."""
+        payload = {
+            "experiment": self.experiment,
+            "master_seed": self.master_seed,
+            "replications": self.replications,
+            "confidence": self.confidence,
+            "rows": self.rows,
+        }
+        return json.dumps(payload, sort_keys=True, indent=2)
+
+
+def _is_metric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def aggregate_replications(replication_rows: Sequence[List[Dict]],
+                           confidence: float = 0.95) -> List[Dict]:
+    """Merge the row lists of a point's replications into mean/CI rows.
+
+    Replications of the same point must produce the same row structure (the
+    seed only perturbs metric values); numeric fields are reduced through
+    :func:`repro.analysis.stats.aggregate_mean_ci`, boolean verdicts that
+    disagree across replications become the fraction of replications that
+    reported ``True`` (so a single bound violation can never hide behind the
+    first replication), and every other field is taken from the first
+    replication.
+    """
+    lengths = {len(rows) for rows in replication_rows}
+    if len(lengths) > 1:
+        raise ValueError(
+            f"replications disagree on row count: {sorted(lengths)}")
+    merged: List[Dict] = []
+    for row_group in zip(*replication_rows):
+        first = row_group[0]
+        mean_row: Dict[str, object] = {}
+        ci_row: Dict[str, List[float]] = {}
+        for key, value in first.items():
+            if _is_metric(value):
+                samples = [float(rep_row[key]) for rep_row in row_group]
+                agg = aggregate_mean_ci(samples, confidence)
+                if isinstance(value, int) and all(
+                        s == samples[0] for s in samples):
+                    # counts that every replication agrees on stay integers
+                    mean_row[key] = value
+                else:
+                    mean_row[key] = agg["mean"]
+                ci_row[key] = [agg["ci_low"], agg["ci_high"]]
+            elif isinstance(value, bool):
+                verdicts = [bool(rep_row[key]) for rep_row in row_group]
+                if all(v == verdicts[0] for v in verdicts):
+                    mean_row[key] = value
+                else:
+                    mean_row[key] = sum(verdicts) / len(verdicts)
+            else:
+                mean_row[key] = value
+        merged.append({"mean": mean_row, "ci": ci_row})
+    return merged
+
+
+class SweepRunner:
+    """Fan a registered experiment's sweep out over worker processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes; ``None`` lets the executor pick, ``0``/``1`` runs
+        every task inline in the current process (no pool).
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables caching.
+    confidence:
+        Confidence level of the aggregated intervals.
+    """
+
+    def __init__(self, max_workers: Optional[int] = 1,
+                 cache_dir: Optional[str] = None,
+                 confidence: float = 0.95):
+        self.max_workers = max_workers
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.confidence = confidence
+
+    # ------------------------------------------------------------- planning
+
+    def tasks_for(self, spec: ExperimentSpec,
+                  overrides: Optional[Mapping[str, object]] = None,
+                  replications: Optional[int] = None,
+                  master_seed: int = 0) -> List[SweepTask]:
+        """The full task list of one sweep, in deterministic order."""
+        replications = self._replication_count(spec, replications)
+        tasks = []
+        for index, params in enumerate(spec.points(overrides)):
+            for rep in range(replications):
+                tasks.append(SweepTask(
+                    experiment=spec.name, point_index=index, replication=rep,
+                    params=params,
+                    seed=point_seed(master_seed, spec.name, params, rep)))
+        return tasks
+
+    @staticmethod
+    def _replication_count(spec: ExperimentSpec,
+                           replications: Optional[int]) -> int:
+        count = spec.replications if replications is None else replications
+        if count < 1:
+            raise ValueError(f"replications must be >= 1, got {count}")
+        # an analytic experiment's rows ignore the seed: replicating it
+        # would only repeat identical work
+        return 1 if not spec.stochastic else count
+
+    # ------------------------------------------------------------ execution
+
+    def run(self, experiment: str,
+            overrides: Optional[Mapping[str, object]] = None,
+            replications: Optional[int] = None,
+            master_seed: int = 0) -> SweepResult:
+        """Run one sweep and return its aggregated result."""
+        spec = get_experiment(experiment)
+        replication_count = self._replication_count(spec, replications)
+        tasks = self.tasks_for(spec, overrides, replication_count,
+                               master_seed)
+
+        # the cache key carries the spec's result-schema version so bumping
+        # it after a run_point change invalidates stale entries
+        cache_name = f"{spec.name}@v{spec.version}"
+        results: Dict[int, List[Dict]] = {}
+        pending: List[Tuple[int, SweepTask]] = []
+        cache_hits = 0
+        for slot, task in enumerate(tasks):
+            cached = self.cache.get(cache_name, task.params,
+                                    task.seed) if self.cache else None
+            if cached is not None:
+                results[slot] = cached
+                cache_hits += 1
+            else:
+                pending.append((slot, task))
+
+        for slot, task, rows in self._execute(pending):
+            if self.cache is not None:
+                self.cache.put(cache_name, task.params, task.seed, rows)
+            results[slot] = rows
+
+        # aggregate per point, in point order
+        aggregated: List[Dict] = []
+        for index in range(0, len(tasks), replication_count):
+            point_tasks = tasks[index:index + replication_count]
+            replication_rows = [results[index + r]
+                                for r in range(replication_count)]
+            point = point_tasks[0].params
+            for row in aggregate_replications(replication_rows,
+                                              self.confidence):
+                aggregated.append({"point": dict(point), **row})
+        return SweepResult(
+            experiment=experiment, master_seed=master_seed,
+            replications=replication_count, confidence=self.confidence,
+            rows=aggregated, tasks_total=len(tasks),
+            tasks_run=len(pending), cache_hits=cache_hits)
+
+    def _execute(self, pending: Sequence[Tuple[int, SweepTask]]):
+        """Yield ``(slot, task, rows)`` for every pending task."""
+        if not pending:
+            return
+        if self.max_workers is not None and self.max_workers <= 1:
+            for slot, task in pending:
+                yield slot, task, execute_point(task.experiment, task.params,
+                                                task.seed)
+            return
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [(slot, task,
+                        pool.submit(execute_point, task.experiment,
+                                    task.params, task.seed))
+                       for slot, task in pending]
+            for slot, task, future in futures:
+                yield slot, task, future.result()
+
+
+def format_sweep(result: SweepResult, float_format: str = ".2f") -> str:
+    """Render an aggregated sweep as a text table (mean +- CI half-width)."""
+    from repro.analysis.reporting import format_table
+
+    if not result.rows:
+        return (f"{result.experiment}: no rows (every point rejected or "
+                "empty sweep)")
+    point_keys: List[str] = []
+    metric_keys: List[str] = []
+    for row in result.rows:
+        for key in row["point"]:
+            if key not in point_keys:
+                point_keys.append(key)
+        for key in row["mean"]:
+            if key not in metric_keys and key not in point_keys:
+                metric_keys.append(key)
+
+    def cell(row: Dict, key: str) -> object:
+        value = row["mean"].get(key, "-")
+        ci = row["ci"].get(key)
+        if ci is not None and result.replications > 1:
+            half = (ci[1] - ci[0]) / 2.0
+            return (f"{value:{float_format}} ± {half:{float_format}}"
+                    if isinstance(value, float) else str(value))
+        return value
+
+    table_rows = [[row["point"].get(k, "-") for k in point_keys]
+                  + [cell(row, k) for k in metric_keys]
+                  for row in result.rows]
+    header = (f"{result.experiment} — {len(result.rows)} rows, "
+              f"{result.replications} replication(s), master seed "
+              f"{result.master_seed} (tasks: {result.tasks_total}, "
+              f"run: {result.tasks_run}, cache hits: {result.cache_hits})")
+    return header + "\n\n" + format_table(point_keys + metric_keys,
+                                          table_rows,
+                                          float_format=float_format)

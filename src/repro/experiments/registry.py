@@ -1,0 +1,104 @@
+"""Registry of named, sweepable experiment specifications.
+
+Every experiment driver in :mod:`repro.experiments` registers one
+:class:`ExperimentSpec` describing its parameter grid (the swept axes), its
+fixed default parameters, and a ``run_point(params, seed)`` function that
+produces the result rows of a single parameter point.  The sweep
+orchestrator (:mod:`repro.experiments.orchestrator`) consumes these specs to
+fan sweep points and seed replications out over worker processes; new
+experiments become one ``register`` call instead of a hand-rolled driver
+loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+#: ``run_point(params, seed)`` -> result rows of one parameter point.
+#: ``params`` is a plain dict merging the spec's defaults with one grid
+#: combination; the function must be a module-level callable (the
+#: orchestrator's worker processes re-import it by experiment name).
+PointRunner = Callable[[Dict[str, object], int], List[Dict]]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named experiment sweep: grid x defaults -> rows per point."""
+
+    #: registry key, e.g. ``"figure5"``
+    name: str
+    #: one-line summary shown by ``python -m repro.experiments list``
+    description: str
+    #: per-point entry function
+    run_point: PointRunner
+    #: swept axes in declaration order; each key maps to its value list
+    grid: Mapping[str, Sequence] = field(default_factory=dict)
+    #: fixed parameters merged into every point (overridable per run)
+    defaults: Mapping[str, object] = field(default_factory=dict)
+    #: default number of seed replications per point
+    replications: int = 1
+    #: False for purely analytic experiments whose rows ignore the seed
+    #: (the orchestrator then never runs more than one replication)
+    stochastic: bool = True
+    #: result-schema version, salted into the on-disk cache key — bump it
+    #: whenever ``run_point``'s semantics or row layout change, so stale
+    #: cached results are never served for the new code
+    version: int = 1
+
+    def points(self, overrides: Optional[Mapping[str, object]] = None
+               ) -> List[Dict[str, object]]:
+        """The cartesian product of the grid, merged with the defaults.
+
+        ``overrides`` may replace a grid axis (a sequence shrinks or extends
+        the sweep, a scalar pins the axis to one value) or override/add a
+        fixed parameter.
+        """
+        overrides = dict(overrides or {})
+        axes: Dict[str, Sequence] = {}
+        for name, values in self.grid.items():
+            if name in overrides:
+                replacement = overrides.pop(name)
+                if isinstance(replacement, (str, bytes)) or not isinstance(
+                        replacement, Sequence):
+                    replacement = [replacement]
+                axes[name] = list(replacement)
+            else:
+                axes[name] = list(values)
+        fixed = {**self.defaults, **overrides}
+        names = list(axes)
+        combos = itertools.product(*(axes[n] for n in names)) if names else [()]
+        return [{**fixed, **dict(zip(names, combo))} for combo in combos]
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add ``spec`` to the registry (idempotent for identical re-imports)."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing.run_point is not spec.run_point:
+        raise ValueError(f"experiment {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove an experiment (used by tests registering throwaway specs)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up an experiment; raise ``KeyError`` with the known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(
+            f"unknown experiment {name!r}; registered: {known}") from None
+
+
+def experiment_names() -> List[str]:
+    """Sorted names of all registered experiments."""
+    return sorted(_REGISTRY)

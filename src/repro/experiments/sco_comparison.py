@@ -10,10 +10,11 @@ retransmissions (SCO packets cannot be retransmitted at all).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.core.gs_manager import GuaranteedServiceManager
+from repro.experiments.registry import ExperimentSpec, register
 from repro.core.pfp import PredictiveFairPoller
 from repro.core.token_bucket import cbr_tspec
 from repro.piconet.flows import FlowSpec, GS, UPLINK
@@ -83,12 +84,28 @@ def _run_pfp(duration_seconds: float, seed: int,
     }
 
 
+def run_point(params: Dict, seed: int) -> List[Dict]:
+    """One configuration (``"sco"`` or ``"pfp"``) of the voice comparison."""
+    configuration = params["configuration"]
+    duration_seconds = params.get("duration_seconds", 10.0)
+    if configuration == "sco":
+        return [_run_sco(duration_seconds, seed)]
+    if configuration == "pfp":
+        return [_run_pfp(duration_seconds, seed,
+                         params.get("pfp_delay_requirement", 0.025))]
+    raise ValueError(f"unknown configuration {configuration!r}")
+
+
 def run_sco_comparison(duration_seconds: float = 10.0, seed: int = 1,
                        pfp_delay_requirement: float = 0.025) -> Dict:
-    """Run both configurations and return the comparison rows."""
-    sco = _run_sco(duration_seconds, seed)
-    pfp = _run_pfp(duration_seconds, seed, pfp_delay_requirement)
-    return {"rows": [sco, pfp], "duration_seconds": duration_seconds}
+    """Run both configurations; wrapper over run_point."""
+    rows = []
+    for configuration in ("sco", "pfp"):
+        rows.extend(run_point(
+            {"configuration": configuration,
+             "duration_seconds": duration_seconds,
+             "pfp_delay_requirement": pfp_delay_requirement}, seed))
+    return {"rows": rows, "duration_seconds": duration_seconds}
 
 
 def format_sco_comparison(result: Optional[Dict] = None, **kwargs) -> str:
@@ -105,3 +122,12 @@ def format_sco_comparison(result: Optional[Dict] = None, **kwargs) -> str:
               "PFP-scheduled GS flow\n(paper: PFP approaches SCO's delay while "
               "leaving slots free for BE traffic or retransmissions)")
     return header + "\n\n" + table
+
+
+register(ExperimentSpec(
+    name="sco_comparison",
+    description="64 kbit/s voice: SCO channel vs. PFP-scheduled GS (Table 5)",
+    run_point=run_point,
+    grid={"configuration": ["sco", "pfp"]},
+    defaults={"duration_seconds": 10.0, "pfp_delay_requirement": 0.025},
+))

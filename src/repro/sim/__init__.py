@@ -38,7 +38,7 @@ from repro.sim.events import (
 )
 from repro.sim.monitor import Counter, Monitor, TimeSeriesMonitor
 from repro.sim.resources import Resource, Store
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RandomStreams, derive_seed
 
 __all__ = [
     "AllOf",
@@ -50,6 +50,7 @@ __all__ = [
     "Monitor",
     "Process",
     "RandomStreams",
+    "derive_seed",
     "Resource",
     "StopSimulation",
     "Store",

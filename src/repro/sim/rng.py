@@ -13,6 +13,18 @@ import random
 from typing import Dict
 
 
+def derive_seed(master_seed: int, label: str) -> int:
+    """Derive a 64-bit seed deterministically from a master seed and a label.
+
+    This is the scheme :class:`RandomStreams` uses for its named streams; the
+    sweep orchestrator reuses it to give every (experiment, parameter point,
+    replication) its own independent, reproducible seed.
+    """
+    digest = hashlib.sha256(
+        f"{int(master_seed)}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class RandomStreams:
     """A factory of named :class:`random.Random` streams.
 
@@ -28,10 +40,8 @@ class RandomStreams:
     def stream(self, name: str) -> random.Random:
         """Return (creating if necessary) the stream called ``name``."""
         if name not in self._streams:
-            digest = hashlib.sha256(
-                f"{self.master_seed}:{name}".encode("utf-8")).digest()
-            seed = int.from_bytes(digest[:8], "big")
-            self._streams[name] = random.Random(seed)
+            self._streams[name] = random.Random(
+                derive_seed(self.master_seed, name))
         return self._streams[name]
 
     def __getitem__(self, name: str) -> random.Random:

@@ -105,3 +105,38 @@ def test_wait_bound_input_validation():
         compute_wait_bound(1.0, [], own_interval=0)
     with pytest.raises(ValueError):
         HigherPriorityStream(interval=-1, max_transaction_time=1)
+
+
+def test_wait_bound_overloaded_set_diverges_without_crash():
+    # regression: with no own_interval and sum(s_max_j / t_j) >= 1 the
+    # iterate used to overflow to infinity and math.ceil raised
+    # OverflowError; now the overload is detected up front
+    from repro.core.wait_bound import UNBOUNDED_WAIT
+    m_t = 3.75 * MS
+    overloaded = [HigherPriorityStream(interval=5 * MS,
+                                       max_transaction_time=2.5 * MS)
+                  for _ in range(2)]
+    result = compute_wait_bound(m_t, overloaded)
+    assert not result.converged
+    assert result.wait_bound == UNBOUNDED_WAIT
+    assert result.iterations == 0
+
+    # the Hypothesis falsifying example, spelled out
+    intervals = [0.0625, 0.005, 0.005, 0.005, 0.005]
+    streams = [HigherPriorityStream(interval=i, max_transaction_time=2.5 * MS)
+               for i in intervals]
+    result = compute_wait_bound(m_t, streams)
+    assert not result.converged
+    assert result.wait_bound == UNBOUNDED_WAIT
+
+
+def test_wait_bound_near_saturation_still_converges():
+    # utilization just below 1 must still run the real iteration
+    m_t = 1.0 * MS
+    streams = [HigherPriorityStream(interval=10 * MS,
+                                    max_transaction_time=4.9 * MS),
+               HigherPriorityStream(interval=10 * MS,
+                                    max_transaction_time=4.9 * MS)]
+    result = compute_wait_bound(m_t, streams)
+    assert result.converged
+    assert result.wait_bound >= m_t

@@ -88,3 +88,20 @@ def test_trace_conformance_reports_violations():
     assert check_trace_conformance(tspec, good_trace) == []
     bad_trace = [(0.0, 176), (0.001, 176), (0.002, 176)]
     assert check_trace_conformance(tspec, bad_trace) == [1, 2]
+
+
+def test_token_bucket_tolerance_consume_never_goes_negative():
+    # regression: a packet accepted via the 1e-9 conformance tolerance used
+    # to push the token count epsilon below zero, and the deficit persisted
+    tspec = TSpec(p=1000.0, r=1000.0, b=176.0, m=144, M=176)
+    bucket = TokenBucket(tspec, full=False)
+    # refill to just under one packet's worth of tokens: 176 * (1 - 2**-53)
+    shortfall = 176.0 * (1.0 - 2.0 ** -53)
+    bucket._refill(shortfall / tspec.r)
+    assert bucket.consume(176, shortfall / tspec.r)
+    assert bucket.tokens >= 0.0
+    # after a refill long enough for exactly one more packet, the next
+    # packet must still conform — a lingering deficit would reject it
+    now = shortfall / tspec.r + 176.0 / tspec.r
+    assert bucket.consume(176, now)
+    assert bucket.tokens >= 0.0

@@ -51,6 +51,17 @@ def test_default_delay_requirements_lie_in_feasible_range():
     assert requirements == sorted(requirements)
 
 
+def test_default_delay_requirements_honors_points_argument():
+    # regression: points=1 used to be ignored (any value < 2 returned one
+    # point) and points=0/negative silently did the same
+    for points in (1, 2, 3, 7):
+        assert len(default_delay_requirements(points=points)) == points
+    with pytest.raises(ValueError):
+        default_delay_requirements(points=0)
+    with pytest.raises(ValueError):
+        default_delay_requirements(points=-3)
+
+
 def test_figure5_shape_matches_paper():
     requirements = default_delay_requirements(points=2)
     rows = run_figure5(delay_requirements=requirements, duration_seconds=2.0)

@@ -1,0 +1,281 @@
+"""Tests of the sweep orchestration subsystem (registry + SweepRunner)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.stats import confidence_interval
+from repro.experiments import experiment_names, get_experiment
+from repro.experiments.orchestrator import (
+    SweepRunner,
+    aggregate_replications,
+    format_sweep,
+    point_seed,
+)
+from repro.experiments.registry import ExperimentSpec, register, unregister
+from repro.sim.rng import derive_seed
+
+#: every hand-written driver must have registered a sweep spec on import
+EXPECTED_EXPERIMENTS = [
+    "admission_capacity",
+    "bandwidth_savings",
+    "baseline_comparison",
+    "delay_compliance",
+    "figure5",
+    "improvement_ablation",
+    "lossy_channel",
+    "sco_comparison",
+]
+
+#: calls recorded by the toy experiment (inline execution only)
+TOY_CALLS = []
+
+
+def toy_run_point(params, seed):
+    TOY_CALLS.append((dict(params), seed))
+    # a deterministic pseudo-measurement that varies with the seed
+    noise = (seed % 1000) / 1000.0
+    return [{"x": params["x"], "label": f"x={params['x']}",
+             "value": params["x"] * 10.0 + noise,
+             "packets": int(params["x"]) * 100}]
+
+
+@pytest.fixture
+def toy_experiment():
+    spec = register(ExperimentSpec(
+        name="toy", description="synthetic two-point experiment",
+        run_point=toy_run_point, grid={"x": [1, 2]},
+        defaults={"duration_seconds": 0.0}))
+    TOY_CALLS.clear()
+    yield spec
+    unregister("toy")
+
+
+# ---------------------------------------------------------------- registry
+
+def test_all_drivers_register_their_specs():
+    assert set(EXPECTED_EXPERIMENTS) <= set(experiment_names())
+
+
+def test_registry_lookup_unknown_name_raises():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("does-not-exist")
+
+
+def test_spec_points_cartesian_product_and_overrides(toy_experiment):
+    spec = register(ExperimentSpec(
+        name="toy-grid", description="", run_point=toy_run_point,
+        grid={"a": [1, 2], "b": ["x", "y"]}, defaults={"c": 7}))
+    try:
+        points = spec.points()
+        assert len(points) == 4
+        assert points[0] == {"a": 1, "b": "x", "c": 7}
+        # scalar override pins an axis; other keys override defaults
+        points = spec.points({"a": 5, "c": 9})
+        assert points == [{"a": 5, "b": "x", "c": 9},
+                          {"a": 5, "b": "y", "c": 9}]
+        # sequence override replaces an axis
+        points = spec.points({"b": ["z"], "extra": True})
+        assert points == [{"a": 1, "b": "z", "c": 7, "extra": True},
+                          {"a": 2, "b": "z", "c": 7, "extra": True}]
+    finally:
+        unregister("toy-grid")
+
+
+# ------------------------------------------------------- seed derivation
+
+def test_point_seed_uses_the_random_streams_scheme():
+    params = {"x": 1, "duration_seconds": 0.0}
+    seed = point_seed(42, "toy", params, 1)
+    label = ('toy:{"duration_seconds":0.0,"x":1}:rep1')
+    assert seed == derive_seed(42, label)
+    # parameter order must not matter
+    assert seed == point_seed(
+        42, "toy", {"duration_seconds": 0.0, "x": 1}, 1)
+    # every coordinate perturbs the seed
+    assert seed != point_seed(43, "toy", params, 1)
+    assert seed != point_seed(42, "toy", params, 2)
+    assert seed != point_seed(42, "other", params, 1)
+
+
+def test_same_master_seed_same_rows_regardless_of_workers(toy_experiment):
+    sequential = SweepRunner(max_workers=1).run("toy", replications=3,
+                                                master_seed=7)
+    inline_again = SweepRunner(max_workers=1).run("toy", replications=3,
+                                                  master_seed=7)
+    assert sequential.to_json() == inline_again.to_json()
+    other_seed = SweepRunner(max_workers=1).run("toy", replications=3,
+                                                master_seed=8)
+    assert sequential.to_json() != other_seed.to_json()
+
+
+def test_worker_pool_matches_inline_execution():
+    # admission_capacity is analytic and fast: exercise the real
+    # ProcessPoolExecutor path and require byte-identical aggregation
+    inline = SweepRunner(max_workers=1).run("admission_capacity")
+    pooled = SweepRunner(max_workers=2).run("admission_capacity")
+    assert inline.to_json() == pooled.to_json()
+    assert pooled.rows, "sweep produced no rows"
+
+
+# ------------------------------------------------------------------ cache
+
+def test_cache_miss_then_hit_skips_execution(toy_experiment, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    runner = SweepRunner(max_workers=1, cache_dir=cache_dir)
+    first = runner.run("toy", replications=2, master_seed=1)
+    assert first.tasks_run == 4 and first.cache_hits == 0
+    assert len(TOY_CALLS) == 4
+
+    rerun = SweepRunner(max_workers=1, cache_dir=cache_dir).run(
+        "toy", replications=2, master_seed=1)
+    assert rerun.tasks_run == 0 and rerun.cache_hits == 4
+    assert len(TOY_CALLS) == 4, "cached tasks must not execute again"
+    assert rerun.to_json() == first.to_json()
+
+    # a different master seed misses cleanly
+    other = SweepRunner(max_workers=1, cache_dir=cache_dir).run(
+        "toy", replications=2, master_seed=2)
+    assert other.tasks_run == 4 and other.cache_hits == 0
+
+
+def test_cache_partial_hit_only_runs_new_points(toy_experiment, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    SweepRunner(max_workers=1, cache_dir=cache_dir).run(
+        "toy", overrides={"x": [1]}, replications=2, master_seed=1)
+    TOY_CALLS.clear()
+    grown = SweepRunner(max_workers=1, cache_dir=cache_dir).run(
+        "toy", overrides={"x": [1, 2]}, replications=2, master_seed=1)
+    # point x=1 is served from the cache, only x=2 executes
+    assert grown.cache_hits == 2 and grown.tasks_run == 2
+    assert all(params["x"] == 2 for params, _ in TOY_CALLS)
+
+
+# ------------------------------------------------------------ aggregation
+
+def test_ci_aggregation_matches_analysis_stats(toy_experiment):
+    result = SweepRunner(max_workers=1).run("toy", replications=2,
+                                            master_seed=5)
+    assert len(result.rows) == 2
+    for row in result.rows:
+        x = row["point"]["x"]
+        seeds = [point_seed(5, "toy", row["point"], r) for r in range(2)]
+        samples = [x * 10.0 + (seed % 1000) / 1000.0 for seed in seeds]
+        expected_mean = sum(samples) / len(samples)
+        expected_ci = confidence_interval(samples, 0.95)
+        assert row["mean"]["value"] == pytest.approx(expected_mean)
+        assert row["ci"]["value"][0] == pytest.approx(expected_ci[0])
+        assert row["ci"]["value"][1] == pytest.approx(expected_ci[1])
+        # non-numeric fields pass through; agreeing ints stay exact ints
+        assert row["mean"]["label"] == f"x={x}"
+        assert row["mean"]["packets"] == x * 100
+        assert isinstance(row["mean"]["packets"], int)
+
+
+def test_aggregate_replications_rejects_mismatched_rows():
+    with pytest.raises(ValueError, match="row count"):
+        aggregate_replications([[{"a": 1}], []])
+
+
+def test_disagreeing_boolean_verdicts_surface_as_fraction():
+    # a bound violation in any replication must never hide behind the
+    # first replication's True
+    rows = aggregate_replications([[{"bound_met": True, "d": 1.0}],
+                                   [{"bound_met": False, "d": 2.0}],
+                                   [{"bound_met": False, "d": 3.0}]])
+    assert rows[0]["mean"]["bound_met"] == pytest.approx(1.0 / 3.0)
+    # agreeing verdicts stay plain booleans
+    rows = aggregate_replications([[{"bound_met": True}],
+                                   [{"bound_met": True}]])
+    assert rows[0]["mean"]["bound_met"] is True
+
+
+def test_cache_invalidated_by_spec_version_bump(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    try:
+        register(ExperimentSpec(
+            name="toy-v", description="", run_point=toy_run_point,
+            grid={"x": [1]}, version=1))
+        first = SweepRunner(max_workers=1, cache_dir=cache_dir).run("toy-v")
+        assert first.tasks_run == 1
+        unregister("toy-v")
+        register(ExperimentSpec(
+            name="toy-v", description="", run_point=toy_run_point,
+            grid={"x": [1]}, version=2))
+        bumped = SweepRunner(max_workers=1, cache_dir=cache_dir).run("toy-v")
+        assert bumped.tasks_run == 1 and bumped.cache_hits == 0
+    finally:
+        unregister("toy-v")
+
+
+def test_non_stochastic_experiment_runs_single_replication():
+    result = SweepRunner(max_workers=1).run("admission_capacity",
+                                            replications=5)
+    assert result.replications == 1
+    assert result.tasks_total == len(
+        get_experiment("admission_capacity").grid["rate_bytes_per_second"])
+
+
+def test_format_sweep_renders_points_and_metrics(toy_experiment):
+    result = SweepRunner(max_workers=1).run("toy", replications=2)
+    text = format_sweep(result)
+    assert "toy" in text and "value" in text and "±" in text
+
+
+# ---------------------------------------------------------------- the CLI
+
+def test_cli_list_names_all_experiments(capsys):
+    from repro.experiments.__main__ import main
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPECTED_EXPERIMENTS:
+        assert name in out
+
+
+def test_cli_run_writes_json_and_hits_cache(tmp_path):
+    env_args = ["run", "admission_capacity", "--workers", "2",
+                "--cache-dir", str(tmp_path / "cache")]
+    from repro.experiments.__main__ import main
+    out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
+    assert main(env_args + ["--json", str(out_a)]) == 0
+    assert main(env_args + ["--json", str(out_b)]) == 0
+    assert out_a.read_bytes() == out_b.read_bytes()
+    payload = json.loads(out_a.read_text())
+    assert payload["experiment"] == "admission_capacity"
+    assert payload["rows"]
+
+
+@pytest.mark.slow
+def test_cli_figure5_parallel_replicated_acceptance(tmp_path):
+    """The ISSUE acceptance path: figure5 --workers 4 --replications 3."""
+    cache = str(tmp_path / "cache")
+
+    def invoke(workers, out):
+        command = [sys.executable, "-m", "repro.experiments", "run",
+                   "figure5", "--workers", str(workers),
+                   "--replications", "3", "--cache-dir", cache,
+                   "--set", "delay_requirement=[0.032,0.042]",
+                   "--set", "duration_seconds=1.0",
+                   "--json", str(out)]
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env = {**os.environ, "PYTHONPATH": src}
+        completed = subprocess.run(command, capture_output=True, text=True,
+                                   env=env, cwd=str(tmp_path))
+        assert completed.returncode == 0, completed.stderr
+        return completed.stdout
+
+    parallel_out = invoke(4, tmp_path / "par.json")
+    assert "cache hits: 0" in parallel_out
+    cached_out = invoke(1, tmp_path / "seq.json")
+    assert "cache hits: 6" in cached_out and "run: 0" in cached_out
+    assert ((tmp_path / "par.json").read_bytes()
+            == (tmp_path / "seq.json").read_bytes())
+    rows = json.loads((tmp_path / "par.json").read_text())["rows"]
+    assert len(rows) == 2
+    for row in rows:
+        assert row["mean"]["admitted"] is True
+        assert row["ci"]["S1"][0] <= row["mean"]["S1"] <= row["ci"]["S1"][1]

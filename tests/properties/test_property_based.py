@@ -2,7 +2,7 @@
 
 import math
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro.baseband.segmentation import BestFitSegmentationPolicy
@@ -95,6 +95,9 @@ def test_cbr_spaced_arrivals_always_conform(gaps_and_sizes):
 
 @given(intervals=st.lists(st.floats(min_value=5 * MS, max_value=100 * MS),
                           min_size=0, max_size=6))
+# regression: an overloaded higher-priority set (sum s_max_j / t_j >= 1)
+# used to diverge to float infinity and crash with OverflowError
+@example(intervals=[0.0625, 0.005, 0.005, 0.005, 0.005])
 def test_wait_bound_monotone_in_higher_priority_set(intervals):
     m_t = 3.75 * MS
     streams = [HigherPriorityStream(interval=i, max_transaction_time=2.5 * MS)
