@@ -28,6 +28,10 @@ def pytest_addoption(parser):
     parser.addoption(
         "--workers", action="store", type=int, default=1,
         help="worker processes for orchestrator-backed benchmarks")
+    parser.addoption(
+        "--sweep-backend", action="store", default=None,
+        help="execution backend for orchestrator-backed benchmarks "
+             "(serial/process/batch; default derived from --workers)")
 
 
 @pytest.fixture
@@ -39,10 +43,17 @@ def sweep_workers(request):
 
 
 @pytest.fixture
-def sweep_runner(sweep_workers):
-    """A SweepRunner honoring ``--workers`` (no cache: benchmarks time work)."""
+def sweep_backend(request):
+    """Backend name for orchestrator-backed benchmarks (default derived)."""
+    return request.config.getoption("--sweep-backend", default=None)
+
+
+@pytest.fixture
+def sweep_runner(sweep_workers, sweep_backend):
+    """A SweepRunner honoring ``--workers`` / ``--sweep-backend``
+    (no cache: benchmarks time work)."""
     from repro.experiments.orchestrator import SweepRunner
-    return SweepRunner(max_workers=sweep_workers)
+    return SweepRunner(max_workers=sweep_workers, backend=sweep_backend)
 
 
 @pytest.fixture

@@ -1,0 +1,39 @@
+"""Benchmark/driver for the scenario packs: heavy piconet and mixed SCO+GS.
+
+Runs both new workloads through the orchestrator, so
+``pytest benchmarks --workers N --sweep-backend batch`` exercises the
+chunked backend over the scenario grids.
+"""
+
+from conftest import bench_duration
+
+from repro.experiments import format_sweep
+
+
+def test_bench_heavy_piconet(run_once, sweep_runner):
+    result = run_once(
+        sweep_runner.run, "heavy_piconet",
+        overrides={"duration_seconds": bench_duration(2.0)})
+    print("\n" + format_sweep(result))
+    rows = [row["mean"] for row in result.rows]
+    assert rows and all(row["admitted"] for row in rows)
+    # the GS guarantee must survive a fully loaded piconet
+    assert all(not row["gs_bound_violated"] for row in rows)
+    # all seven slaves are served and BE is divided reasonably fairly
+    for row in rows:
+        assert all(row[f"S{slave}"] > 0 for slave in range(1, 8))
+        assert row["be_fairness"] > 0.5
+
+
+def test_bench_mixed_sco_gs(run_once, sweep_runner):
+    result = run_once(
+        sweep_runner.run, "mixed_sco_gs",
+        overrides={"duration_seconds": bench_duration(2.0)})
+    print("\n" + format_sweep(result))
+    rows = [row["mean"] for row in result.rows]
+    assert rows and all(row["admitted"] for row in rows)
+    for row in rows:
+        # SCO voice delivers its 64 kbit/s around the ACL traffic
+        assert abs(row["voice_throughput_kbps"] - 64.0) < 5.0
+        assert row["gs_throughput_kbps"] > 0
+        assert row["be_throughput_kbps"] > 0

@@ -1,16 +1,19 @@
 #!/usr/bin/env python3
 """Parallel sweep orchestration: replicated experiments with confidence
-intervals.
+intervals, pluggable execution backends and live progress reporting.
 
 Runs the paper's lossy-channel extension as a 4-point sweep with 3 seed
-replications per point, fanned out over worker processes, and prints the
-aggregated mean ± CI table.  Results are cached on disk, so re-running the
-script only executes combinations it has not seen before.
+replications per point, fanned out over the chunked batching backend (many
+cheap points amortise worker spawn cost), and prints the aggregated
+mean ± CI table.  Results are cached on disk, so re-running the script only
+executes combinations it has not seen before — and a per-task progress
+callback reports completions as they happen.
 
 The same sweep from the command line:
 
     python -m repro.experiments run lossy_channel \
-        --workers 4 --replications 3 --set duration_seconds=2.0
+        --backend batch --workers 4 --replications 3 --progress \
+        --set duration_seconds=2.0
 
 Run with:  python examples/parallel_sweep.py
 """
@@ -18,8 +21,18 @@ Run with:  python examples/parallel_sweep.py
 from repro.experiments import SweepRunner, format_sweep
 
 
+def report(progress) -> None:
+    """A custom progress callback: one line per completed task."""
+    marker = "cache" if progress.cached else "ran"
+    print(f"  [{progress.completed:2d}/{progress.total}] "
+          f"{progress.experiment} point {progress.point_index} "
+          f"rep {progress.replication} ({marker}, "
+          f"{progress.elapsed_seconds:.2f}s elapsed)")
+
+
 def main() -> None:
-    runner = SweepRunner(max_workers=4, cache_dir=".repro-cache")
+    runner = SweepRunner(max_workers=4, cache_dir=".repro-cache",
+                         backend="batch", progress=report)
     result = runner.run(
         "lossy_channel",
         overrides={"duration_seconds": 2.0},   # keep the demo quick
@@ -27,7 +40,8 @@ def main() -> None:
         master_seed=0)
     print(format_sweep(result))
     print(f"\n{result.tasks_total} tasks, {result.tasks_run} executed, "
-          f"{result.cache_hits} served from the cache")
+          f"{result.cache_hits} served from the cache "
+          f"(backend: {result.backend})")
     # every aggregated row carries the per-metric confidence bounds
     worst = max(result.rows, key=lambda row: row["mean"]["gs_max_delay_ms"])
     low, high = worst["ci"]["gs_max_delay_ms"]

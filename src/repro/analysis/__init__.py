@@ -1,16 +1,20 @@
 """Analysis and reporting utilities."""
 
 from repro.analysis.stats import (
+    aggregate_mean_ci,
     confidence_interval,
     summarize,
     utilisation,
+    z_value,
 )
 from repro.analysis.reporting import format_kv, format_table
 
 __all__ = [
+    "aggregate_mean_ci",
     "confidence_interval",
     "format_kv",
     "format_table",
     "summarize",
     "utilisation",
+    "z_value",
 ]

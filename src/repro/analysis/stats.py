@@ -3,7 +3,28 @@
 from __future__ import annotations
 
 import math
+from statistics import NormalDist
 from typing import Dict, Sequence, Tuple
+
+#: common two-sided z values, kept exact so long-standing results (and the
+#: paper's tables) reproduce bit-for-bit at the standard levels
+_Z_TABLE = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+def z_value(level: float) -> float:
+    """Two-sided standard-normal critical value for a confidence level.
+
+    Standard levels (0.90 / 0.95 / 0.99) use the conventional rounded table
+    values; any other level in (0, 1) is computed exactly from the inverse
+    normal CDF instead of being silently mislabelled as 95%.
+    """
+    if not 0 < level < 1:
+        raise ValueError(
+            f"confidence level must be in (0, 1), got {level}")
+    table = _Z_TABLE.get(round(level, 2))
+    if table is not None and math.isclose(level, round(level, 2)):
+        return table
+    return NormalDist().inv_cdf((1.0 + level) / 2.0)
 
 
 def summarize(samples: Sequence[float]) -> Dict[str, float]:
@@ -36,14 +57,12 @@ def summarize(samples: Sequence[float]) -> Dict[str, float]:
 def _interval_from_summary(stats: Dict[str, float],
                            level: float) -> Tuple[float, float]:
     """The normal-approximation interval for an already-computed summary."""
-    if not 0 < level < 1:
-        raise ValueError("confidence level must be in (0, 1)")
+    z = z_value(level)
     n = stats["count"]
     if n == 0:
         return (float("nan"), float("nan"))
     if n == 1:
         return (stats["mean"], stats["mean"])
-    z = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}.get(round(level, 2), 1.960)
     half_width = z * stats["stdev"] / math.sqrt(n)
     return (stats["mean"] - half_width, stats["mean"] + half_width)
 

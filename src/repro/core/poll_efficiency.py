@@ -53,22 +53,32 @@ def _candidate_sizes(m: int, M: int, policy: SegmentationPolicy) -> Set[int]:
     Within a run of sizes using the same number of segments the efficiency
     ``L / n`` is increasing in ``L``, so the minimum over ``[m, M]`` is
     attained either at ``m`` or just after a breakpoint where the segment
-    count increases.  Breakpoints are at multiples/combinations of the
-    allowed capacities; enumerating one byte after every multiple of every
-    capacity (plus ``m`` and ``M``) is a safe superset for the greedy
-    policies used here.
+    count increases.  For greedy policies over several packet types the
+    segment plan can mix types, so breakpoints sit at *sums of any
+    combination* of the allowed capacities (e.g. DH3+DH1 = 210 bytes), not
+    only at multiples of a single capacity — a dynamic program over the
+    reachable sums enumerates them all; every reachable sum and the byte
+    right after it (plus ``m`` and ``M``) is a safe candidate superset.
     """
     candidates = {m, M}
     capacities = sorted({t.max_payload for t in policy.by_capacity})
+    # reachable[s] == True iff s bytes is a non-negative integer combination
+    # of the allowed capacities (i.e. exactly fills some multiset of packets)
+    reachable = [False] * (M + 1)
+    reachable[0] = True
     for cap in capacities:
-        k = 1
-        while k * cap + 1 <= M:
-            if k * cap + 1 >= m:
-                candidates.add(k * cap + 1)
-            # also the exact multiple (locally best but cheap to include)
-            if m <= k * cap <= M:
-                candidates.add(k * cap)
-            k += 1
+        for total in range(cap, M + 1):
+            if reachable[total - cap]:
+                reachable[total] = True
+    for total in range(1, M + 1):
+        if not reachable[total]:
+            continue
+        if m <= total:
+            # the exact sum (locally best but cheap to include)
+            candidates.add(total)
+        if m <= total + 1 <= M:
+            # one byte past a breakpoint: the segment count may step up
+            candidates.add(total + 1)
     return candidates
 
 

@@ -8,13 +8,17 @@ functions.
 
 Each module additionally registers an :class:`ExperimentSpec` (a parameter
 grid plus a per-point ``run_point(params, seed)`` function) with the sweep
-registry, so every experiment can be run in parallel with seed replications
-and confidence intervals through the orchestrator::
+registry, so every experiment can be run on any execution backend with seed
+replications and confidence intervals through the orchestrator::
 
     python -m repro.experiments list
     python -m repro.experiments run figure5 --workers 4 --replications 3
+    python -m repro.experiments run heavy_piconet --backend batch --progress
 
-See ``src/repro/experiments/README.md`` for the subsystem documentation.
+Beyond the paper's tables, :mod:`repro.experiments.scenario_packs`
+registers the ``heavy_piconet``, ``mixed_sco_gs`` and ``be_load_scale``
+workloads.  See ``src/repro/experiments/README.md`` for the subsystem
+documentation.
 """
 
 from repro.experiments.table1_parameters import (
@@ -44,28 +48,54 @@ from repro.experiments.improvement_ablation import (
     run_improvement_ablation,
 )
 from repro.experiments.lossy_channel import format_lossy_channel, run_lossy_channel
+from repro.experiments.scenario_packs import (
+    run_be_load_scale_point,
+    run_heavy_piconet_point,
+    run_mixed_sco_gs_point,
+)
 from repro.experiments.orchestrator import (
+    BACKENDS,
+    BatchingProcessBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
     ResultCache,
+    SerialBackend,
+    SweepProgress,
     SweepResult,
     SweepRunner,
     format_sweep,
+    log_progress,
+    make_backend,
 )
 from repro.experiments.registry import (
     ExperimentSpec,
     experiment_names,
     get_experiment,
+    iter_experiments,
     register,
 )
 
 __all__ = [
+    "BACKENDS",
+    "BatchingProcessBackend",
+    "ExecutionBackend",
     "ExperimentSpec",
+    "ProcessPoolBackend",
     "ResultCache",
+    "SerialBackend",
+    "SweepProgress",
     "SweepResult",
     "SweepRunner",
     "experiment_names",
     "format_sweep",
     "get_experiment",
+    "iter_experiments",
+    "log_progress",
+    "make_backend",
     "register",
+    "run_be_load_scale_point",
+    "run_heavy_piconet_point",
+    "run_mixed_sco_gs_point",
     "compute_table1_parameters",
     "format_admission_capacity",
     "format_bandwidth_savings",

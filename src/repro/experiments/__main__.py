@@ -5,23 +5,34 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run figure5 --workers 4 --replications 3 \
         --json out.json
+    python -m repro.experiments run figure5 --backend batch --workers 4 \
+        --progress
     python -m repro.experiments run lossy_channel \
         --set packet_error_rate='[0.0,0.2]' --set duration_seconds=2.0
 
 ``run`` caches raw task results under ``--cache-dir`` (default
 ``.repro-cache``), so repeated invocations only execute new
-(experiment, params, seed) combinations.
+(experiment, params, seed) combinations.  ``--backend`` selects how tasks
+execute (``serial``, ``process``, or chunked ``batch``); ``--progress``
+logs one line per completed task to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import Dict, List, Optional
 
-from repro.experiments.orchestrator import SweepRunner, format_sweep
-from repro.experiments.registry import experiment_names, get_experiment
+from repro.experiments.orchestrator import (
+    BACKENDS,
+    SweepRunner,
+    format_sweep,
+    log_progress,
+    progress_logger,
+)
+from repro.experiments.registry import experiment_names, iter_experiments
 
 
 def _parse_overrides(assignments: List[str]) -> Dict[str, object]:
@@ -41,18 +52,32 @@ def _parse_overrides(assignments: List[str]) -> Dict[str, object]:
 
 def _cmd_list() -> int:
     width = max((len(name) for name in experiment_names()), default=0)
-    for name in experiment_names():
-        spec = get_experiment(name)
+    for spec in iter_experiments():
         axes = ", ".join(f"{axis}[{len(values)}]"
                          for axis, values in spec.grid.items())
-        print(f"{name.ljust(width)}  {spec.description}  (grid: {axes})")
+        print(f"{spec.name.ljust(width)}  {spec.description}  (grid: {axes})")
     return 0
 
 
+def _enable_progress_logging() -> None:
+    """Route per-task progress lines to stderr (idempotent)."""
+    if not progress_logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(asctime)s %(message)s"))
+        progress_logger.addHandler(handler)
+    progress_logger.setLevel(logging.INFO)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    progress = None
+    if args.progress:
+        _enable_progress_logging()
+        progress = log_progress
     runner = SweepRunner(
         max_workers=args.workers,
-        cache_dir=None if args.no_cache else args.cache_dir)
+        cache_dir=None if args.no_cache else args.cache_dir,
+        backend=args.backend,
+        progress=progress)
     result = runner.run(args.experiment,
                         overrides=_parse_overrides(args.set),
                         replications=args.replications,
@@ -82,6 +107,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser.add_argument("experiment", help="registered experiment name")
     run_parser.add_argument("--workers", type=int, default=1,
                             help="worker processes (1 = run inline)")
+    run_parser.add_argument("--backend", choices=sorted(BACKENDS),
+                            default=None,
+                            help="execution backend (default: serial for "
+                                 "--workers<=1, process otherwise; batch "
+                                 "chunks tasks to amortise spawn cost)")
+    run_parser.add_argument("--progress", action="store_true",
+                            help="log per-task progress to stderr")
     run_parser.add_argument("--replications", type=int, default=None,
                             help="seed replications per sweep point")
     run_parser.add_argument("--seed", type=int, default=0,

@@ -48,9 +48,10 @@ def _run_one(requirement: float, variable_interval: bool,
 def run_point(params: Dict, seed: int) -> List[Dict]:
     """One delay requirement: fixed- vs. variable-interval poller.
 
-    The per-poller metrics are flattened into ``fixed_*`` / ``variable_*``
-    keys so every one of them gets mean/CI aggregation over replications
-    (nested dicts would pass through the orchestrator unaggregated).
+    The per-poller metrics stay nested under ``fixed`` / ``variable`` — the
+    orchestrator's aggregation flattens them into ``fixed_*`` /
+    ``variable_*`` keys, so every one of them gets mean/CI aggregation over
+    replications.
     """
     requirement = params["delay_requirement"]
     duration_seconds = params.get("duration_seconds", 5.0)
@@ -58,28 +59,15 @@ def run_point(params: Dict, seed: int) -> List[Dict]:
     variable = _run_one(requirement, True, duration_seconds, seed)
     if fixed is None or variable is None:
         return []
-    row: Dict = {"delay_requirement_s": requirement}
-    for prefix, metrics in (("fixed", fixed), ("variable", variable)):
-        for key, value in metrics.items():
-            row[f"{prefix}_{key}"] = value
-    row["slots_saved"] = fixed["gs_slots"] - variable["gs_slots"]
-    row["slots_saved_fraction"] = (
-        (fixed["gs_slots"] - variable["gs_slots"]) / fixed["gs_slots"]
-        if fixed["gs_slots"] else 0.0)
-    return [row]
-
-
-def _nest_poller_metrics(flat: Dict) -> Dict:
-    """The historical row shape: per-poller metrics under fixed/variable."""
-    row: Dict = {"fixed": {}, "variable": {}}
-    for key, value in flat.items():
-        for prefix in ("fixed", "variable"):
-            if key.startswith(prefix + "_"):
-                row[prefix][key[len(prefix) + 1:]] = value
-                break
-        else:
-            row[key] = value
-    return row
+    return [{
+        "delay_requirement_s": requirement,
+        "fixed": fixed,
+        "variable": variable,
+        "slots_saved": fixed["gs_slots"] - variable["gs_slots"],
+        "slots_saved_fraction": (
+            (fixed["gs_slots"] - variable["gs_slots"]) / fixed["gs_slots"]
+            if fixed["gs_slots"] else 0.0),
+    }]
 
 
 def run_bandwidth_savings(delay_requirements: Optional[Sequence[float]] = None,
@@ -90,10 +78,8 @@ def run_bandwidth_savings(delay_requirements: Optional[Sequence[float]] = None,
         delay_requirements = default_delay_requirements(points=4)
     rows: List[Dict] = []
     for requirement in delay_requirements:
-        rows.extend(_nest_poller_metrics(flat)
-                    for flat in run_point({"delay_requirement": requirement,
-                                           "duration_seconds": duration_seconds},
-                                          seed))
+        rows.extend(run_point({"delay_requirement": requirement,
+                               "duration_seconds": duration_seconds}, seed))
     return rows
 
 
@@ -128,4 +114,7 @@ register(ExperimentSpec(
     run_point=run_point,
     grid={"delay_requirement": default_delay_requirements(points=4)},
     defaults={"duration_seconds": 5.0},
+    # v2: rows returned nested (fixed/variable sub-dicts) and flattened by
+    # the orchestrator's aggregation instead of pre-flattened in run_point
+    version=2,
 ))

@@ -2,28 +2,34 @@
 
 The :class:`SweepRunner` turns an :class:`~repro.experiments.registry.
 ExperimentSpec` into a list of (parameter point, seed replication) tasks,
-fans them out over a :class:`~concurrent.futures.ProcessPoolExecutor`,
-aggregates the replications of every point into mean / confidence-interval
-rows via :mod:`repro.analysis.stats`, and caches raw task results as JSON on
-disk keyed by ``(experiment, params, seed)`` so repeated sweeps are
-incremental.
+hands them to a pluggable :class:`ExecutionBackend` (inline, one process per
+task, or chunked batches of tasks per process), aggregates the replications
+of every point into mean / confidence-interval rows via
+:mod:`repro.analysis.stats`, and caches raw task results as JSON on disk
+keyed by ``(experiment, params, seed)`` so repeated sweeps are incremental.
+A progress callback can be attached to observe every completed task (the
+CLI's ``--progress`` flag wires it to a logging handler).
 
 Determinism: every task's seed is derived from the master seed, the
 experiment name, the canonical JSON of the point's parameters and the
 replication index via the :func:`repro.sim.rng.derive_seed` scheme, and
 aggregation happens in the parent process in task order — so a sweep's
-result (including its JSON serialisation) is byte-identical no matter how
-many workers executed it.
+result (including its JSON serialisation) is byte-identical no matter which
+backend executed it or how many workers it used.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (Callable, ClassVar, Dict, Iterator, List, Mapping,
+                    Optional, Sequence, Tuple, Union)
 
 from repro.analysis.stats import aggregate_mean_ci
 from repro.sim.rng import derive_seed
@@ -113,6 +119,195 @@ def execute_point(experiment: str, params: Dict[str, object],
     return list(rows)
 
 
+def execute_batch(tasks: Sequence[Tuple[str, Dict[str, object], int]]
+                  ) -> List[List[Dict]]:
+    """Worker entry point of the batching backend: run a chunk of tasks."""
+    return [execute_point(experiment, params, seed)
+            for experiment, params, seed in tasks]
+
+
+# ---------------------------------------------------------------- backends
+
+#: what a backend consumes: ``(result slot, task)`` pairs
+PendingTasks = Sequence[Tuple[int, SweepTask]]
+#: what a backend yields: ``(result slot, task, result rows)``
+CompletedTask = Tuple[int, SweepTask, List[Dict]]
+
+
+class ExecutionBackend:
+    """Strategy that executes a sweep's pending tasks.
+
+    Implementations must yield one ``(slot, task, rows)`` triple per pending
+    task, **in the order the tasks were submitted** — the runner aggregates
+    (and serialises cache writes) in yield order, which keeps sweep results
+    byte-identical across backends.
+
+    Every backend accepts ``max_workers`` (ignored by backends without a
+    worker pool), so :func:`make_backend` can instantiate any registered
+    backend uniformly.
+    """
+
+    #: registry key used by :func:`make_backend` and the CLI ``--backend``
+    name: ClassVar[str] = "?"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers
+
+    def execute(self, pending: PendingTasks) -> Iterator[CompletedTask]:
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task inline in the current process (no pool).
+
+    The reference backend: zero spawn overhead, deterministic, debuggable —
+    and what ``max_workers <= 1`` has always meant.
+    """
+
+    name = "serial"
+
+    def execute(self, pending: PendingTasks) -> Iterator[CompletedTask]:
+        for slot, task in pending:
+            yield slot, task, execute_point(task.experiment, task.params,
+                                            task.seed)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """One :class:`~concurrent.futures.ProcessPoolExecutor` task per sweep
+    task — the right choice when individual points are expensive."""
+
+    name = "process"
+
+    def execute(self, pending: PendingTasks) -> Iterator[CompletedTask]:
+        if not pending:
+            return
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [(slot, task,
+                        pool.submit(execute_point, task.experiment,
+                                    task.params, task.seed))
+                       for slot, task in pending]
+            for slot, task, future in futures:
+                yield slot, task, future.result()
+
+
+class BatchingProcessBackend(ExecutionBackend):
+    """Ship contiguous chunks of tasks per pool submission.
+
+    Sweeps with many cheap points (analytic experiments, short simulated
+    durations, large grids) spend a noticeable share of their wall clock on
+    per-task executor round trips: pickling, queue wakeups and result
+    marshalling.  Chunking amortises that cost while still keeping
+    ``workers * oversubscribe`` batches in flight for load balancing.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes (``None`` lets the executor pick).
+    batch_size:
+        Tasks per chunk; ``None`` derives it from the pending task count as
+        ``ceil(pending / (workers * oversubscribe))``.
+    oversubscribe:
+        Batches per worker when deriving the batch size (load-balancing
+        slack for unevenly expensive points).
+    """
+
+    name = "batch"
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 batch_size: Optional[int] = None, oversubscribe: int = 4):
+        super().__init__(max_workers)
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if oversubscribe < 1:
+            raise ValueError(
+                f"oversubscribe must be >= 1, got {oversubscribe}")
+        self.batch_size = batch_size
+        self.oversubscribe = oversubscribe
+
+    def _chunk(self, pending: PendingTasks) -> List[PendingTasks]:
+        size = self.batch_size
+        if size is None:
+            workers = self.max_workers or os.cpu_count() or 1
+            size = max(1, math.ceil(len(pending)
+                                    / (workers * self.oversubscribe)))
+        return [pending[start:start + size]
+                for start in range(0, len(pending), size)]
+
+    def execute(self, pending: PendingTasks) -> Iterator[CompletedTask]:
+        if not pending:
+            return
+        batches = self._chunk(pending)
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [
+                (batch,
+                 pool.submit(execute_batch,
+                             [(task.experiment, task.params, task.seed)
+                              for _, task in batch]))
+                for batch in batches]
+            for batch, future in futures:
+                for (slot, task), rows in zip(batch, future.result()):
+                    yield slot, task, rows
+
+
+#: backend name -> class, for the CLI and :func:`make_backend`
+BACKENDS: Dict[str, type] = {
+    backend.name: backend
+    for backend in (SerialBackend, ProcessPoolBackend, BatchingProcessBackend)
+}
+
+
+def make_backend(name: str,
+                 max_workers: Optional[int] = None) -> ExecutionBackend:
+    """Instantiate a backend by registry name (``serial``/``process``/...)."""
+    try:
+        backend_cls = BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(
+            f"unknown execution backend {name!r}; known: {known}") from None
+    return backend_cls(max_workers=max_workers)
+
+
+# ---------------------------------------------------------------- progress
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One completed task, as seen by a progress callback."""
+
+    experiment: str
+    #: tasks finished so far, counting cache hits
+    completed: int
+    #: total tasks of the sweep
+    total: int
+    point_index: int
+    replication: int
+    params: Dict[str, object]
+    #: wall-clock seconds since the sweep's execution started
+    elapsed_seconds: float
+    #: True when the task was served from the on-disk cache
+    cached: bool = False
+
+
+#: invoked once per completed task (executed or cache-served)
+ProgressCallback = Callable[[SweepProgress], None]
+
+progress_logger = logging.getLogger("repro.experiments.progress")
+
+
+def log_progress(progress: SweepProgress) -> None:
+    """A ready-made progress callback that reports through :mod:`logging`.
+
+    Attach it with ``SweepRunner(progress=log_progress)`` or the CLI's
+    ``--progress`` flag; it logs to the ``repro.experiments.progress``
+    logger at INFO level, one line per completed task.
+    """
+    progress_logger.info(
+        "%s: task %d/%d done (point %d, replication %d%s) after %.2fs",
+        progress.experiment, progress.completed, progress.total,
+        progress.point_index, progress.replication,
+        ", cached" if progress.cached else "", progress.elapsed_seconds)
+
+
 @dataclass
 class SweepResult:
     """Aggregated outcome of one sweep run."""
@@ -123,11 +318,16 @@ class SweepResult:
     confidence: float
     #: one entry per (point, row index): ``point`` holds the swept axis
     #: values, ``mean`` every metric's replication mean (non-numeric metrics
-    #: pass through unchanged), ``ci95``-style bounds under ``ci``
+    #: pass through unchanged; nested dicts are flattened into
+    #: ``outer_inner`` keys), ``ci95``-style bounds under ``ci``
     rows: List[Dict]
     tasks_total: int = 0
     tasks_run: int = 0
     cache_hits: int = 0
+    #: name of the backend that executed the sweep (display only — the
+    #: JSON rendering deliberately omits it so results stay byte-identical
+    #: across backends)
+    backend: str = SerialBackend.name
 
     def to_json(self) -> str:
         """Deterministic JSON rendering (byte-identical across runs)."""
@@ -145,24 +345,55 @@ def _is_metric(value: object) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def flatten_row(row: Mapping[str, object], separator: str = "_"
+                ) -> Dict[str, object]:
+    """Flatten nested dict fields into ``outer_inner``-style keys.
+
+    ``{"fixed": {"gs_slots": 9}}`` becomes ``{"fixed_gs_slots": 9}``, to
+    arbitrary depth; non-dict values (including lists) are left untouched.
+    A flattened name colliding with an existing key raises ``ValueError``
+    rather than silently dropping a metric.
+    """
+    flat: Dict[str, object] = {}
+
+    def _walk(mapping: Mapping[str, object], prefix: str) -> None:
+        for key, value in mapping.items():
+            name = f"{prefix}{key}"
+            if isinstance(value, Mapping):
+                _walk(value, name + separator)
+            elif name in flat:
+                raise ValueError(
+                    f"flattening produced a duplicate key {name!r}")
+            else:
+                flat[name] = value
+
+    _walk(row, "")
+    return flat
+
+
 def aggregate_replications(replication_rows: Sequence[List[Dict]],
                            confidence: float = 0.95) -> List[Dict]:
     """Merge the row lists of a point's replications into mean/CI rows.
 
     Replications of the same point must produce the same row structure (the
-    seed only perturbs metric values); numeric fields are reduced through
-    :func:`repro.analysis.stats.aggregate_mean_ci`, boolean verdicts that
-    disagree across replications become the fraction of replications that
-    reported ``True`` (so a single bound violation can never hide behind the
-    first replication), and every other field is taken from the first
-    replication.
+    seed only perturbs metric values).  Nested dict fields are recursively
+    flattened into ``outer_inner`` keys first (e.g. ``bandwidth_savings``'s
+    ``fixed``/``variable`` sub-dicts become ``fixed_gs_slots`` etc.), so
+    *every* numeric metric — however deeply a driver nested it — is reduced
+    through :func:`repro.analysis.stats.aggregate_mean_ci` into ``mean`` /
+    ``ci_low`` / ``ci_high``.  Boolean verdicts that disagree across
+    replications become the fraction of replications that reported ``True``
+    (so a single bound violation can never hide behind the first
+    replication), and every other field is taken from the first replication.
     """
     lengths = {len(rows) for rows in replication_rows}
     if len(lengths) > 1:
         raise ValueError(
             f"replications disagree on row count: {sorted(lengths)}")
+    flattened = [[flatten_row(row) for row in rows]
+                 for rows in replication_rows]
     merged: List[Dict] = []
-    for row_group in zip(*replication_rows):
+    for row_group in zip(*flattened):
         first = row_group[0]
         mean_row: Dict[str, object] = {}
         ci_row: Dict[str, List[float]] = {}
@@ -190,25 +421,54 @@ def aggregate_replications(replication_rows: Sequence[List[Dict]],
 
 
 class SweepRunner:
-    """Fan a registered experiment's sweep out over worker processes.
+    """Fan a registered experiment's sweep out over an execution backend.
 
     Parameters
     ----------
     max_workers:
         Worker processes; ``None`` lets the executor pick, ``0``/``1`` runs
-        every task inline in the current process (no pool).
+        every task inline (serial backend).  Only consulted when ``backend``
+        does not name/carry one explicitly.
     cache_dir:
         Directory for the on-disk result cache; ``None`` disables caching.
     confidence:
         Confidence level of the aggregated intervals.
+    backend:
+        How tasks execute: an :class:`ExecutionBackend` instance, a backend
+        name (``"serial"``, ``"process"``, ``"batch"`` — instantiated with
+        ``max_workers``), or ``None`` to derive the historical behaviour
+        from ``max_workers`` (inline for ``<= 1``, process pool otherwise).
+    progress:
+        Optional callback invoked once per completed task with a
+        :class:`SweepProgress` (see :func:`log_progress` for a ready-made
+        logging handler).
     """
 
     def __init__(self, max_workers: Optional[int] = 1,
                  cache_dir: Optional[str] = None,
-                 confidence: float = 0.95):
+                 confidence: float = 0.95,
+                 backend: Union[ExecutionBackend, str, None] = None,
+                 progress: Optional[ProgressCallback] = None):
         self.max_workers = max_workers
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.confidence = confidence
+        self.backend = self._resolve_backend(backend, max_workers)
+        self.progress = progress
+
+    @staticmethod
+    def _resolve_backend(backend: Union[ExecutionBackend, str, None],
+                         max_workers: Optional[int]) -> ExecutionBackend:
+        if isinstance(backend, ExecutionBackend):
+            return backend
+        if isinstance(backend, str):
+            return make_backend(backend, max_workers)
+        if backend is not None:
+            raise TypeError(
+                f"backend must be an ExecutionBackend, a name or None, "
+                f"got {backend!r}")
+        if max_workers is not None and max_workers <= 1:
+            return SerialBackend()
+        return ProcessPoolBackend(max_workers)
 
     # ------------------------------------------------------------- planning
 
@@ -248,6 +508,19 @@ class SweepRunner:
         replication_count = self._replication_count(spec, replications)
         tasks = self.tasks_for(spec, overrides, replication_count,
                                master_seed)
+        started = time.monotonic()
+        completed = 0
+
+        def report(task: SweepTask, cached: bool) -> None:
+            nonlocal completed
+            completed += 1
+            if self.progress is not None:
+                self.progress(SweepProgress(
+                    experiment=spec.name, completed=completed,
+                    total=len(tasks), point_index=task.point_index,
+                    replication=task.replication, params=dict(task.params),
+                    elapsed_seconds=time.monotonic() - started,
+                    cached=cached))
 
         # the cache key carries the spec's result-schema version so bumping
         # it after a run_point change invalidates stale entries
@@ -261,6 +534,7 @@ class SweepRunner:
             if cached is not None:
                 results[slot] = cached
                 cache_hits += 1
+                report(task, cached=True)
             else:
                 pending.append((slot, task))
 
@@ -268,6 +542,7 @@ class SweepRunner:
             if self.cache is not None:
                 self.cache.put(cache_name, task.params, task.seed, rows)
             results[slot] = rows
+            report(task, cached=False)
 
         # aggregate per point, in point order
         aggregated: List[Dict] = []
@@ -283,28 +558,21 @@ class SweepRunner:
             experiment=experiment, master_seed=master_seed,
             replications=replication_count, confidence=self.confidence,
             rows=aggregated, tasks_total=len(tasks),
-            tasks_run=len(pending), cache_hits=cache_hits)
+            tasks_run=len(pending), cache_hits=cache_hits,
+            backend=self.backend.name)
 
-    def _execute(self, pending: Sequence[Tuple[int, SweepTask]]):
-        """Yield ``(slot, task, rows)`` for every pending task."""
-        if not pending:
-            return
-        if self.max_workers is not None and self.max_workers <= 1:
-            for slot, task in pending:
-                yield slot, task, execute_point(task.experiment, task.params,
-                                                task.seed)
-            return
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = [(slot, task,
-                        pool.submit(execute_point, task.experiment,
-                                    task.params, task.seed))
-                       for slot, task in pending]
-            for slot, task, future in futures:
-                yield slot, task, future.result()
+    def _execute(self, pending: Sequence[Tuple[int, SweepTask]]
+                 ) -> Iterator[CompletedTask]:
+        """Yield ``(slot, task, rows)`` for every pending task (in order)."""
+        yield from self.backend.execute(pending)
 
 
 def format_sweep(result: SweepResult, float_format: str = ".2f") -> str:
-    """Render an aggregated sweep as a text table (mean +- CI half-width)."""
+    """Render an aggregated sweep as a text table (mean +- CI half-width).
+
+    Metric columns are the (flattened) keys of the aggregated ``mean`` rows,
+    so nested driver metrics show up as ``fixed_gs_slots``-style columns.
+    """
     from repro.analysis.reporting import format_table
 
     if not result.rows:
@@ -335,7 +603,8 @@ def format_sweep(result: SweepResult, float_format: str = ".2f") -> str:
     header = (f"{result.experiment} — {len(result.rows)} rows, "
               f"{result.replications} replication(s), master seed "
               f"{result.master_seed} (tasks: {result.tasks_total}, "
-              f"run: {result.tasks_run}, cache hits: {result.cache_hits})")
+              f"run: {result.tasks_run}, cache hits: {result.cache_hits}, "
+              f"backend: {result.backend})")
     return header + "\n\n" + format_table(point_keys + metric_keys,
                                           table_rows,
                                           float_format=float_format)

@@ -102,3 +102,8 @@ def get_experiment(name: str) -> ExperimentSpec:
 def experiment_names() -> List[str]:
     """Sorted names of all registered experiments."""
     return sorted(_REGISTRY)
+
+
+def iter_experiments() -> List[ExperimentSpec]:
+    """All registered specs, in name order (the CLI listing's source)."""
+    return [_REGISTRY[name] for name in experiment_names()]

@@ -1,0 +1,182 @@
+"""Registered scenario packs beyond the paper's core tables and figures.
+
+Three workloads grow the sweep registry past the Section-4 reproduction,
+each a single :func:`~repro.experiments.registry.register` call over the
+parameterised Figure-4 builder:
+
+``heavy_piconet``
+    Every one of the seven slaves carries best-effort traffic (the paper's
+    rate mix, cycled) *in addition to* the Section-4.1 GS flows on slaves
+    1..3 — 4 GS + 14 BE flows contending for the same master.  Measures how
+    the GS guarantee and the fair BE division hold up under a fully loaded
+    piconet.
+
+``mixed_sco_gs``
+    A reserved HV3 SCO voice link on slave 7 next to uplink GS flows
+    (slaves 1..3) and uplink BE flows (slaves 4..6).  The GS admission
+    control knows nothing about the SCO reservations stealing a third of
+    the slots, so the recorded bound violations quantify exactly what SCO
+    coexistence costs the Guaranteed Service.
+
+``be_load_scale``
+    The Figure-4 scenario under a sweep of the best-effort offered load at
+    a fixed GS delay requirement — the orthogonal axis to Figure 5's delay
+    sweep.
+
+The rows deliberately use nested metric dicts (``gs``/``be``/``voice``/
+``slots`` sub-dicts): the orchestrator's aggregation flattens them into
+``gs_max_delay_s``-style keys, so every nested metric still gets mean/CI
+treatment over replications.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments import figure5 as _figure5
+from repro.experiments.registry import ExperimentSpec, register
+from repro.piconet.flows import UPLINK
+from repro.traffic.workloads import Figure4Scenario, build_figure4_scenario
+
+#: slaves of the heavy scenario: the full piconet carries best effort
+HEAVY_BE_SLAVES = (1, 2, 3, 4, 5, 6, 7)
+
+
+def _jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index of a throughput allocation (1.0 = equal)."""
+    values = [float(v) for v in values]
+    if not values or all(v == 0 for v in values):
+        return float("nan")
+    square_of_sum = sum(values) ** 2
+    sum_of_squares = sum(v * v for v in values)
+    return square_of_sum / (len(values) * sum_of_squares)
+
+
+def _rejected_row(scenario: Figure4Scenario, requirement: float) -> Dict:
+    rejected = [fid for fid, setup in scenario.gs_setups.items()
+                if not setup.accepted]
+    return {"delay_requirement_s": requirement, "admitted": False,
+            "rejected_flows": rejected}
+
+
+def _gs_metrics(scenario: Figure4Scenario, duration_seconds: float) -> Dict:
+    summary = scenario.gs_delay_summary()
+    piconet = scenario.piconet
+    throughput = sum(piconet.flow_state(fid).delivered_bytes
+                     for fid in scenario.gs_flow_ids) * 8 / duration_seconds
+    return {
+        "throughput_kbps": throughput / 1000.0,
+        "max_delay_s": max(d["max_delay_s"] for d in summary.values()),
+        "bound_violated": any(
+            d["max_delay_s"] > d["requested_bound_s"] + 1e-9
+            for d in summary.values()),
+    }
+
+
+def _be_metrics(scenario: Figure4Scenario, duration_seconds: float) -> Dict:
+    piconet = scenario.piconet
+    per_flow_kbps = [
+        piconet.flow_state(fid).delivered_bytes * 8 / duration_seconds / 1000.0
+        for fid in scenario.be_flow_ids]
+    return {
+        "throughput_kbps": sum(per_flow_kbps),
+        "fairness": _jain_fairness(per_flow_kbps),
+    }
+
+
+def run_heavy_piconet_point(params: Dict, seed: int) -> List[Dict]:
+    """One heavy-piconet point: BE flows on all seven slaves next to GS."""
+    requirement = params["delay_requirement"]
+    duration_seconds = params.get("duration_seconds", 5.0)
+    scenario = build_figure4_scenario(
+        delay_requirement=requirement, seed=seed,
+        be_load_scale=params.get("be_load_scale", 1.0),
+        be_slaves=HEAVY_BE_SLAVES)
+    if not scenario.all_gs_admitted:
+        return [_rejected_row(scenario, requirement)]
+    scenario.run(duration_seconds)
+    row: Dict = {"delay_requirement_s": requirement, "admitted": True}
+    for slave, value in scenario.slave_throughputs_kbps().items():
+        row[f"S{slave}"] = value
+    row["total_kbps"] = sum(
+        v for k, v in row.items() if k.startswith("S"))
+    row["gs"] = _gs_metrics(scenario, duration_seconds)
+    row["be"] = _be_metrics(scenario, duration_seconds)
+    row["slots"] = scenario.piconet.slot_accounting()
+    return [row]
+
+
+def run_mixed_sco_gs_point(params: Dict, seed: int) -> List[Dict]:
+    """One mixed point: HV3 SCO voice next to uplink GS and BE flows."""
+    requirement = params["delay_requirement"]
+    duration_seconds = params.get("duration_seconds", 5.0)
+    scenario = build_figure4_scenario(
+        delay_requirement=requirement, seed=seed,
+        be_load_scale=params.get("be_load_scale", 1.0),
+        be_slaves=(4, 5, 6), sco_slaves=(7,),
+        gs_uplink_only=True, be_directions=(UPLINK,))
+    if not scenario.all_gs_admitted:
+        return [_rejected_row(scenario, requirement)]
+    scenario.run(duration_seconds)
+    piconet = scenario.piconet
+    voice = piconet.flow_state(scenario.sco_flow_ids[0])
+    row: Dict = {
+        "delay_requirement_s": requirement,
+        "admitted": True,
+        "voice": {
+            "throughput_kbps":
+                voice.delivered_bytes * 8 / duration_seconds / 1000.0,
+            "max_delay_ms": voice.delays.maximum * 1000.0,
+            "residual_errors": voice.sco_residual_errors,
+        },
+        "gs": _gs_metrics(scenario, duration_seconds),
+        "be": _be_metrics(scenario, duration_seconds),
+        "slots": piconet.slot_accounting(),
+    }
+    return [row]
+
+
+def run_be_load_scale_point(params: Dict, seed: int) -> List[Dict]:
+    """One BE-load point: the Figure-4 scenario at a scaled offered load."""
+    rows: List[Dict] = []
+    for row in _figure5.run_point(params, seed):
+        if not row.get("admitted", False):
+            rows.append(row)
+            continue
+        row = dict(row)
+        row["be_load_scale"] = params.get("be_load_scale", 1.0)
+        row["be_total_kbps"] = sum(
+            row.get(f"S{slave}", 0.0) for slave in (4, 5, 6, 7))
+        row["gs_total_kbps"] = sum(
+            row.get(f"S{slave}", 0.0) for slave in (1, 2, 3))
+        rows.append(row)
+    return rows
+
+
+register(ExperimentSpec(
+    name="heavy_piconet",
+    description="Fully loaded piconet: BE flows on all 7 slaves next to "
+                "the Section-4.1 GS flows",
+    run_point=run_heavy_piconet_point,
+    grid={"delay_requirement": [0.032, 0.038, 0.044]},
+    defaults={"duration_seconds": 5.0, "be_load_scale": 1.0},
+))
+
+register(ExperimentSpec(
+    name="mixed_sco_gs",
+    description="HV3 SCO voice link coexisting with uplink GS and BE flows",
+    run_point=run_mixed_sco_gs_point,
+    # uplink-only GS stacks the wait bounds higher than the piggybacked
+    # Figure-4 set, so the feasible band starts around 38 ms
+    grid={"delay_requirement": [0.038, 0.046]},
+    defaults={"duration_seconds": 5.0, "be_load_scale": 1.0},
+))
+
+register(ExperimentSpec(
+    name="be_load_scale",
+    description="Figure-4 scenario vs. scaled best-effort offered load at "
+                "a fixed GS delay bound",
+    run_point=run_be_load_scale_point,
+    grid={"be_load_scale": [0.5, 1.0, 1.5, 2.0]},
+    defaults={"delay_requirement": 0.040, "duration_seconds": 5.0},
+))

@@ -278,16 +278,24 @@ class Piconet:
             plan = self.poller.select(self.env.now) if self.poller is not None else None
 
             # 3. never start an ACL transaction that would overlap the next
-            #    SCO reservation
+            #    SCO reservation.  The master knows the exact packet it will
+            #    transmit (the downlink head segment, or a 1-slot POLL), so
+            #    only the slave's response needs the worst-case allowance —
+            #    budgeting the policy maximum for *both* directions would
+            #    starve ACL entirely next to an HV3 link (4 free slots per
+            #    6-slot period, but a DH3-capable worst case of 6).
             if plan is not None and len(self.sco_table):
                 next_reservation = self.sco_table.next_reservation(slot_index)
                 if next_reservation is not None:
-                    worst_slots = 2 * max(
-                        self.queue(plan.dl_flow_id).policy.max_segment_slots()
-                        if plan.dl_flow_id is not None else 1,
+                    dl_slots = 1
+                    if plan.dl_flow_id is not None:
+                        head = self.queue(plan.dl_flow_id).peek_segment()
+                        if head is not None:
+                            dl_slots = head.ptype.slots
+                    ul_slots = (
                         self.queue(plan.ul_flow_id).policy.max_segment_slots()
                         if plan.ul_flow_id is not None else 1)
-                    if slot_index + worst_slots > next_reservation:
+                    if slot_index + dl_slots + ul_slots > next_reservation:
                         plan = None
 
             if plan is None:

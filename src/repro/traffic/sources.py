@@ -59,12 +59,33 @@ class TrafficSource:
         """Yield successive inter-packet gaps in seconds (subclasses override)."""
         raise NotImplementedError
 
+    def _delay_us(self, target_us: float) -> int:
+        """Clamped integer delay that tracks a continuous-time target.
+
+        Rounding every gap independently accumulates drift (a 1.4 us gap
+        rounded to 1 us inflates the emitted rate by 40%), and clamping to
+        the 1 us simulation resolution caps the rate at one packet per
+        microsecond.  Scheduling against the cumulative target keeps the
+        long-run emitted rate equal to the nominal rate for any gap that is
+        representable (>= 1 us on average); the clamp only binds when the
+        nominal rate genuinely exceeds the simulator's resolution.
+        """
+        return max(1, int(round(target_us)) - self.piconet.env.now)
+
     def _run(self):
         if self.start_offset > 0:
             yield self.piconet.env.timeout(_to_us(self.start_offset))
+        target_us = float(self.piconet.env.now)
         for gap in self._intervals():
             self._emit()
-            yield self.piconet.env.timeout(max(1, _to_us(gap)))
+            target_us += gap * _US_PER_SECOND
+            # Cap how far the target may fall behind the clock at the 0.5 us
+            # that integer rounding alone can produce: a larger deficit only
+            # builds up while the >=1 us clamp binds (nominal rate above the
+            # simulator resolution) and must not be "repaid" later as an
+            # unrealistic burst.
+            target_us = max(target_us, self.piconet.env.now - 0.5)
+            yield self.piconet.env.timeout(self._delay_us(target_us))
 
 
 class CBRSource(TrafficSource):
@@ -130,11 +151,18 @@ class OnOffSource(TrafficSource):
             yield self.piconet.env.timeout(_to_us(self.start_offset))
         while True:
             on_duration = self.rng.expovariate(1.0 / self.mean_on)
-            elapsed = 0.0
-            while elapsed < on_duration:
+            # Account the on-period in *simulated* time: the per-emission
+            # delay is clamped to the 1 us resolution, so accumulating the
+            # nominal interval instead would stretch sub-microsecond
+            # intervals into on-periods (and emitted packet counts) that
+            # diverge from the simulation clock.
+            on_started = self.piconet.env.now
+            target_us = float(on_started)
+            while self.piconet.env.now - on_started < _to_us(on_duration):
                 self._emit()
-                yield self.piconet.env.timeout(max(1, _to_us(self.interval)))
-                elapsed += self.interval
+                target_us += self.interval * _US_PER_SECOND
+                target_us = max(target_us, self.piconet.env.now - 0.5)
+                yield self.piconet.env.timeout(self._delay_us(target_us))
             off_duration = self.rng.expovariate(1.0 / self.mean_off)
             yield self.piconet.env.timeout(max(1, _to_us(off_duration)))
 

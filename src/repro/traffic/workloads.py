@@ -17,7 +17,7 @@ and every best-effort slave carries one downlink and one uplink flow.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.baseband.channel import Channel
 from repro.baseband.constants import SLOT_SECONDS
@@ -37,6 +37,20 @@ GS_MAX_PACKET = 176
 #: Best-effort source parameters of Section 4.1: rate per flow, by slave.
 BE_RATES_BPS = {4: 41_600, 5: 47_200, 6: 52_800, 7: 58_400}
 BE_PACKET_SIZE = 176
+
+#: The Section 4.1 best-effort rates as a cycle, so scenarios that put BE
+#: flows on other slaves (heavy piconets) reuse the paper's load mix.
+BE_RATE_CYCLE_BPS = (41_600, 47_200, 52_800, 58_400)
+
+#: SCO voice parameters for mixed SCO+GS workloads: 150-byte frames every
+#: 18.75 ms are exactly 64 kbit/s and map onto whole HV3 packets (5 x 30 B).
+SCO_VOICE_INTERVAL_S = 0.01875
+SCO_VOICE_PACKET = 150
+
+
+def be_rate_bps(slave: int) -> float:
+    """The Section-4.1 best-effort rate of ``slave`` (rates cycle 4..7)."""
+    return BE_RATES_BPS.get(slave, BE_RATE_CYCLE_BPS[(slave - 4) % 4])
 
 #: Packet types allowed in the Section 4.1 scenario.
 ALLOWED_TYPES = ("DH1", "DH3")
@@ -64,6 +78,8 @@ class Figure4Scenario:
     delay_requirement: Optional[float]
     #: slave -> flow ids, matching the Figure 5 legend grouping
     slave_flows: Dict[int, List[int]] = field(default_factory=dict)
+    #: voice flows carried over reserved SCO links (mixed SCO+GS workloads)
+    sco_flow_ids: List[int] = field(default_factory=list)
 
     @property
     def all_gs_admitted(self) -> bool:
@@ -110,7 +126,12 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
                            skip_when_no_downlink_data: bool = True,
                            channel: Optional[Channel] = None,
                            seed: int = 1,
-                           stagger_sources: bool = True) -> Figure4Scenario:
+                           stagger_sources: bool = True,
+                           be_slaves: Optional[Sequence[int]] = None,
+                           sco_slaves: Sequence[int] = (),
+                           gs_uplink_only: bool = False,
+                           be_directions: Sequence[str] = (DOWNLINK, UPLINK)
+                           ) -> Figure4Scenario:
     """Build the Section 4.1 piconet, flows, sources, manager and poller.
 
     Parameters
@@ -132,11 +153,43 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
         Give each source a random phase offset within its period (the
         worst-case analysis does not depend on phases; staggering avoids a
         fully synchronised, atypical start).
+    be_slaves:
+        Slaves carrying one downlink + one uplink best-effort flow each
+        (default: the paper's slaves 4..7).  Heavy-piconet scenarios put
+        best-effort flows on all seven slaves — including the GS slaves
+        1..3 — with rates cycling through the paper's load mix.
+    sco_slaves:
+        Slaves carrying a reserved HV3 SCO voice link with a 64 kbit/s CBR
+        uplink voice source (mixed SCO+GS workloads).  Must be disjoint
+        from the GS slaves (1..3) and from ``be_slaves``.
+    gs_uplink_only:
+        Turn every GS flow into an uplink flow (mixed SCO+GS workloads:
+        next to an HV3 reservation only POLL+DH3 transactions fit the
+        4-slot gaps, so DH3 downlink GS flows would starve).
+    be_directions:
+        Directions of the best-effort flows per slave (default: one
+        downlink and one uplink flow each, as in the paper).
     """
     if (delay_requirement is None) == (gs_rate is None):
         raise ValueError("specify exactly one of delay_requirement / gs_rate")
     if be_load_scale < 0:
         raise ValueError("be_load_scale cannot be negative")
+    be_slaves = tuple(be_slaves) if be_slaves is not None else (4, 5, 6, 7)
+    sco_slaves = tuple(sco_slaves)
+    if any(not 1 <= slave <= 7 for slave in (*be_slaves, *sco_slaves)):
+        raise ValueError("slaves must lie in 1..7")
+    if len(set(be_slaves)) != len(be_slaves):
+        raise ValueError("be_slaves must not repeat")
+    overlap = set(sco_slaves) & ({1, 2, 3} | set(be_slaves))
+    if overlap:
+        raise ValueError(
+            f"sco_slaves must not carry GS or BE flows: {sorted(overlap)}")
+    be_directions = tuple(be_directions)
+    if not be_directions or any(d not in (DOWNLINK, UPLINK)
+                                for d in be_directions):
+        raise ValueError(
+            f"be_directions must be a non-empty subset of "
+            f"({DOWNLINK!r}, {UPLINK!r}), got {be_directions!r}")
 
     streams = RandomStreams(seed)
     piconet = Piconet(channel=channel)
@@ -144,29 +197,39 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
         piconet.add_slave(f"S{index}")
 
     # -- flow specifications ----------------------------------------------------
+    gs_directions = (UPLINK, UPLINK, UPLINK, UPLINK) if gs_uplink_only \
+        else (UPLINK, DOWNLINK, UPLINK, UPLINK)
     gs_specs = [
-        FlowSpec(1, slave=1, direction=UPLINK, traffic_class=GS,
+        FlowSpec(1, slave=1, direction=gs_directions[0], traffic_class=GS,
                  allowed_types=ALLOWED_TYPES),
-        FlowSpec(2, slave=2, direction=DOWNLINK, traffic_class=GS,
+        FlowSpec(2, slave=2, direction=gs_directions[1], traffic_class=GS,
                  allowed_types=ALLOWED_TYPES),
-        FlowSpec(3, slave=2, direction=UPLINK, traffic_class=GS,
+        FlowSpec(3, slave=2, direction=gs_directions[2], traffic_class=GS,
                  allowed_types=ALLOWED_TYPES),
-        FlowSpec(4, slave=3, direction=UPLINK, traffic_class=GS,
+        FlowSpec(4, slave=3, direction=gs_directions[3], traffic_class=GS,
                  allowed_types=ALLOWED_TYPES),
     ]
     be_specs = []
     flow_id = 5
-    for slave in (4, 5, 6, 7):
-        for direction in (DOWNLINK, UPLINK):
+    for slave in be_slaves:
+        for direction in be_directions:
             be_specs.append(FlowSpec(flow_id, slave=slave, direction=direction,
                                      traffic_class=BE,
                                      allowed_types=ALLOWED_TYPES))
             flow_id += 1
+    sco_specs = []
+    for slave in sco_slaves:
+        sco_specs.append(FlowSpec(flow_id, slave=slave, direction=UPLINK,
+                                  traffic_class=GS, allowed_types=("HV3",)))
+        flow_id += 1
 
     slave_flows: Dict[int, List[int]] = {}
-    for spec in gs_specs + be_specs:
+    for spec in gs_specs + be_specs + sco_specs:
         piconet.add_flow(spec)
         slave_flows.setdefault(spec.slave, []).append(spec.flow_id)
+    for spec in sco_specs:
+        piconet.add_sco_link(spec.slave, packet_type="HV3",
+                             ul_flow_id=spec.flow_id)
 
     # -- Guaranteed Service setup -----------------------------------------------
     manager = GuaranteedServiceManager(
@@ -198,13 +261,20 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
                                  start_offset=offset))
     if be_load_scale > 0:
         for spec in be_specs:
-            rate = BE_RATES_BPS[spec.slave] * be_load_scale
+            rate = be_rate_bps(spec.slave) * be_load_scale
             rng = streams.stream(f"be-{spec.flow_id}")
             interval = BE_PACKET_SIZE * 8 / rate
             offset = rng.uniform(0, interval) if stagger_sources else 0.0
             sources.append(CBRSource(piconet, spec.flow_id, interval,
                                      BE_PACKET_SIZE, rng=rng,
                                      start_offset=offset))
+    for spec in sco_specs:
+        rng = streams.stream(f"sco-{spec.flow_id}")
+        offset = (rng.uniform(0, SCO_VOICE_INTERVAL_S)
+                  if stagger_sources else 0.0)
+        sources.append(CBRSource(piconet, spec.flow_id, SCO_VOICE_INTERVAL_S,
+                                 SCO_VOICE_PACKET, rng=rng,
+                                 start_offset=offset))
 
     return Figure4Scenario(
         piconet=piconet,
@@ -216,4 +286,5 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
         sources=sources,
         delay_requirement=delay_requirement,
         slave_flows=slave_flows,
+        sco_flow_ids=[spec.flow_id for spec in sco_specs],
     )

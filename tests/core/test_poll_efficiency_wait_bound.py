@@ -2,11 +2,27 @@
 
 import pytest
 
+from repro.baseband.segmentation import SegmentationPolicy
 from repro.core import compute_wait_bound, min_poll_efficiency, poll_efficiency
-from repro.core.poll_efficiency import segments_needed
+from repro.core.poll_efficiency import _candidate_sizes, segments_needed
 from repro.core.wait_bound import HigherPriorityStream
 
 MS = 1e-3
+
+
+class FecMidstreamPolicy(SegmentationPolicy):
+    """Mid-stream segments prefer the FEC-protected DM3; final best fit.
+
+    A legitimate policy whose segment plans mix types mid-stream: its
+    breakpoints sit at mixed-capacity sums (e.g. DM3+DH3 = 304 bytes), not
+    at multiples of any single capacity.
+    """
+
+    def choose_type(self, remaining):
+        for ptype in self.by_capacity:
+            if remaining <= ptype.max_payload:
+                return ptype
+        return next(t for t in self.by_capacity if t.name == "DM3")
 
 
 def test_paper_minimum_poll_efficiency_is_144_bytes():
@@ -31,6 +47,27 @@ def test_min_poll_efficiency_candidate_set_matches_exhaustive():
         fast = min_poll_efficiency(low, high, ("DH1", "DH3"))
         slow = min_poll_efficiency(low, high, ("DH1", "DH3"), exhaustive=True)
         assert fast == pytest.approx(slow)
+
+
+def test_candidate_sizes_include_mixed_capacity_sums():
+    # regression: only multiples of single capacities were enumerated, so
+    # breakpoints at mixed-type sums (DM3+DH3 = 304 -> step at 305) were
+    # missed for policies whose plans mix types mid-stream
+    policy = FecMidstreamPolicy(("DH1", "DM3", "DH3"))
+    candidates = _candidate_sizes(250, 360, policy)
+    assert 305 in candidates  # 121 + 183 + 1
+    assert 332 in candidates  # 121 + 183 + 27 + 1
+
+
+def test_min_poll_efficiency_true_minimum_for_midstream_mixing_policy():
+    # with FecMidstreamPolicy the segment count steps from 2 to 3 at
+    # 305 = DM3+DH3+1; the candidate set used to miss it and report
+    # 324/3 = 108 instead of 305/3 ~ 101.67
+    policy = FecMidstreamPolicy(("DH1", "DM3", "DH3"))
+    fast = min_poll_efficiency(250, 360, policy=policy)
+    slow = min_poll_efficiency(250, 360, policy=policy, exhaustive=True)
+    assert fast == pytest.approx(slow)
+    assert fast == pytest.approx(305 / 3)
 
 
 def test_min_poll_efficiency_with_dh5_allowed():

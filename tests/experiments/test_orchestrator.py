@@ -11,9 +11,14 @@ import pytest
 from repro.analysis.stats import confidence_interval
 from repro.experiments import experiment_names, get_experiment
 from repro.experiments.orchestrator import (
+    BatchingProcessBackend,
+    ProcessPoolBackend,
+    SerialBackend,
     SweepRunner,
     aggregate_replications,
+    flatten_row,
     format_sweep,
+    make_backend,
     point_seed,
 )
 from repro.experiments.registry import ExperimentSpec, register, unregister
@@ -24,10 +29,13 @@ EXPECTED_EXPERIMENTS = [
     "admission_capacity",
     "bandwidth_savings",
     "baseline_comparison",
+    "be_load_scale",
     "delay_compliance",
     "figure5",
+    "heavy_piconet",
     "improvement_ablation",
     "lossy_channel",
+    "mixed_sco_gs",
     "sco_comparison",
 ]
 
@@ -122,6 +130,82 @@ def test_worker_pool_matches_inline_execution():
     assert pooled.rows, "sweep produced no rows"
 
 
+# ----------------------------------------------------------------- backends
+
+def test_all_backends_produce_byte_identical_rows():
+    # the ISSUE acceptance: serial / process / batch must agree down to the
+    # serialised JSON for a registered spec under the same master seed
+    results = {
+        name: SweepRunner(max_workers=2, backend=name).run(
+            "admission_capacity", master_seed=3)
+        for name in ("serial", "process", "batch")}
+    serial = results["serial"]
+    assert serial.rows, "sweep produced no rows"
+    assert serial.to_json() == results["process"].to_json()
+    assert serial.to_json() == results["batch"].to_json()
+    for name, result in results.items():
+        assert result.backend == name
+
+
+def test_backend_resolution_from_max_workers_and_names():
+    assert isinstance(SweepRunner(max_workers=1).backend, SerialBackend)
+    assert isinstance(SweepRunner(max_workers=0).backend, SerialBackend)
+    assert isinstance(SweepRunner(max_workers=4).backend, ProcessPoolBackend)
+    assert isinstance(SweepRunner(max_workers=None).backend,
+                      ProcessPoolBackend)
+    assert isinstance(SweepRunner(backend="batch").backend,
+                      BatchingProcessBackend)
+    explicit = BatchingProcessBackend(max_workers=2, batch_size=3)
+    assert SweepRunner(backend=explicit).backend is explicit
+    with pytest.raises(ValueError, match="unknown execution backend"):
+        make_backend("carrier-pigeon")
+    with pytest.raises(TypeError):
+        SweepRunner(backend=42)
+
+
+def test_batching_backend_chunking_and_validation():
+    with pytest.raises(ValueError):
+        BatchingProcessBackend(batch_size=0)
+    with pytest.raises(ValueError):
+        BatchingProcessBackend(oversubscribe=0)
+    backend = BatchingProcessBackend(max_workers=2, batch_size=3)
+    pending = [(i, None) for i in range(8)]
+    chunks = backend._chunk(pending)
+    assert [len(c) for c in chunks] == [3, 3, 2]
+    assert [slot for chunk in chunks for slot, _ in chunk] == list(range(8))
+    # derived batch size: ceil(8 / (2 workers * 4 oversubscribe)) = 1
+    assert [len(c) for c in
+            BatchingProcessBackend(max_workers=2)._chunk(pending)] == [1] * 8
+
+
+# ----------------------------------------------------------------- progress
+
+def test_progress_callback_reports_every_task(toy_experiment):
+    events = []
+    runner = SweepRunner(max_workers=1, progress=events.append)
+    runner.run("toy", replications=3, master_seed=2)
+    assert len(events) == 6  # 2 points x 3 replications
+    assert [e.completed for e in events] == list(range(1, 7))
+    assert all(e.total == 6 for e in events)
+    assert all(not e.cached for e in events)
+    assert all(e.elapsed_seconds >= 0 for e in events)
+    assert {(e.point_index, e.replication) for e in events} == {
+        (p, r) for p in range(2) for r in range(3)}
+    assert all(e.params["x"] in (1, 2) for e in events)
+
+
+def test_progress_callback_marks_cache_hits(toy_experiment, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    SweepRunner(max_workers=1, cache_dir=cache_dir).run(
+        "toy", replications=2, master_seed=4)
+    events = []
+    SweepRunner(max_workers=1, cache_dir=cache_dir,
+                progress=events.append).run("toy", replications=2,
+                                            master_seed=4)
+    assert len(events) == 4
+    assert all(e.cached for e in events)
+
+
 # ------------------------------------------------------------------ cache
 
 def test_cache_miss_then_hit_skips_execution(toy_experiment, tmp_path):
@@ -194,6 +278,50 @@ def test_disagreeing_boolean_verdicts_surface_as_fraction():
     assert rows[0]["mean"]["bound_met"] is True
 
 
+def test_flatten_row_handles_nesting_and_collisions():
+    flat = flatten_row({"a": 1, "b": {"c": 2.5, "d": {"e": True}},
+                        "f": [1, 2]})
+    assert flat == {"a": 1, "b_c": 2.5, "b_d_e": True, "f": [1, 2]}
+    with pytest.raises(ValueError, match="duplicate key"):
+        flatten_row({"a_b": 1, "a": {"b": 2}})
+
+
+def test_aggregate_replications_flattens_nested_metric_dicts():
+    rows = aggregate_replications([
+        [{"d": 0.1, "fixed": {"gs_slots": 10, "note": "x"},
+          "variable": {"gs_slots": 4}}],
+        [{"d": 0.1, "fixed": {"gs_slots": 12, "note": "x"},
+          "variable": {"gs_slots": 6}}],
+    ])
+    mean, ci = rows[0]["mean"], rows[0]["ci"]
+    assert mean["fixed_gs_slots"] == pytest.approx(11.0)
+    assert mean["variable_gs_slots"] == pytest.approx(5.0)
+    assert mean["fixed_note"] == "x"
+    assert "fixed" not in mean  # the nested dict itself is gone
+    low, high = ci["fixed_gs_slots"]
+    assert low <= 11.0 <= high
+    assert low == pytest.approx(2 * 11.0 - high)  # symmetric around mean
+
+
+def test_bandwidth_savings_sweep_exposes_flattened_poller_metrics():
+    """The ISSUE acceptance: fixed_*/variable_* metrics carry CI bounds."""
+    result = SweepRunner(max_workers=1).run(
+        "bandwidth_savings",
+        overrides={"delay_requirement": [0.035], "duration_seconds": 0.5},
+        replications=2, master_seed=1)
+    assert result.rows, "sweep produced no rows"
+    row = result.rows[0]
+    for key in ("fixed_gs_slots", "variable_gs_slots",
+                "fixed_be_throughput_kbps", "variable_gs_max_delay_s"):
+        assert key in row["mean"], f"missing flattened metric {key}"
+        low, high = row["ci"][key]
+        assert low <= high
+    # the variable-interval poller still saves slots after aggregation
+    assert row["mean"]["variable_gs_slots"] < row["mean"]["fixed_gs_slots"]
+    # and the flattened keys render as table columns
+    assert "fixed_gs_slots" in format_sweep(result)
+
+
 def test_cache_invalidated_by_spec_version_bump(tmp_path):
     cache_dir = str(tmp_path / "cache")
     try:
@@ -234,6 +362,33 @@ def test_cli_list_names_all_experiments(capsys):
     out = capsys.readouterr().out
     for name in EXPECTED_EXPERIMENTS:
         assert name in out
+
+
+def test_cli_backend_flag_selects_backend_and_agrees(tmp_path):
+    from repro.experiments.__main__ import main
+    outputs = {}
+    for backend in ("serial", "process", "batch"):
+        out = tmp_path / f"{backend}.json"
+        assert main(["run", "admission_capacity", "--backend", backend,
+                     "--workers", "2", "--no-cache",
+                     "--json", str(out)]) == 0
+        outputs[backend] = out.read_bytes()
+    assert outputs["serial"] == outputs["process"] == outputs["batch"]
+
+
+def test_cli_progress_flag_logs_per_task(tmp_path, caplog):
+    import logging
+
+    from repro.experiments.__main__ import main
+    with caplog.at_level(logging.INFO, logger="repro.experiments.progress"):
+        assert main(["run", "admission_capacity", "--backend", "serial",
+                     "--progress", "--no-cache",
+                     "--json", str(tmp_path / "out.json")]) == 0
+    lines = [r.message for r in caplog.records
+             if "admission_capacity: task" in r.message]
+    grid = get_experiment("admission_capacity").grid["rate_bytes_per_second"]
+    assert len(lines) == len(grid)
+    assert "task 1/" in lines[0] and "done" in lines[0]
 
 
 def test_cli_run_writes_json_and_hits_cache(tmp_path):

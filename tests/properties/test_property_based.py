@@ -53,6 +53,47 @@ def test_min_poll_efficiency_is_a_true_minimum(m, span):
         assert size / policy.segment_count(size) >= eta - 1e-9
 
 
+class _MidstreamMixingPolicy(BestFitSegmentationPolicy):
+    """Non-final segments use the *second largest* type: plans mix types
+    mid-stream, so segment-count breakpoints sit at mixed-capacity sums."""
+
+    def choose_type(self, remaining):
+        for ptype in self.by_capacity:
+            if remaining <= ptype.max_payload:
+                return ptype
+        return self.by_capacity[-2] if len(self.by_capacity) > 1 \
+            else self.largest
+
+
+#: allowed-type sets whose segment plans mix packet types
+MIXING_TYPE_SETS = [
+    ("DH1", "DH3"),
+    ("DH1", "DH3", "DH5"),
+    ("DM1", "DH3"),
+    ("DH1", "DM3", "DH5"),
+    ("DM1", "DM3", "DH3", "DH5"),
+]
+
+
+@given(m=st.integers(min_value=1, max_value=500),
+       span=st.integers(min_value=0, max_value=300),
+       types=st.sampled_from(MIXING_TYPE_SETS),
+       mixing=st.booleans())
+@settings(max_examples=60, deadline=None)
+# regression: only multiples of single capacities were enumerated as
+# breakpoint candidates, missing mixed-type sums (e.g. DM3+DH3+1 = 305)
+@example(m=250, span=110, types=("DH1", "DM3", "DH3"), mixing=True)
+def test_min_poll_efficiency_true_minimum_across_type_sets(m, span, types,
+                                                           mixing):
+    M = m + span
+    policy_cls = _MidstreamMixingPolicy if mixing \
+        else BestFitSegmentationPolicy
+    policy = policy_cls(types)
+    eta = min_poll_efficiency(m, M, policy=policy)
+    exhaustive = min_poll_efficiency(m, M, policy=policy, exhaustive=True)
+    assert eta == exhaustive
+
+
 # -------------------------------------------------------------- gs math
 
 @given(rate=st.floats(min_value=8800.0, max_value=200_000.0),

@@ -73,6 +73,42 @@ def test_cbr_source_validation():
         CBRSource.from_rate(piconet, 1, rate_bps=0, size=100)
 
 
+def test_cbr_source_fractional_microsecond_interval_does_not_drift():
+    # regression: rounding each 1.4 us gap independently to 1 us used to
+    # inflate the emitted rate by 40%; tracking the cumulative target keeps
+    # the long-run rate nominal
+    piconet = make_piconet()
+    source = CBRSource(piconet, 1, interval=1.4e-6, size=40)
+    source.start()
+    piconet.run(0.02)
+    assert source.packets_generated == pytest.approx(0.02 / 1.4e-6, rel=0.01)
+
+
+def test_cbr_source_sub_microsecond_interval_matches_simulated_time():
+    # regression: a sub-us interval is clamped to the 1 us simulation
+    # resolution; the emitted rate must equal one packet per simulated
+    # microsecond (and never be "repaid" later as a burst)
+    piconet = make_piconet()
+    source = CBRSource(piconet, 1, interval=0.4e-6, size=40)
+    source.start()
+    piconet.run(0.01)
+    assert source.packets_generated == pytest.approx(10_000, rel=0.01)
+
+
+def test_onoff_source_sub_microsecond_interval_keeps_duty_cycle():
+    # regression: `elapsed += interval` accumulated the nominal interval
+    # while the timeout was clamped to 1 us, so a 0.5 us interval stretched
+    # every on-period to twice its duration (duty cycle 2/3 instead of 1/2)
+    piconet = make_piconet()
+    source = OnOffSource(piconet, 1, interval=0.5e-6, size=40,
+                         mean_on=0.0005, mean_off=0.0005,
+                         rng=random.Random(7))
+    source.start()
+    piconet.run(0.05)
+    # ~50% duty at 1 packet/us: 25_000 expected, 33_333 with the old bug
+    assert 21_000 < source.packets_generated < 29_000
+
+
 def test_poisson_source_mean_rate():
     piconet = make_piconet()
     source = PoissonSource(piconet, 1, rate_packets_per_second=100, size=50,
