@@ -1,0 +1,61 @@
+"""Master-loop throughput benchmark: simulated slots per wall-second.
+
+The master TDD loop is the hot path of every experiment in the repo — each
+simulated transaction walks the poller, both per-link channels, the flow
+queues and the reassembler.  This benchmark drives the Figure-4 scenario
+under an ideal radio and under per-link lossy channels (real FEC
+decomposition plus ARQ retransmissions) and reports the achieved
+slots-per-wall-second rate, seeding the BENCH trajectory for future master
+loop optimisations.
+"""
+
+import time
+
+from conftest import bench_duration
+
+from repro.baseband import ChannelMap, LossyChannel
+from repro.sim.rng import RandomStreams
+from repro.traffic import build_figure4_scenario
+
+
+def _run_scenario(channel, duration_seconds):
+    scenario = build_figure4_scenario(delay_requirement=0.040,
+                                      channel=channel, seed=1)
+    assert scenario.all_gs_admitted
+    started = time.perf_counter()
+    scenario.run(duration_seconds)
+    wall = time.perf_counter() - started
+    slots = scenario.piconet.slot_accounting()["accounted"]
+    return scenario, slots, wall
+
+
+def _report(benchmark, label, slots, wall):
+    rate = slots / wall if wall > 0 else float("inf")
+    benchmark.extra_info["simulated_slots"] = slots
+    benchmark.extra_info["slots_per_wall_second"] = round(rate)
+    print(f"\n{label}: {slots} simulated slots in {wall:.3f}s wall "
+          f"({rate:,.0f} slots/s)")
+
+
+def test_bench_master_loop_ideal_channel(benchmark):
+    duration = bench_duration(3.0)
+    scenario, slots, wall = benchmark.pedantic(
+        _run_scenario, args=(None, duration),
+        rounds=1, iterations=1, warmup_rounds=0)
+    _report(benchmark, "ideal channel", slots, wall)
+    assert slots >= duration * 1600 * 0.95
+
+
+def test_bench_master_loop_per_link_lossy(benchmark):
+    duration = bench_duration(3.0)
+    channel = ChannelMap.uniform(
+        lambda rng: LossyChannel(bit_error_rate=3e-4, rng=rng),
+        streams=RandomStreams(1).child("channel-map"))
+    scenario, slots, wall = benchmark.pedantic(
+        _run_scenario, args=(channel, duration),
+        rounds=1, iterations=1, warmup_rounds=0)
+    _report(benchmark, "per-link lossy channels", slots, wall)
+    assert slots >= duration * 1600 * 0.95
+    retx = sum(state.retransmissions
+               for state in scenario.piconet.flow_states())
+    assert retx > 0

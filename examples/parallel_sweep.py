@@ -46,8 +46,8 @@ def main() -> None:
     worst = max(result.rows, key=lambda row: row["mean"]["gs_max_delay_ms"])
     low, high = worst["ci"]["gs_max_delay_ms"]
     print(f"worst GS max delay: {worst['mean']['gs_max_delay_ms']:.2f} ms "
-          f"(95% CI [{low:.2f}, {high:.2f}]) at PER "
-          f"{worst['point']['packet_error_rate']}")
+          f"(95% CI [{low:.2f}, {high:.2f}]) at BER "
+          f"{worst['point']['bit_error_rate']}")
 
 
 if __name__ == "__main__":

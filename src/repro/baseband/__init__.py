@@ -26,22 +26,42 @@ from repro.baseband.packets import (
 )
 from repro.baseband.segmentation import (
     BestFitSegmentationPolicy,
+    ChannelAdaptiveSegmentationPolicy,
     LargestPacketSegmentationPolicy,
+    LinkQualityEstimator,
     Reassembler,
     SegmentationPolicy,
     segment_sizes,
 )
-from repro.baseband.channel import Channel, GilbertElliottChannel, IdealChannel, LossyChannel
+from repro.baseband.fec import (
+    PacketErrorProbabilities,
+    packet_error_probabilities,
+)
+from repro.baseband.channel import (
+    Channel,
+    ChannelMap,
+    GilbertElliottChannel,
+    IdealChannel,
+    LinkId,
+    LossyChannel,
+    TransmissionResult,
+    coerce_channel_map,
+)
 
 __all__ = [
     "ACL_TYPES",
     "BasebandPacket",
     "BestFitSegmentationPolicy",
     "Channel",
+    "ChannelAdaptiveSegmentationPolicy",
+    "ChannelMap",
     "GilbertElliottChannel",
     "IdealChannel",
     "LargestPacketSegmentationPolicy",
+    "LinkId",
+    "LinkQualityEstimator",
     "LossyChannel",
+    "PacketErrorProbabilities",
     "PacketType",
     "Reassembler",
     "SCO_TYPES",
@@ -49,8 +69,11 @@ __all__ = [
     "SLOT_SECONDS",
     "SLOT_US",
     "SegmentationPolicy",
+    "TransmissionResult",
+    "coerce_channel_map",
     "get_packet_type",
     "max_transaction_slots",
+    "packet_error_probabilities",
     "segment_sizes",
     "slots_to_seconds",
     "slots_to_us",

@@ -126,6 +126,106 @@ class LargestPacketSegmentationPolicy(SegmentationPolicy):
         return self.largest
 
 
+class LinkQualityEstimator:
+    """EWMA estimate of the segment loss rate observed on one link.
+
+    Fed by the piconet's poll outcomes (one observation per data segment
+    put on the air: lost or delivered), read by channel-adaptive policies.
+    The exponential weighting forgets old fades at a rate set by ``alpha``.
+    """
+
+    def __init__(self, alpha: float = 0.05, initial_loss: float = 0.0):
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be within (0, 1], got {alpha}")
+        if not 0 <= initial_loss <= 1:
+            raise ValueError(
+                f"initial_loss must be within [0, 1], got {initial_loss}")
+        self.alpha = alpha
+        self._loss = initial_loss
+        self.observations = 0
+
+    def observe(self, error: bool) -> None:
+        """Record one transmitted segment (``error=True`` when it failed)."""
+        self._loss += self.alpha * ((1.0 if error else 0.0) - self._loss)
+        self.observations += 1
+
+    @property
+    def loss_estimate(self) -> float:
+        """Current smoothed segment loss rate in [0, 1]."""
+        return self._loss
+
+
+class ChannelAdaptiveSegmentationPolicy(SegmentationPolicy):
+    """Pick DM- vs DH-type packets per link from observed loss.
+
+    The DM types sacrifice payload capacity for 2/3 FEC; above a certain
+    bit error rate they deliver more goodput than the larger unprotected DH
+    types.  The master cannot measure a link's BER directly, but it *does*
+    observe every transaction outcome — this policy keeps a
+    :class:`LinkQualityEstimator` fed from those outcomes (the piconet
+    calls :meth:`observe_transmission`) and switches the active type set
+    with hysteresis: robust (FEC) types when the smoothed loss exceeds
+    ``enter_robust``, back to the fast set once it drops below
+    ``exit_robust``.  Schedulers are oblivious: they keep planning polls
+    while the queue's segmentation silently adapts per link.
+    """
+
+    def __init__(self, fast_types: Iterable = ("DH1", "DH3"),
+                 robust_types: Iterable = ("DM1", "DM3"),
+                 enter_robust: float = 0.15, exit_robust: float = 0.05,
+                 estimator: Optional[LinkQualityEstimator] = None,
+                 min_observations: int = 8):
+        if not 0 <= exit_robust <= enter_robust <= 1:
+            raise ValueError(
+                f"need 0 <= exit_robust <= enter_robust <= 1, got "
+                f"{exit_robust} / {enter_robust}")
+        if min_observations < 1:
+            raise ValueError(
+                f"min_observations must be >= 1, got {min_observations}")
+        self._fast = BestFitSegmentationPolicy(fast_types)
+        self._robust = BestFitSegmentationPolicy(robust_types)
+        super().__init__(tuple(self._fast.allowed_types)
+                         + tuple(self._robust.allowed_types))
+        self.enter_robust = enter_robust
+        self.exit_robust = exit_robust
+        self.estimator = estimator if estimator is not None \
+            else LinkQualityEstimator()
+        self.min_observations = min_observations
+        self.robust_active = False
+
+    # -- feedback from the piconet ------------------------------------------
+    def observe_transmission(self, error: bool) -> None:
+        """Digest one poll outcome on this policy's link."""
+        self.estimator.observe(error)
+        if self.estimator.observations < self.min_observations:
+            return
+        loss = self.estimator.loss_estimate
+        if not self.robust_active and loss > self.enter_robust:
+            self.robust_active = True
+        elif self.robust_active and loss < self.exit_robust:
+            self.robust_active = False
+
+    # -- segmentation --------------------------------------------------------
+    @property
+    def active(self) -> BestFitSegmentationPolicy:
+        """The type set currently in force (fast or robust)."""
+        return self._robust if self.robust_active else self._fast
+
+    def choose_type(self, remaining: int) -> PacketType:
+        return self.active.choose_type(remaining)
+
+    def max_segment_slots(self) -> int:
+        # worst case over both modes: the mode may flip between the SCO
+        # guard's budgeting and the actual transmission
+        return max(self._fast.max_segment_slots(),
+                   self._robust.max_segment_slots())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "robust" if self.robust_active else "fast"
+        return (f"ChannelAdaptiveSegmentationPolicy({mode}, "
+                f"loss={self.estimator.loss_estimate:.3f})")
+
+
 def segment_sizes(size: int, allowed_types: Iterable,
                   policy_cls=BestFitSegmentationPolicy) -> List[Tuple[PacketType, int]]:
     """Convenience wrapper: segment ``size`` bytes under a fresh policy."""

@@ -247,6 +247,16 @@ class AdmissionController:
 
         # step e/f: assign priorities from the lowest upwards.
         assignment = self._assign_priorities(streams, initial_priority)
+        if assignment is None and self.piggyback_aware:
+            # Pairing is an optimisation, not an obligation: a piggybacked
+            # stream's worst-case transaction is longer (data in both
+            # directions, 6 slots vs. a solo poll's 4), which can push a
+            # lower-priority stream past Eq. 9.  Before rejecting, retry
+            # with every flow on its own poll stream, so piggyback
+            # awareness never admits fewer flows than being oblivious to
+            # pairs would.
+            solo = [PollStream(primary=req) for req in candidates]
+            assignment = self._assign_priorities(solo, initial_priority)
         if assignment is None:
             return AdmissionResult(
                 False, streams=[],

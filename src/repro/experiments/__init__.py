@@ -17,7 +17,9 @@ replications and confidence intervals through the orchestrator::
 
 Beyond the paper's tables, :mod:`repro.experiments.scenario_packs`
 registers the ``heavy_piconet``, ``mixed_sco_gs`` and ``be_load_scale``
-workloads.  See ``src/repro/experiments/README.md`` for the subsystem
+workloads, and :mod:`repro.experiments.channel_packs` the per-link channel
+workloads ``link_quality_mix``, ``bursty_channel``, ``dm_vs_dh`` and
+``multi_sco``.  See ``src/repro/experiments/README.md`` for the subsystem
 documentation.
 """
 
@@ -52,6 +54,12 @@ from repro.experiments.scenario_packs import (
     run_be_load_scale_point,
     run_heavy_piconet_point,
     run_mixed_sco_gs_point,
+)
+from repro.experiments.channel_packs import (
+    run_bursty_channel_point,
+    run_dm_vs_dh_point,
+    run_link_quality_mix_point,
+    run_multi_sco_point,
 )
 from repro.experiments.orchestrator import (
     BACKENDS,
@@ -94,8 +102,12 @@ __all__ = [
     "make_backend",
     "register",
     "run_be_load_scale_point",
+    "run_bursty_channel_point",
+    "run_dm_vs_dh_point",
     "run_heavy_piconet_point",
+    "run_link_quality_mix_point",
     "run_mixed_sco_gs_point",
+    "run_multi_sco_point",
     "compute_table1_parameters",
     "format_admission_capacity",
     "format_bandwidth_savings",

@@ -8,7 +8,7 @@ Usage::
     python -m repro.experiments run figure5 --backend batch --workers 4 \
         --progress
     python -m repro.experiments run lossy_channel \
-        --set packet_error_rate='[0.0,0.2]' --set duration_seconds=2.0
+        --set bit_error_rate='[0.0,1e-3]' --set duration_seconds=2.0
 
 ``run`` caches raw task results under ``--cache-dir`` (default
 ``.repro-cache``), so repeated invocations only execute new

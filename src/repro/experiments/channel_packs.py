@@ -1,0 +1,232 @@
+"""Scenario packs exercising the per-link channel subsystem.
+
+Four registered workloads grow the sweep registry past the ideal-radio
+reproduction, all riding on :class:`~repro.baseband.channel.ChannelMap`
+(independent, deterministically seeded channel models per
+``(slave, direction)`` link) and the real FEC model in
+:mod:`repro.baseband.fec`:
+
+``link_quality_mix``
+    Heterogeneous link quality: the Figure-4 piconet with a per-slave BER
+    ramp (far slaves fade harder).  Measures how unequal links skew the
+    fair best-effort division and which slaves' GS flows eat the
+    retransmission budget.
+
+``bursty_channel``
+    Per-link Gilbert-Elliott fades at a fixed long-run BER, sweeping the
+    mean bad-state dwell time — same average loss, increasingly bursty.
+    Burstiness is what breaks delay bounds: errors clustering inside one
+    packet's retransmission window hurt more than the same count spread
+    out.
+
+``dm_vs_dh``
+    The DM-vs-DH trade under a BER sweep on an overloaded round-robin
+    best-effort piconet: 2/3-FEC DM types sacrifice payload (DM3 carries
+    121 vs DH3's 183 bytes) but survive bit errors the unprotected DH
+    types cannot.  Below the BER crossover DH wins on capacity, above it
+    DM wins on deliverability; the channel-adaptive segmentation policy
+    should track the better of the two from observed loss alone.
+
+``multi_sco``
+    Two HV3 voice links (ROADMAP follow-on): their reservations leave a
+    single 2-slot gap per six slots, so a DH3-capable ACL policy is
+    blocked by the SCO-overlap guard (ACL starves) while a DH1-only
+    policy degrades to one single-slot exchange per gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baseband.channel import (
+    ChannelMap,
+    GilbertElliottChannel,
+    LossyChannel,
+)
+from repro.experiments.registry import ExperimentSpec, register
+from repro.experiments.scenario_packs import _gs_metrics, _be_metrics, \
+    _rejected_row
+from repro.sim.rng import RandomStreams
+from repro.traffic.workloads import (
+    build_figure4_scenario,
+    build_multi_sco_scenario,
+)
+
+#: per-slave BER multiplier of the ``link_quality_mix`` ramp (S4 = 1.0)
+LINK_QUALITY_RAMP = {slave: slave / 4.0 for slave in range(1, 8)}
+
+#: policy names of the ``dm_vs_dh`` pack -> (allowed types, adaptive flag)
+DM_VS_DH_POLICIES = {
+    "DH": (("DH1", "DH3"), False),
+    "DM": (("DM1", "DM3"), False),
+    "adaptive": (("DH1", "DH3"), True),
+}
+
+
+def run_link_quality_mix_point(params: Dict, seed: int) -> List[Dict]:
+    """One heterogeneous-quality point: a per-slave BER ramp."""
+    base_ber = params["base_bit_error_rate"]
+    requirement = params.get("delay_requirement", 0.040)
+    duration_seconds = params.get("duration_seconds", 5.0)
+    channel = None
+    if base_ber > 0:
+        streams = RandomStreams(seed).child("channel-map")
+        makers = {
+            slave: (lambda rng, ber=base_ber * ramp:
+                    LossyChannel(bit_error_rate=ber, rng=rng))
+            for slave, ramp in LINK_QUALITY_RAMP.items()}
+        channel = ChannelMap.per_slave(makers, streams=streams)
+    scenario = build_figure4_scenario(delay_requirement=requirement,
+                                      channel=channel, seed=seed)
+    if not scenario.all_gs_admitted:
+        return [_rejected_row(scenario, requirement)]
+    scenario.run(duration_seconds)
+    piconet = scenario.piconet
+    row: Dict = {"base_bit_error_rate": base_ber, "admitted": True}
+    for slave, value in scenario.slave_throughputs_kbps().items():
+        row[f"S{slave}"] = value
+    row["retx"] = {
+        f"S{slave}": sum(piconet.flow_state(fid).retransmissions
+                         for fid in flows)
+        for slave, flows in sorted(scenario.slave_flows.items())}
+    row["gs"] = _gs_metrics(scenario, duration_seconds)
+    row["be"] = _be_metrics(scenario, duration_seconds)
+    return [row]
+
+
+def run_bursty_channel_point(params: Dict, seed: int) -> List[Dict]:
+    """One burstiness point: per-link Gilbert-Elliott at fixed mean BER."""
+    dwell_slots = params["bad_dwell_slots"]
+    mean_ber = params.get("bit_error_rate", 3e-4)
+    stationary_bad = params.get("stationary_bad", 0.1)
+    requirement = params.get("delay_requirement", 0.040)
+    duration_seconds = params.get("duration_seconds", 5.0)
+    if dwell_slots < 1:
+        raise ValueError(
+            f"bad_dwell_slots must be >= 1, got {dwell_slots}")
+    if not 0 < stationary_bad < 1:
+        raise ValueError(
+            f"stationary_bad must lie strictly within (0, 1), got "
+            f"{stationary_bad}")
+    p_bg = 1.0 / dwell_slots
+    p_gb = p_bg * stationary_bad / (1.0 - stationary_bad)
+    ber_bad = min(1.0, mean_ber / stationary_bad)
+    streams = RandomStreams(seed).child("channel-map")
+    channel = ChannelMap.uniform(
+        lambda rng: GilbertElliottChannel(
+            p_gb=p_gb, p_bg=p_bg, ber_good=0.0, ber_bad=ber_bad, rng=rng),
+        streams=streams)
+    scenario = build_figure4_scenario(delay_requirement=requirement,
+                                      channel=channel, seed=seed)
+    if not scenario.all_gs_admitted:
+        return [_rejected_row(scenario, requirement)]
+    scenario.run(duration_seconds)
+    piconet = scenario.piconet
+    gs_states = [piconet.flow_state(fid) for fid in scenario.gs_flow_ids]
+    return [{
+        "bad_dwell_slots": dwell_slots,
+        "admitted": True,
+        "gs": _gs_metrics(scenario, duration_seconds),
+        "be": _be_metrics(scenario, duration_seconds),
+        "gs_retransmissions": sum(s.retransmissions for s in gs_states),
+        "idle_slots": piconet.slots_idle,
+    }]
+
+
+def run_dm_vs_dh_point(params: Dict, seed: int) -> List[Dict]:
+    """One (BER, policy) point of the DM-vs-DH goodput comparison."""
+    ber = params["bit_error_rate"]
+    policy = params["policy"]
+    duration_seconds = params.get("duration_seconds", 5.0)
+    load_scale = params.get("acl_load_scale", 2.0)
+    try:
+        acl_types, adaptive = DM_VS_DH_POLICIES[policy]
+    except KeyError:
+        known = ", ".join(sorted(DM_VS_DH_POLICIES))
+        raise ValueError(
+            f"unknown policy {policy!r}; known: {known}") from None
+    channel = None
+    if ber > 0:
+        streams = RandomStreams(seed).child("channel-map")
+        channel = ChannelMap.uniform(
+            lambda rng: LossyChannel(bit_error_rate=ber, rng=rng),
+            streams=streams)
+    scenario = build_multi_sco_scenario(
+        acl_types=acl_types, sco_slaves=(), acl_slaves=(1, 2, 3, 4, 5, 6, 7),
+        acl_load_scale=load_scale, channel=channel, seed=seed,
+        adaptive_segmentation=adaptive)
+    scenario.run(duration_seconds)
+    piconet = scenario.piconet
+    states = [piconet.flow_state(fid) for fid in scenario.be_flow_ids]
+    return [{
+        "bit_error_rate": ber,
+        "policy": policy,
+        "acl_kbps": scenario.acl_throughput_kbps(),
+        "retransmissions": sum(s.retransmissions for s in states),
+        "segments_not_received": sum(s.segments_not_received
+                                     for s in states),
+        "crc_failures": sum(s.crc_failures for s in states),
+    }]
+
+
+def run_multi_sco_point(params: Dict, seed: int) -> List[Dict]:
+    """One multi-SCO point: two HV3 links next to ACL of the given types."""
+    acl_types = tuple(params["acl_types"].split("+"))
+    duration_seconds = params.get("duration_seconds", 5.0)
+    scenario = build_multi_sco_scenario(
+        acl_types=acl_types, sco_slaves=(6, 7), acl_slaves=(1, 2, 3),
+        acl_load_scale=params.get("acl_load_scale", 1.0), seed=seed)
+    scenario.run(duration_seconds)
+    piconet = scenario.piconet
+    acl_kbps = scenario.acl_throughput_kbps()
+    voice = {
+        f"S{stats['slave']}_kbps": stats["throughput_kbps"]
+        for stats in scenario.voice_stats().values()}
+    voice["residual_errors"] = sum(
+        stats["residual_errors"] for stats in scenario.voice_stats().values())
+    return [{
+        "acl_types": params["acl_types"],
+        "acl_kbps": acl_kbps,
+        "acl_starved": acl_kbps == 0.0,
+        "voice": voice,
+        "slots": piconet.slot_accounting(),
+    }]
+
+
+register(ExperimentSpec(
+    name="link_quality_mix",
+    description="Figure-4 scenario with a heterogeneous per-slave BER ramp "
+                "over per-link channels",
+    run_point=run_link_quality_mix_point,
+    grid={"base_bit_error_rate": [0.0, 1e-4, 3e-4]},
+    defaults={"delay_requirement": 0.040, "duration_seconds": 5.0},
+))
+
+register(ExperimentSpec(
+    name="bursty_channel",
+    description="Per-link Gilbert-Elliott fades at fixed mean BER vs. "
+                "bad-state dwell time",
+    run_point=run_bursty_channel_point,
+    grid={"bad_dwell_slots": [5, 25, 125]},
+    defaults={"bit_error_rate": 3e-4, "stationary_bad": 0.1,
+              "delay_requirement": 0.040, "duration_seconds": 5.0},
+))
+
+register(ExperimentSpec(
+    name="dm_vs_dh",
+    description="DM (2/3 FEC) vs DH vs channel-adaptive segmentation "
+                "goodput under a BER sweep",
+    run_point=run_dm_vs_dh_point,
+    grid={"bit_error_rate": [3e-5, 1e-4, 3e-4, 1e-3],
+          "policy": ["DH", "DM", "adaptive"]},
+    defaults={"duration_seconds": 5.0, "acl_load_scale": 2.0},
+))
+
+register(ExperimentSpec(
+    name="multi_sco",
+    description="Two HV3 voice links: DH1-only ACL degrades gracefully "
+                "where DH3-capable ACL starves",
+    run_point=run_multi_sco_point,
+    grid={"acl_types": ["DH1", "DH1+DH3"]},
+    defaults={"duration_seconds": 5.0, "acl_load_scale": 1.0},
+))

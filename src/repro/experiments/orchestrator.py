@@ -126,6 +126,20 @@ def execute_batch(tasks: Sequence[Tuple[str, Dict[str, object], int]]
             for experiment, params, seed in tasks]
 
 
+def execute_batch_timed(tasks: Sequence[Tuple[str, Dict[str, object], int]]
+                        ) -> Tuple[List[List[Dict]], float]:
+    """Like :func:`execute_batch`, also reporting the worker-side seconds.
+
+    The adaptive batching backend sizes future chunks from this
+    measurement; timing inside the worker excludes the time the chunk
+    spent queued behind busy workers, which would otherwise inflate the
+    cost estimate by roughly the oversubscription factor.
+    """
+    started = time.monotonic()
+    results = execute_batch(tasks)
+    return results, time.monotonic() - started
+
+
 # ---------------------------------------------------------------- backends
 
 #: what a backend consumes: ``(result slot, task)`` pairs
@@ -196,34 +210,66 @@ class BatchingProcessBackend(ExecutionBackend):
     Sweeps with many cheap points (analytic experiments, short simulated
     durations, large grids) spend a noticeable share of their wall clock on
     per-task executor round trips: pickling, queue wakeups and result
-    marshalling.  Chunking amortises that cost while still keeping
-    ``workers * oversubscribe`` batches in flight for load balancing.
+    marshalling.  Chunking amortises that cost.
+
+    By default the chunk size is **adaptive**: the backend starts with
+    single-task probe batches, keeps an EWMA of the observed per-task cost
+    (batch wall time divided by batch size, measured as batches complete)
+    and sizes every subsequent chunk to take about
+    ``target_batch_seconds`` — cheap tasks coalesce into large chunks,
+    expensive tasks stay finely chunked for load balancing, and nobody has
+    to guess an oversubscribe factor up front.  Passing an explicit
+    ``batch_size`` restores fixed chunking.
+
+    Results are yielded strictly in task submission order either way, so
+    sweep output stays byte-identical to the serial backend.
 
     Parameters
     ----------
     max_workers:
         Worker processes (``None`` lets the executor pick).
     batch_size:
-        Tasks per chunk; ``None`` derives it from the pending task count as
-        ``ceil(pending / (workers * oversubscribe))``.
+        Fixed tasks per chunk; ``None`` (default) sizes chunks adaptively.
     oversubscribe:
-        Batches per worker when deriving the batch size (load-balancing
-        slack for unevenly expensive points).
+        Chunks kept in flight per worker (load-balancing slack; also the
+        submission window of the adaptive mode).
+    target_batch_seconds:
+        Wall-clock cost the adaptive mode aims at per chunk.
+    max_batch_size:
+        Upper bound on an adaptively sized chunk (keeps progress reporting
+        and load balancing alive even for microsecond tasks).
     """
 
     name = "batch"
 
+    #: EWMA weight of the newest per-task cost observation
+    COST_ALPHA = 0.4
+
     def __init__(self, max_workers: Optional[int] = None,
-                 batch_size: Optional[int] = None, oversubscribe: int = 4):
+                 batch_size: Optional[int] = None, oversubscribe: int = 4,
+                 target_batch_seconds: float = 0.5,
+                 max_batch_size: int = 64):
         super().__init__(max_workers)
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if oversubscribe < 1:
             raise ValueError(
                 f"oversubscribe must be >= 1, got {oversubscribe}")
+        if target_batch_seconds <= 0:
+            raise ValueError(
+                f"target_batch_seconds must be positive, got "
+                f"{target_batch_seconds}")
+        if max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}")
         self.batch_size = batch_size
         self.oversubscribe = oversubscribe
+        self.target_batch_seconds = target_batch_seconds
+        self.max_batch_size = max_batch_size
+        #: smoothed seconds per task, None until the first batch completes
+        self._task_cost_ewma: Optional[float] = None
 
+    # ---------------------------------------------------------- fixed mode
     def _chunk(self, pending: PendingTasks) -> List[PendingTasks]:
         size = self.batch_size
         if size is None:
@@ -233,9 +279,8 @@ class BatchingProcessBackend(ExecutionBackend):
         return [pending[start:start + size]
                 for start in range(0, len(pending), size)]
 
-    def execute(self, pending: PendingTasks) -> Iterator[CompletedTask]:
-        if not pending:
-            return
+    def _execute_fixed(self, pending: PendingTasks
+                       ) -> Iterator[CompletedTask]:
         batches = self._chunk(pending)
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             futures = [
@@ -247,6 +292,63 @@ class BatchingProcessBackend(ExecutionBackend):
             for batch, future in futures:
                 for (slot, task), rows in zip(batch, future.result()):
                     yield slot, task, rows
+
+    # ------------------------------------------------------- adaptive mode
+    def _observe_batch(self, batch_seconds: float, batch_size: int) -> None:
+        """Fold one completed batch into the per-task cost EWMA."""
+        per_task = batch_seconds / batch_size
+        if self._task_cost_ewma is None:
+            self._task_cost_ewma = per_task
+        else:
+            self._task_cost_ewma += self.COST_ALPHA * (
+                per_task - self._task_cost_ewma)
+
+    def _next_batch_size(self, remaining: int) -> int:
+        """Chunk size for the next submission given the observed cost."""
+        if self._task_cost_ewma is None:
+            # probe batches stay small until a cost estimate exists
+            return 1
+        if self._task_cost_ewma <= 0:
+            return min(remaining, self.max_batch_size)
+        size = int(round(self.target_batch_seconds / self._task_cost_ewma))
+        return max(1, min(size, self.max_batch_size, remaining))
+
+    def _execute_adaptive(self, pending: PendingTasks
+                          ) -> Iterator[CompletedTask]:
+        workers = self.max_workers or os.cpu_count() or 1
+        window = workers * self.oversubscribe
+        next_index = 0
+        inflight: List[Tuple[PendingTasks, object]] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+
+            def submit_one() -> None:
+                nonlocal next_index
+                size = self._next_batch_size(len(pending) - next_index)
+                batch = pending[next_index:next_index + size]
+                next_index += size
+                inflight.append((batch, pool.submit(
+                    execute_batch_timed,
+                    [(task.experiment, task.params, task.seed)
+                     for _, task in batch])))
+
+            while next_index < len(pending) and len(inflight) < window:
+                submit_one()
+            while inflight:
+                batch, future = inflight.pop(0)
+                results, worker_seconds = future.result()
+                self._observe_batch(worker_seconds, len(batch))
+                while next_index < len(pending) and len(inflight) < window:
+                    submit_one()
+                for (slot, task), rows in zip(batch, results):
+                    yield slot, task, rows
+
+    def execute(self, pending: PendingTasks) -> Iterator[CompletedTask]:
+        if not pending:
+            return
+        if self.batch_size is not None:
+            yield from self._execute_fixed(pending)
+        else:
+            yield from self._execute_adaptive(pending)
 
 
 #: backend name -> class, for the CLI and :func:`make_backend`

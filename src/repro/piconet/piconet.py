@@ -20,12 +20,27 @@ Design notes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
-from repro.baseband.channel import Channel, IdealChannel
+from repro.baseband.channel import (
+    Channel,
+    ChannelMap,
+    TransmissionResult,
+    TX_OK,
+    coerce_channel_map,
+)
 from repro.baseband.constants import SLOT_US
-from repro.baseband.packets import BasebandPacket, null_packet, poll_packet
-from repro.baseband.segmentation import BestFitSegmentationPolicy, Reassembler
+from repro.baseband.packets import (
+    BasebandPacket,
+    null_packet,
+    poll_packet,
+    resolve_types,
+)
+from repro.baseband.segmentation import (
+    BestFitSegmentationPolicy,
+    ChannelAdaptiveSegmentationPolicy,
+    Reassembler,
+)
 from repro.piconet.device import DeviceRegistry, Slave
 from repro.piconet.flows import DOWNLINK, FlowSpec, GS, HLPacket, UPLINK
 from repro.piconet.queues import FlowQueue
@@ -52,6 +67,12 @@ class PiconetConfig:
     name: str = "piconet"
     #: keep master transmissions aligned to even slots (Bluetooth TDD rule)
     align_even_slots: bool = True
+    #: give every ACL flow a channel-adaptive segmentation policy that
+    #: switches to the robust (FEC) types when the observed per-link loss
+    #: exceeds its threshold (see ChannelAdaptiveSegmentationPolicy)
+    adaptive_segmentation: bool = False
+    #: the FEC type set the adaptive policy falls back to under loss
+    robust_types: tuple = ("DM1", "DM3")
 
 
 @dataclass
@@ -67,6 +88,10 @@ class FlowState:
     delivered_segment_bytes: int = 0
     segments_delivered: int = 0
     retransmissions: int = 0
+    #: segments missed outright (access code / header lost on the air)
+    segments_not_received: int = 0
+    #: segments received whose payload failed the CRC (NAKed by ARQ)
+    crc_failures: int = 0
     sco_residual_errors: int = 0
 
     def throughput_bps(self, duration_seconds: float) -> float:
@@ -75,15 +100,25 @@ class FlowState:
             raise ValueError("duration must be positive")
         return self.delivered_bytes * 8 / duration_seconds
 
+    def record_failure(self, result: TransmissionResult) -> None:
+        """Account one failed ARQ segment by its failure section."""
+        self.retransmissions += 1
+        if not result.received:
+            self.segments_not_received += 1
+        else:
+            self.crc_failures += 1
+
 
 class Piconet:
     """A Bluetooth piconet: one master, up to seven slaves, one poller."""
 
     def __init__(self, env: Optional[Environment] = None,
-                 channel: Optional[Channel] = None,
+                 channel: Union[Channel, ChannelMap, None] = None,
                  config: Optional[PiconetConfig] = None):
         self.env = env if env is not None else Environment()
-        self.channel = channel if channel is not None else IdealChannel()
+        #: per-link channel subsystem; a bare Channel is shared across all
+        #: links (legacy behaviour), None means every link is ideal
+        self.channels = coerce_channel_map(channel)
         self.config = config if config is not None else PiconetConfig()
         self.devices = DeviceRegistry()
         self.poller = None
@@ -115,7 +150,7 @@ class Piconet:
             raise ValueError(f"flow id {spec.flow_id} already registered")
         if spec.slave not in self.devices:
             raise ValueError(f"slave {spec.slave} is not part of the piconet")
-        policy = BestFitSegmentationPolicy(spec.allowed_types)
+        policy = self._segmentation_policy(spec)
         state = FlowState(spec=spec, queue=FlowQueue(spec, policy))
         self._states[spec.flow_id] = state
         slave = self.devices.slave(spec.slave)
@@ -126,6 +161,23 @@ class Piconet:
             slave.tx_flow_ids.append(spec.flow_id)
             self.devices.master.rx_flow_ids.append(spec.flow_id)
         return state
+
+    def _segmentation_policy(self, spec: FlowSpec):
+        """Build the segmentation policy of one flow.
+
+        With ``config.adaptive_segmentation`` every ACL data flow gets a
+        channel-adaptive policy (its fast set is the flow's allowed types,
+        its robust set ``config.robust_types``) whose loss estimator this
+        piconet feeds from poll outcomes.  SCO-typed flows always keep the
+        plain best-fit policy: their packet type is fixed by the
+        reservation.
+        """
+        if self.config.adaptive_segmentation and all(
+                t.link == "ACL" for t in resolve_types(spec.allowed_types)):
+            return ChannelAdaptiveSegmentationPolicy(
+                fast_types=spec.allowed_types,
+                robust_types=self.config.robust_types)
+        return BestFitSegmentationPolicy(spec.allowed_types)
 
     def add_sco_link(self, slave: int, packet_type: str = "HV3",
                      dl_flow_id: Optional[int] = None,
@@ -210,11 +262,19 @@ class Piconet:
         return (self.env.now - start) / 1_000_000.0
 
     # ----------------------------------------------------------------- results
+    def _resolve_duration(self, duration_seconds: Optional[float]) -> float:
+        """An explicit duration must be positive; ``None`` means elapsed."""
+        if duration_seconds is None:
+            return self.elapsed_seconds
+        if duration_seconds <= 0:
+            raise ValueError("duration must be positive")
+        return duration_seconds
+
     def flow_stats(self, flow_id: int,
                    duration_seconds: Optional[float] = None) -> dict:
         """Summary statistics for one flow."""
         state = self.flow_state(flow_id)
-        duration = duration_seconds if duration_seconds else self.elapsed_seconds
+        duration = self._resolve_duration(duration_seconds)
         stats = {
             "flow_id": flow_id,
             "name": state.spec.name,
@@ -226,6 +286,8 @@ class Piconet:
             "delivered_bytes": state.delivered_bytes,
             "delivered_packets": state.delivered_packets,
             "retransmissions": state.retransmissions,
+            "segments_not_received": state.segments_not_received,
+            "crc_failures": state.crc_failures,
             "throughput_bps": (state.delivered_bytes * 8 / duration
                                if duration > 0 else float("nan")),
         }
@@ -236,7 +298,7 @@ class Piconet:
     def slave_throughput_bps(self, slave: int,
                              duration_seconds: Optional[float] = None) -> float:
         """Aggregate delivered throughput of all flows of one slave."""
-        duration = duration_seconds if duration_seconds else self.elapsed_seconds
+        duration = self._resolve_duration(duration_seconds)
         if duration <= 0:
             return float("nan")
         delivered = sum(state.delivered_bytes for state in self.flow_states()
@@ -244,7 +306,7 @@ class Piconet:
         return delivered * 8 / duration
 
     def total_throughput_bps(self, duration_seconds: Optional[float] = None) -> float:
-        duration = duration_seconds if duration_seconds else self.elapsed_seconds
+        duration = self._resolve_duration(duration_seconds)
         if duration <= 0:
             return float("nan")
         delivered = sum(state.delivered_bytes for state in self.flow_states())
@@ -316,6 +378,8 @@ class Piconet:
 
     def _execute_transaction(self, plan: TransactionPlan):
         start = self.env.now
+        dl_link = (plan.slave, DOWNLINK)
+        ul_link = (plan.slave, UPLINK)
 
         dl_state = (self._states.get(plan.dl_flow_id)
                     if plan.dl_flow_id is not None else None)
@@ -331,30 +395,42 @@ class Piconet:
 
         deliveries: List[SegmentDelivery] = []
 
+        # Each direction traverses its own link channel, with the channel
+        # state advanced to the slot the packet starts in; losses in the two
+        # directions are sampled independently (control POLL/NULL packets
+        # are assumed to always get through, as before).
         # -- downlink ------------------------------------------------------
         yield self.env.timeout(dl_packet.duration_us)
-        dl_ok = self.channel.transmit(dl_packet) if dl_segment is not None else True
-        dl_error = dl_segment is not None and not dl_ok
+        dl_result = (self.channels.transmit(plan.slave, DOWNLINK, dl_packet,
+                                            now_us=start)
+                     if dl_segment is not None else TX_OK)
+        dl_error = dl_segment is not None and not dl_result.ok
         if dl_segment is not None:
-            if dl_ok:
+            if dl_result.ok:
                 dl_state.queue.confirm_segment()
                 deliveries.append(self._deliver(dl_state, dl_segment))
             else:
-                dl_state.retransmissions += 1
+                dl_state.record_failure(dl_result)
+            self._observe_transmission(dl_state, dl_error)
 
         # -- uplink ---------------------------------------------------------
+        ul_start = self.env.now
         yield self.env.timeout(ul_packet.duration_us)
-        ul_ok = self.channel.transmit(ul_packet) if ul_segment is not None else True
-        ul_error = ul_segment is not None and not ul_ok
+        ul_result = (self.channels.transmit(plan.slave, UPLINK, ul_packet,
+                                            now_us=ul_start)
+                     if ul_segment is not None else TX_OK)
+        ul_error = ul_segment is not None and not ul_result.ok
         if ul_segment is not None:
-            if ul_ok:
+            if ul_result.ok:
                 ul_state.queue.confirm_segment()
                 deliveries.append(self._deliver(ul_state, ul_segment))
             else:
-                ul_state.retransmissions += 1
+                ul_state.record_failure(ul_result)
+            self._observe_transmission(ul_state, ul_error)
 
         slots = dl_packet.slots + ul_packet.slots
-        carried = (dl_segment is not None and dl_ok) or (ul_segment is not None and ul_ok)
+        carried = (dl_segment is not None and dl_result.ok) \
+            or (ul_segment is not None and ul_result.ok)
         if plan.kind == KIND_GS:
             self.slots_gs += slots
             self.transactions_gs += 1
@@ -371,21 +447,32 @@ class Piconet:
             start=start,
             end=self.env.now,
             slots=slots,
-            dl_carried_data=dl_segment is not None and dl_ok,
-            ul_carried_data=ul_segment is not None and ul_ok,
+            dl_carried_data=dl_segment is not None and dl_result.ok,
+            ul_carried_data=ul_segment is not None and ul_result.ok,
             dl_error=dl_error,
             ul_error=ul_error,
+            dl_not_received=dl_segment is not None and not dl_result.received,
+            ul_not_received=ul_segment is not None and not ul_result.received,
+            dl_link=dl_link,
+            ul_link=ul_link,
             deliveries=deliveries,
         )
         if self.poller is not None:
             self.poller.notify(outcome)
 
+    def _observe_transmission(self, state: FlowState, error: bool) -> None:
+        """Feed one observed data transmission back to an adaptive policy."""
+        observe = getattr(state.queue.policy, "observe_transmission", None)
+        if observe is not None:
+            observe(error)
+
     def _execute_sco(self, link: ScoLink):
         """Run one reserved SCO exchange (one slot each way, no ARQ)."""
         flows = self._sco_flows.get(link.slave, {"DL": None, "UL": None})
+        start = self.env.now
         yield self.env.timeout(2 * SLOT_US)
         self.slots_sco += 2
-        for direction in (DOWNLINK, UPLINK):
+        for slot_offset, direction in enumerate((DOWNLINK, UPLINK)):
             flow_id = flows.get("DL" if direction == DOWNLINK else "UL")
             if flow_id is None:
                 continue
@@ -398,9 +485,14 @@ class Piconet:
                     f"SCO flow {flow_id} produced a segment of {segment.payload} "
                     f"bytes which does not fit in {link.packet_type.name}")
             state.queue.confirm_segment()
-            if not self.channel.transmit(segment):
-                # SCO has no retransmission: the (corrupted) payload is still
-                # played out, only the residual error is counted.
+            result = self.channels.transmit(
+                link.slave, direction, segment,
+                now_us=start + slot_offset * SLOT_US)
+            if not result.ok:
+                # SCO has no retransmission: the (corrupted or erased)
+                # payload is still played out, only the residual error is
+                # counted — a missed access code erases the whole frame,
+                # an uncorrected payload error garbles it.
                 state.sco_residual_errors += 1
             self._deliver(state, segment)
 

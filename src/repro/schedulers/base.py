@@ -16,7 +16,7 @@ scheduling policy communicate through three small objects:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 
 #: Transaction kinds, used for slot accounting.
@@ -80,7 +80,16 @@ class SegmentDelivery:
 
 @dataclass
 class PollOutcome:
-    """Everything the poller needs to know about an executed transaction."""
+    """Everything the poller needs to know about an executed transaction.
+
+    ``dl_link`` / ``ul_link`` identify the directed ``(slave, direction)``
+    links the transaction used, so pollers and monitors can attribute the
+    per-direction results to the right channel.  ``dl_error`` / ``ul_error``
+    flag a failed data segment in that direction (it stays queued for ARQ);
+    ``dl_not_received`` / ``ul_not_received`` narrow the failure down to an
+    access-code/header loss (the receiver never saw the packet) as opposed
+    to a payload CRC failure.
+    """
 
     plan: TransactionPlan
     start: float
@@ -90,6 +99,11 @@ class PollOutcome:
     ul_carried_data: bool
     dl_error: bool = False
     ul_error: bool = False
+    dl_not_received: bool = False
+    ul_not_received: bool = False
+    #: directed links used by the transaction, e.g. ``(3, "DL")``
+    dl_link: Optional[Tuple[int, str]] = None
+    ul_link: Optional[Tuple[int, str]] = None
     deliveries: List[SegmentDelivery] = field(default_factory=list)
 
     @property

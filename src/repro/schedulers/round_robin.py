@@ -8,18 +8,25 @@ delay differentiation — the reference point of the paper's Section 3 survey.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.schedulers.base import KIND_BE, Poller, TransactionPlan
 
 
 class PureRoundRobinPoller(Poller):
-    """Cycle over all slaves, one transaction each."""
+    """Cycle over all slaves, one transaction each.
+
+    ``only_slaves`` restricts the cycle to a subset of AM addresses —
+    piconets mixing reserved SCO links with ACL traffic use it to keep the
+    round robin away from slaves whose flows ride their SCO reservation.
+    """
 
     name = "pure-round-robin"
 
-    def __init__(self):
+    def __init__(self, only_slaves: Optional[Sequence[int]] = None):
         super().__init__()
+        self.only_slaves = (tuple(only_slaves)
+                            if only_slaves is not None else None)
         self._slave_cycle: List[int] = []
         self._index = 0
 
@@ -28,7 +35,9 @@ class PureRoundRobinPoller(Poller):
         self._slave_cycle = [slave.address for slave in piconet.slaves()
                              if piconet.flow_specs()
                              and any(spec.slave == slave.address
-                                     for spec in piconet.flow_specs())]
+                                     for spec in piconet.flow_specs())
+                             and (self.only_slaves is None
+                                  or slave.address in self.only_slaves)]
         self._index = 0
 
     def select(self, now: float) -> Optional[TransactionPlan]:

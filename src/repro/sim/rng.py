@@ -47,6 +47,17 @@ class RandomStreams:
     def __getitem__(self, name: str) -> random.Random:
         return self.stream(name)
 
+    def child(self, label: str) -> "RandomStreams":
+        """A substream family seeded from this one.
+
+        The child's master seed is derived from ``(master_seed, label)``, so
+        a component that needs *several* streams of its own (e.g. the
+        per-link channel map) can be handed one child and create streams
+        freely without colliding with — or perturbing — its parent's
+        streams.
+        """
+        return RandomStreams(derive_seed(self.master_seed, label))
+
     def names(self):
         """Names of the streams created so far."""
         return sorted(self._streams)

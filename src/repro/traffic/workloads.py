@@ -17,15 +17,16 @@ and every best-effort slave carries one downlink and one uplink flow.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
-from repro.baseband.channel import Channel
+from repro.baseband.channel import Channel, ChannelMap
 from repro.baseband.constants import SLOT_SECONDS
+from repro.baseband.packets import max_transaction_slots
 from repro.core.gs_manager import GSFlowSetup, GuaranteedServiceManager
 from repro.core.pfp import PredictiveFairPoller
 from repro.core.token_bucket import TSpec, cbr_tspec
 from repro.piconet.flows import BE, DOWNLINK, FlowSpec, GS, UPLINK
-from repro.piconet.piconet import Piconet
+from repro.piconet.piconet import Piconet, PiconetConfig
 from repro.sim.rng import RandomStreams
 from repro.traffic.sources import CBRSource, TrafficSource
 
@@ -124,13 +125,15 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
                            postpone_by_packet_size: bool = True,
                            postpone_after_unsuccessful: bool = True,
                            skip_when_no_downlink_data: bool = True,
-                           channel: Optional[Channel] = None,
+                           channel: Union[Channel, ChannelMap, None] = None,
                            seed: int = 1,
                            stagger_sources: bool = True,
                            be_slaves: Optional[Sequence[int]] = None,
                            sco_slaves: Sequence[int] = (),
                            gs_uplink_only: bool = False,
-                           be_directions: Sequence[str] = (DOWNLINK, UPLINK)
+                           be_directions: Sequence[str] = (DOWNLINK, UPLINK),
+                           allowed_types: Sequence[str] = ALLOWED_TYPES,
+                           adaptive_segmentation: bool = False
                            ) -> Figure4Scenario:
     """Build the Section 4.1 piconet, flows, sources, manager and poller.
 
@@ -148,7 +151,10 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
     variable_interval / piggyback_aware / postpone_* / skip_*:
         Poller configuration (see :class:`GuaranteedServiceManager`).
     channel:
-        Radio channel model (ideal when ``None``, as in the paper).
+        Radio environment: ideal when ``None`` (as in the paper), one
+        shared :class:`Channel` for every link, or a :class:`ChannelMap`
+        assigning an independent channel model per ``(slave, direction)``
+        link (heterogeneous link quality, per-link burst states).
     stagger_sources:
         Give each source a random phase offset within its period (the
         worst-case analysis does not depend on phases; staggering avoids a
@@ -169,6 +175,15 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
     be_directions:
         Directions of the best-effort flows per slave (default: one
         downlink and one uplink flow each, as in the paper).
+    allowed_types:
+        ACL baseband packet types every GS/BE flow may use (default: the
+        paper's DH1+DH3).  The admission control's worst-case transaction
+        time follows the chosen set.
+    adaptive_segmentation:
+        Give every ACL flow a channel-adaptive segmentation policy that
+        falls back to DM (FEC) types when the observed per-link loss says
+        so (see :class:`~repro.baseband.segmentation.
+        ChannelAdaptiveSegmentationPolicy`).
     """
     if (delay_requirement is None) == (gs_rate is None):
         raise ValueError("specify exactly one of delay_requirement / gs_rate")
@@ -191,8 +206,16 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
             f"be_directions must be a non-empty subset of "
             f"({DOWNLINK!r}, {UPLINK!r}), got {be_directions!r}")
 
+    acl_types = tuple(allowed_types)
     streams = RandomStreams(seed)
-    piconet = Piconet(channel=channel)
+    config = PiconetConfig(allowed_types=acl_types,
+                           adaptive_segmentation=adaptive_segmentation)
+    piconet = Piconet(channel=channel, config=config)
+    # the admission control must budget the worst transaction the links can
+    # actually produce: with adaptive segmentation that includes the robust
+    # (DM) types a flow may fall back to under loss
+    admission_types = acl_types + config.robust_types \
+        if adaptive_segmentation else acl_types
     for index in range(1, 8):
         piconet.add_slave(f"S{index}")
 
@@ -201,13 +224,13 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
         else (UPLINK, DOWNLINK, UPLINK, UPLINK)
     gs_specs = [
         FlowSpec(1, slave=1, direction=gs_directions[0], traffic_class=GS,
-                 allowed_types=ALLOWED_TYPES),
+                 allowed_types=acl_types),
         FlowSpec(2, slave=2, direction=gs_directions[1], traffic_class=GS,
-                 allowed_types=ALLOWED_TYPES),
+                 allowed_types=acl_types),
         FlowSpec(3, slave=2, direction=gs_directions[2], traffic_class=GS,
-                 allowed_types=ALLOWED_TYPES),
+                 allowed_types=acl_types),
         FlowSpec(4, slave=3, direction=gs_directions[3], traffic_class=GS,
-                 allowed_types=ALLOWED_TYPES),
+                 allowed_types=acl_types),
     ]
     be_specs = []
     flow_id = 5
@@ -215,7 +238,7 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
         for direction in be_directions:
             be_specs.append(FlowSpec(flow_id, slave=slave, direction=direction,
                                      traffic_class=BE,
-                                     allowed_types=ALLOWED_TYPES))
+                                     allowed_types=acl_types))
             flow_id += 1
     sco_specs = []
     for slave in sco_slaves:
@@ -233,7 +256,8 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
 
     # -- Guaranteed Service setup -----------------------------------------------
     manager = GuaranteedServiceManager(
-        max_transaction_seconds=MAX_TRANSACTION_SECONDS,
+        max_transaction_seconds=(max_transaction_slots(admission_types)
+                                 * SLOT_SECONDS),
         piggyback_aware=piggyback_aware,
         variable_interval=variable_interval,
         postpone_by_packet_size=postpone_by_packet_size,
@@ -287,4 +311,141 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
         delay_requirement=delay_requirement,
         slave_flows=slave_flows,
         sco_flow_ids=[spec.flow_id for spec in sco_specs],
+    )
+
+
+@dataclass
+class MultiScoScenario:
+    """A piconet carrying several reserved SCO voice links next to ACL."""
+
+    piconet: Piconet
+    poller: "PureRoundRobinPoller"
+    be_flow_ids: List[int]
+    sco_flow_ids: List[int]
+    sources: List[TrafficSource]
+
+    def run(self, duration_seconds: float) -> None:
+        """Start all sources and run the piconet."""
+        for source in self.sources:
+            source.start()
+        self.piconet.run(duration_seconds)
+
+    def voice_stats(self) -> Dict[int, dict]:
+        """Per SCO flow: delivered rate, worst delay and residual errors."""
+        stats = {}
+        for flow_id in self.sco_flow_ids:
+            state = self.piconet.flow_state(flow_id)
+            elapsed = self.piconet.elapsed_seconds
+            stats[flow_id] = {
+                "slave": state.spec.slave,
+                "throughput_kbps": (state.delivered_bytes * 8 / elapsed
+                                    / 1000.0 if elapsed > 0 else 0.0),
+                "max_delay_ms": state.delays.maximum * 1000.0
+                if state.delays.count else float("nan"),
+                "residual_errors": state.sco_residual_errors,
+            }
+        return stats
+
+    def acl_throughput_kbps(self) -> float:
+        """Aggregate delivered best-effort ACL throughput in kbit/s."""
+        elapsed = self.piconet.elapsed_seconds
+        if elapsed <= 0:
+            return 0.0
+        delivered = sum(self.piconet.flow_state(fid).delivered_bytes
+                        for fid in self.be_flow_ids)
+        return delivered * 8 / elapsed / 1000.0
+
+
+def build_multi_sco_scenario(acl_types: Sequence[str] = ("DH1",),
+                             sco_slaves: Sequence[int] = (6, 7),
+                             acl_slaves: Sequence[int] = (1, 2, 3),
+                             acl_load_scale: float = 1.0,
+                             channel: Union[Channel, ChannelMap, None] = None,
+                             seed: int = 1,
+                             stagger_sources: bool = True,
+                             adaptive_segmentation: bool = False
+                             ) -> MultiScoScenario:
+    """A piconet with HV3 voice on several slaves plus best-effort ACL.
+
+    Two HV3 links reserve two slot pairs of every six-slot period, leaving
+    a single 2-slot gap for ACL.  A multi-slot-capable ACL policy cannot
+    fit its worst-case transaction into that gap, so the master's
+    SCO-overlap guard blocks every ACL transaction and the ACL side
+    *starves*; restricted to DH1 (``acl_types=("DH1",)``, the default) each
+    gap carries exactly one single-slot exchange and ACL degrades
+    gracefully instead.  The registered ``multi_sco`` experiment sweeps
+    exactly this contrast.
+
+    Best-effort flows (one downlink + one uplink per ACL slave, paper rate
+    mix cycled, scaled by ``acl_load_scale``) are served round-robin; each
+    SCO slave carries a 64 kbit/s CBR voice uplink over its reservation.
+
+    With ``sco_slaves=()`` this doubles as a plain round-robin best-effort
+    piconet — the ``dm_vs_dh`` pack uses it (optionally with
+    ``adaptive_segmentation``) to compare segmentation policies under a
+    BER sweep without the Guaranteed Service admission gate.
+    """
+    from repro.schedulers.round_robin import PureRoundRobinPoller
+
+    sco_slaves = tuple(sco_slaves)
+    acl_slaves = tuple(acl_slaves)
+    if set(sco_slaves) & set(acl_slaves):
+        raise ValueError("sco_slaves and acl_slaves must be disjoint")
+    if acl_load_scale < 0:
+        raise ValueError("acl_load_scale cannot be negative")
+
+    streams = RandomStreams(seed)
+    piconet = Piconet(channel=channel, config=PiconetConfig(
+        allowed_types=tuple(acl_types),
+        adaptive_segmentation=adaptive_segmentation))
+    for index in range(1, 8):
+        piconet.add_slave(f"S{index}")
+
+    be_specs = []
+    flow_id = 1
+    for slave in acl_slaves:
+        for direction in (DOWNLINK, UPLINK):
+            be_specs.append(FlowSpec(flow_id, slave=slave,
+                                     direction=direction, traffic_class=BE,
+                                     allowed_types=tuple(acl_types)))
+            flow_id += 1
+    sco_specs = []
+    for slave in sco_slaves:
+        sco_specs.append(FlowSpec(flow_id, slave=slave, direction=UPLINK,
+                                  traffic_class=GS, allowed_types=("HV3",)))
+        flow_id += 1
+
+    for spec in be_specs + sco_specs:
+        piconet.add_flow(spec)
+    for spec in sco_specs:
+        piconet.add_sco_link(spec.slave, packet_type="HV3",
+                             ul_flow_id=spec.flow_id)
+
+    poller = PureRoundRobinPoller(only_slaves=acl_slaves)
+    piconet.attach_poller(poller)
+
+    sources: List[TrafficSource] = []
+    if acl_load_scale > 0:
+        for spec in be_specs:
+            rate = be_rate_bps(4 + (spec.slave - 1) % 4) * acl_load_scale
+            rng = streams.stream(f"be-{spec.flow_id}")
+            interval = BE_PACKET_SIZE * 8 / rate
+            offset = rng.uniform(0, interval) if stagger_sources else 0.0
+            sources.append(CBRSource(piconet, spec.flow_id, interval,
+                                     BE_PACKET_SIZE, rng=rng,
+                                     start_offset=offset))
+    for spec in sco_specs:
+        rng = streams.stream(f"sco-{spec.flow_id}")
+        offset = (rng.uniform(0, SCO_VOICE_INTERVAL_S)
+                  if stagger_sources else 0.0)
+        sources.append(CBRSource(piconet, spec.flow_id, SCO_VOICE_INTERVAL_S,
+                                 SCO_VOICE_PACKET, rng=rng,
+                                 start_offset=offset))
+
+    return MultiScoScenario(
+        piconet=piconet,
+        poller=poller,
+        be_flow_ids=[spec.flow_id for spec in be_specs],
+        sco_flow_ids=[spec.flow_id for spec in sco_specs],
+        sources=sources,
     )

@@ -109,3 +109,79 @@ def test_max_segment_slots(paper_policy):
     assert paper_policy.max_segment_slots() == 3
     assert BestFitSegmentationPolicy(["DH1"]).max_segment_slots() == 1
     assert BestFitSegmentationPolicy(["DH5", "DH1"]).max_segment_slots() == 5
+
+
+# ---------------------------------------------------- channel-adaptive policy
+
+def _adaptive(**kwargs):
+    from repro.baseband import ChannelAdaptiveSegmentationPolicy
+    return ChannelAdaptiveSegmentationPolicy(**kwargs)
+
+
+def test_link_quality_estimator_ewma():
+    from repro.baseband import LinkQualityEstimator
+    est = LinkQualityEstimator(alpha=0.5)
+    assert est.loss_estimate == 0.0
+    est.observe(True)
+    assert est.loss_estimate == pytest.approx(0.5)
+    est.observe(False)
+    assert est.loss_estimate == pytest.approx(0.25)
+    assert est.observations == 2
+    with pytest.raises(ValueError):
+        LinkQualityEstimator(alpha=0.0)
+    with pytest.raises(ValueError):
+        LinkQualityEstimator(initial_loss=1.5)
+
+
+def test_adaptive_policy_starts_fast():
+    policy = _adaptive()
+    assert not policy.robust_active
+    # 176 bytes fit a single DH3 in fast mode
+    assert [(p.name, n) for p, n in policy.segment_sizes(176)] == \
+        [("DH3", 176)]
+
+
+def test_adaptive_policy_switches_to_fec_types_under_loss():
+    policy = _adaptive(enter_robust=0.3, exit_robust=0.1, min_observations=1)
+    for _ in range(50):
+        policy.observe_transmission(error=True)
+    assert policy.robust_active
+    # the same packet now segments into DM types
+    names = [p.name for p, _ in policy.segment_sizes(176)]
+    assert names == ["DM3", "DM3"]
+
+
+def test_adaptive_policy_hysteresis_and_recovery():
+    policy = _adaptive(enter_robust=0.3, exit_robust=0.1, min_observations=1)
+    for _ in range(50):
+        policy.observe_transmission(error=True)
+    assert policy.robust_active
+    # a loss estimate between the thresholds keeps the current mode
+    while policy.estimator.loss_estimate > 0.15:
+        policy.observe_transmission(error=False)
+    assert policy.robust_active
+    # clean air eventually re-enables the fast types
+    for _ in range(100):
+        policy.observe_transmission(error=False)
+    assert not policy.robust_active
+
+
+def test_adaptive_policy_waits_for_min_observations():
+    policy = _adaptive(enter_robust=0.1, min_observations=10)
+    for _ in range(9):
+        policy.observe_transmission(error=True)
+    assert not policy.robust_active
+    policy.observe_transmission(error=True)
+    assert policy.robust_active
+
+
+def test_adaptive_policy_worst_case_slots_covers_both_modes():
+    policy = _adaptive(fast_types=("DH1",), robust_types=("DM1", "DM3"))
+    assert policy.max_segment_slots() == 3
+
+
+def test_adaptive_policy_validates_thresholds():
+    with pytest.raises(ValueError):
+        _adaptive(enter_robust=0.1, exit_robust=0.2)
+    with pytest.raises(ValueError):
+        _adaptive(min_observations=0)

@@ -1,0 +1,90 @@
+"""Tests of the per-link channel scenario packs."""
+
+import pytest
+
+from repro.experiments.channel_packs import (
+    DM_VS_DH_POLICIES,
+    run_bursty_channel_point,
+    run_dm_vs_dh_point,
+    run_link_quality_mix_point,
+    run_multi_sco_point,
+)
+from repro.experiments.registry import get_experiment
+
+
+def test_channel_packs_are_registered_with_grids():
+    for name, axis in (("link_quality_mix", "base_bit_error_rate"),
+                       ("bursty_channel", "bad_dwell_slots"),
+                       ("dm_vs_dh", "bit_error_rate"),
+                       ("multi_sco", "acl_types")):
+        spec = get_experiment(name)
+        assert axis in spec.grid
+        assert len(spec.grid[axis]) >= 2
+
+
+def test_link_quality_mix_ramp_orders_retransmissions():
+    rows = run_link_quality_mix_point(
+        {"base_bit_error_rate": 3e-4, "duration_seconds": 2.0}, seed=2)
+    row = rows[0]
+    assert row["admitted"]
+    retx = row["retx"]
+    # the ramp makes far slaves lossier; compare its clean and dirty ends
+    assert retx["S7"] > retx["S1"]
+    assert sum(retx.values()) > 0
+    clean = run_link_quality_mix_point(
+        {"base_bit_error_rate": 0.0, "duration_seconds": 2.0}, seed=2)[0]
+    assert all(v == 0 for v in clean["retx"].values())
+
+
+def test_bursty_channel_same_mean_ber_more_retransmission_clusters():
+    short = run_bursty_channel_point(
+        {"bad_dwell_slots": 5, "duration_seconds": 2.0}, seed=2)[0]
+    long = run_bursty_channel_point(
+        {"bad_dwell_slots": 125, "duration_seconds": 2.0}, seed=2)[0]
+    assert short["admitted"] and long["admitted"]
+    assert short["gs_retransmissions"] > 0
+    assert long["gs_retransmissions"] > 0
+    with pytest.raises(ValueError):
+        run_bursty_channel_point({"bad_dwell_slots": 0}, seed=2)
+
+
+def test_dm_vs_dh_crossover():
+    """FEC types lose below the BER crossover and win above it."""
+
+    def acl_kbps(ber, policy):
+        return run_dm_vs_dh_point(
+            {"bit_error_rate": ber, "policy": policy,
+             "duration_seconds": 2.0}, seed=5)[0]["acl_kbps"]
+
+    low, high = 3e-5, 1e-3
+    assert acl_kbps(low, "DH") > acl_kbps(low, "DM")
+    assert acl_kbps(high, "DM") > acl_kbps(high, "DH")
+
+
+def test_dm_vs_dh_adaptive_tracks_the_winner():
+    high = 1e-3
+    rows = {policy: run_dm_vs_dh_point(
+        {"bit_error_rate": high, "policy": policy, "duration_seconds": 2.0},
+        seed=5)[0] for policy in DM_VS_DH_POLICIES}
+    # under heavy loss the adaptive policy must clearly beat static DH
+    assert rows["adaptive"]["acl_kbps"] > rows["DH"]["acl_kbps"] * 1.3
+    with pytest.raises(ValueError):
+        run_dm_vs_dh_point({"bit_error_rate": 0.0, "policy": "nope"}, seed=1)
+
+
+def test_multi_sco_dh1_degrades_where_dh3_starves():
+    dh1 = run_multi_sco_point(
+        {"acl_types": "DH1", "duration_seconds": 2.0}, seed=3)[0]
+    dh3 = run_multi_sco_point(
+        {"acl_types": "DH1+DH3", "duration_seconds": 2.0}, seed=3)[0]
+    # two HV3 links leave 2-slot gaps: DH1-only ACL keeps flowing...
+    assert not dh1["acl_starved"]
+    assert dh1["acl_kbps"] > 50.0
+    # ...while a DH3-capable policy cannot fit the gap and starves
+    assert dh3["acl_starved"]
+    assert dh3["acl_kbps"] == 0.0
+    # both voice links run at full rate either way
+    for row in (dh1, dh3):
+        assert row["voice"]["S6_kbps"] == pytest.approx(64.0, abs=5.0)
+        assert row["voice"]["S7_kbps"] == pytest.approx(64.0, abs=5.0)
+        assert row["slots"]["sco"] > 0

@@ -141,11 +141,13 @@ def test_improvement_ablation_all_configurations_meet_bound():
 
 
 def test_lossy_channel_degrades_gracefully():
-    rows = run_lossy_channel(packet_error_rates=[0.0, 0.1],
+    rows = run_lossy_channel(bit_error_rates=[0.0, 1e-4],
                              duration_seconds=1.5)
     assert len(rows) == 2
     clean, lossy = rows
     assert clean["gs_retransmissions"] == 0
     assert lossy["gs_retransmissions"] > 0
+    assert lossy["gs_retransmissions"] == (
+        lossy["gs_segments_not_received"] + lossy["gs_crc_failures"])
     assert lossy["gs_throughput_kbps"] == pytest.approx(
         clean["gs_throughput_kbps"], rel=0.15)

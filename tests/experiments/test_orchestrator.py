@@ -30,12 +30,16 @@ EXPECTED_EXPERIMENTS = [
     "bandwidth_savings",
     "baseline_comparison",
     "be_load_scale",
+    "bursty_channel",
     "delay_compliance",
+    "dm_vs_dh",
     "figure5",
     "heavy_piconet",
     "improvement_ablation",
+    "link_quality_mix",
     "lossy_channel",
     "mixed_sco_gs",
+    "multi_sco",
     "sco_comparison",
 ]
 
@@ -176,6 +180,55 @@ def test_batching_backend_chunking_and_validation():
     # derived batch size: ceil(8 / (2 workers * 4 oversubscribe)) = 1
     assert [len(c) for c in
             BatchingProcessBackend(max_workers=2)._chunk(pending)] == [1] * 8
+
+
+def test_adaptive_batching_validation():
+    with pytest.raises(ValueError):
+        BatchingProcessBackend(target_batch_seconds=0)
+    with pytest.raises(ValueError):
+        BatchingProcessBackend(max_batch_size=0)
+
+
+def test_adaptive_batching_sizes_chunks_from_observed_cost():
+    backend = BatchingProcessBackend(max_workers=2,
+                                     target_batch_seconds=1.0,
+                                     max_batch_size=16)
+    # no cost estimate yet: probe with single-task batches
+    assert backend._next_batch_size(remaining=100) == 1
+    # 50 ms per task -> ~20 tasks per second-long chunk, clamped to 16
+    backend._observe_batch(batch_seconds=0.05, batch_size=1)
+    assert backend._next_batch_size(remaining=100) == 16
+    # expensive tasks shrink the chunks again (EWMA follows the drift)
+    for _ in range(20):
+        backend._observe_batch(batch_seconds=2.0, batch_size=4)
+    assert backend._next_batch_size(remaining=100) == 2
+    # never exceed the remaining work and never return zero
+    assert backend._next_batch_size(remaining=1) == 1
+    backend._task_cost_ewma = 1e9
+    assert backend._next_batch_size(remaining=100) == 1
+    # free tasks saturate at the cap
+    backend._task_cost_ewma = 0.0
+    assert backend._next_batch_size(remaining=100) == 16
+
+
+def test_adaptive_batching_ewma_converges():
+    backend = BatchingProcessBackend()
+    backend._observe_batch(1.0, 1)
+    assert backend._task_cost_ewma == pytest.approx(1.0)
+    for _ in range(30):
+        backend._observe_batch(0.1, 1)
+    assert backend._task_cost_ewma == pytest.approx(0.1, rel=0.05)
+
+
+def test_adaptive_batching_preserves_task_order(toy_experiment):
+    # default batch backend (no fixed batch_size) is the adaptive one
+    backend = SweepRunner(max_workers=2, backend="batch").backend
+    assert isinstance(backend, BatchingProcessBackend)
+    assert backend.batch_size is None
+    result = SweepRunner(max_workers=2, backend="batch").run(
+        "toy", master_seed=5)
+    serial = SweepRunner(max_workers=1).run("toy", master_seed=5)
+    assert result.to_json() == serial.to_json()
 
 
 # ----------------------------------------------------------------- progress

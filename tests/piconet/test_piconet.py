@@ -169,3 +169,136 @@ def test_throughput_helpers():
     total = piconet.total_throughput_bps()
     assert per_slave == pytest.approx(total)
     assert per_slave == pytest.approx(176 * 8 / 0.020, rel=0.1)
+
+
+# ------------------------------------------------- per-link channel subsystem
+
+class OutcomeRecorder(SingleSlavePoller):
+    """Single-slave poller that keeps every PollOutcome it is notified of."""
+
+    def __init__(self):
+        super().__init__()
+        self.outcomes = []
+
+    def notify(self, outcome):
+        self.outcomes.append(outcome)
+
+
+def test_poll_outcome_carries_link_identities():
+    piconet = build_piconet(1)
+    piconet.add_flow(FlowSpec(1, slave=1, direction=UPLINK, traffic_class=BE))
+    poller = OutcomeRecorder()
+    piconet.attach_poller(poller)
+    piconet.offer_packet(1, 100)
+    piconet.run(0.05)
+    assert poller.outcomes
+    outcome = poller.outcomes[0]
+    assert outcome.dl_link == (1, DOWNLINK)
+    assert outcome.ul_link == (1, UPLINK)
+
+
+def test_per_link_channel_map_isolates_slaves():
+    from repro.baseband import ChannelMap, IdealChannel, LossyChannel
+
+    # slave 1's links are broken, slave 2's are clean
+    cmap = ChannelMap.per_slave(
+        {1: lambda rng: LossyChannel(packet_error_rate=1.0, rng=rng)},
+        streams=7)
+    piconet = build_piconet(2, channel=cmap)
+    piconet.add_flow(FlowSpec(1, slave=1, direction=UPLINK, traffic_class=BE))
+    piconet.add_flow(FlowSpec(2, slave=2, direction=UPLINK, traffic_class=BE))
+    piconet.attach_poller(PureRoundRobinPoller())
+    piconet.offer_packet(1, 100)
+    piconet.offer_packet(2, 100)
+    piconet.run(0.1)
+    broken = piconet.flow_state(1)
+    clean = piconet.flow_state(2)
+    assert broken.delivered_packets == 0
+    assert broken.retransmissions > 0
+    assert clean.delivered_packets == 1
+    assert clean.retransmissions == 0
+
+
+def test_failure_decomposition_counted_per_kind():
+    from repro.baseband import LossyChannel
+
+    # PER-mode failures are CRC failures (the packet itself is received)
+    channel = LossyChannel(packet_error_rate=0.3)
+    piconet = build_piconet(1, channel=channel)
+    piconet.add_flow(FlowSpec(1, slave=1, direction=UPLINK, traffic_class=BE))
+    piconet.attach_poller(SingleSlavePoller())
+    CBRSource(piconet, 1, 0.020, 176).start()
+    piconet.run(1.0)
+    state = piconet.flow_state(1)
+    assert state.retransmissions > 0
+    assert state.crc_failures == state.retransmissions
+    assert state.segments_not_received == 0
+    stats = piconet.flow_stats(1)
+    assert stats["crc_failures"] == state.crc_failures
+    assert stats["segments_not_received"] == 0
+
+
+def test_adaptive_segmentation_switches_under_loss():
+    from repro.baseband import ChannelAdaptiveSegmentationPolicy, LossyChannel
+    from repro.piconet.piconet import PiconetConfig
+
+    config = PiconetConfig(adaptive_segmentation=True)
+    piconet = Piconet(channel=LossyChannel(packet_error_rate=0.6),
+                      config=config)
+    piconet.add_slave()
+    piconet.add_flow(FlowSpec(1, slave=1, direction=DOWNLINK,
+                              traffic_class=BE))
+    piconet.attach_poller(SingleSlavePoller())
+    policy = piconet.queue(1).policy
+    assert isinstance(policy, ChannelAdaptiveSegmentationPolicy)
+    CBRSource(piconet, 1, 0.010, 176).start()
+    piconet.run(1.0)
+    # 60% observed loss is far above every entry threshold
+    assert policy.robust_active
+    assert policy.estimator.observations > 0
+
+
+def test_adaptive_segmentation_skips_sco_flows():
+    from repro.baseband import ChannelAdaptiveSegmentationPolicy
+    from repro.baseband.segmentation import BestFitSegmentationPolicy
+    from repro.piconet.piconet import PiconetConfig
+
+    piconet = Piconet(config=PiconetConfig(adaptive_segmentation=True))
+    piconet.add_slave()
+    piconet.add_flow(FlowSpec(1, slave=1, direction=UPLINK, traffic_class=GS,
+                              allowed_types=("HV3",)))
+    policy = piconet.queue(1).policy
+    assert isinstance(policy, BestFitSegmentationPolicy)
+    assert not isinstance(policy, ChannelAdaptiveSegmentationPolicy)
+
+
+def test_explicit_zero_duration_raises():
+    piconet = build_piconet(1)
+    piconet.add_flow(FlowSpec(1, slave=1, direction=UPLINK, traffic_class=BE))
+    with pytest.raises(ValueError):
+        piconet.flow_stats(1, duration_seconds=0)
+    with pytest.raises(ValueError):
+        piconet.slave_throughput_bps(1, duration_seconds=0.0)
+    with pytest.raises(ValueError):
+        piconet.total_throughput_bps(duration_seconds=-1.0)
+    # None still means "use elapsed time"
+    assert piconet.flow_stats(1)["delivered_bytes"] == 0
+
+
+def test_sco_residual_errors_counted_through_link_channels():
+    from repro.baseband import ChannelMap, LossyChannel
+
+    # every link lossy at the bit level: HV3 has no CRC and no ARQ, so
+    # corrupted voice frames are still delivered, only counted as residual
+    cmap = ChannelMap.uniform(
+        lambda rng: LossyChannel(bit_error_rate=3e-3, rng=rng), streams=5)
+    piconet = build_piconet(1, channel=cmap)
+    piconet.add_flow(FlowSpec(1, slave=1, direction=UPLINK, traffic_class=GS,
+                              allowed_types=("HV3",)))
+    piconet.add_sco_link(1, "HV3", ul_flow_id=1)
+    CBRSource(piconet, 1, 0.01875, 150).start()
+    piconet.run(1.0)
+    state = piconet.flow_state(1)
+    assert state.sco_residual_errors > 0
+    assert state.retransmissions == 0          # SCO has no ARQ
+    assert state.delivered_packets >= 48       # playout is uninterrupted
