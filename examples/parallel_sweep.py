@@ -22,7 +22,14 @@ from repro.experiments import SweepRunner, format_sweep
 
 
 def report(progress) -> None:
-    """A custom progress callback: one line per completed task."""
+    """A custom progress callback: one line per completed task.
+
+    The runner also delivers ``event="start"`` notifications the moment a
+    worker picks a task up (from a helper thread on the pool backends) —
+    this demo only prints completions, so it filters them out.
+    """
+    if progress.event != "done":
+        return
     marker = "cache" if progress.cached else "ran"
     print(f"  [{progress.completed:2d}/{progress.total}] "
           f"{progress.experiment} point {progress.point_index} "

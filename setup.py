@@ -17,4 +17,12 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
+    extras_require={
+        # the canonical coverage-enforcing test invocation:
+        #   pip install -e .[test]
+        #   pytest --cov=repro --cov-fail-under=93.8
+        # (floor mirrored in .coveragerc; offline environments without
+        # pytest-cov run tools/coverage_floor.py instead)
+        "test": ["pytest", "pytest-cov"],
+    },
 )

@@ -47,6 +47,14 @@ from repro.baseband.channel import (
     TransmissionResult,
     coerce_channel_map,
 )
+from repro.baseband.interference import (
+    HOP_CHANNELS,
+    HopSequence,
+    InterfererProcess,
+    InterferenceAwareChannel,
+    InterferenceField,
+    interference_channel_map,
+)
 
 __all__ = [
     "ACL_TYPES",
@@ -56,7 +64,12 @@ __all__ = [
     "ChannelAdaptiveSegmentationPolicy",
     "ChannelMap",
     "GilbertElliottChannel",
+    "HOP_CHANNELS",
+    "HopSequence",
     "IdealChannel",
+    "InterfererProcess",
+    "InterferenceAwareChannel",
+    "InterferenceField",
     "LargestPacketSegmentationPolicy",
     "LinkId",
     "LinkQualityEstimator",
@@ -72,6 +85,7 @@ __all__ = [
     "TransmissionResult",
     "coerce_channel_map",
     "get_packet_type",
+    "interference_channel_map",
     "max_transaction_slots",
     "packet_error_probabilities",
     "segment_sizes",

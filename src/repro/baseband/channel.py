@@ -257,11 +257,35 @@ class GilbertElliottChannel(_StochasticChannel):
             if self.rng.random() < self.p_bg:
                 self.state_good = True
 
+    def n_step_bad_probability(self, slots: int,
+                               from_good: Optional[bool] = None) -> float:
+        """Exact ``P(bad after slots | state now)`` of the two-state chain.
+
+        The chain's transition matrix has eigenvalue ``1 - p_gb - p_bg``,
+        giving the closed form ``pi_bad + (p0 - pi_bad) * decay**slots``
+        where ``p0`` is the current bad-probability (0 or 1) — so advancing
+        over any idle gap costs one evaluation, not one per slot.
+        ``from_good`` defaults to the channel's current state.
+        """
+        if slots < 0:
+            raise ValueError(f"slots must be >= 0, got {slots}")
+        if from_good is None:
+            from_good = self.state_good
+        start_bad = 0.0 if from_good else 1.0
+        if slots == 0:
+            return start_bad
+        total = self.p_gb + self.p_bg
+        if total == 0.0:
+            return start_bad
+        pi_bad = self.p_gb / total
+        decay = (1.0 - total) ** slots
+        return pi_bad + (start_bad - pi_bad) * decay
+
     def _advance_to(self, now_us: int) -> None:
         """Advance the state over the slots elapsed since the last update.
 
         Uses the exact n-step transition probability of the two-state chain
-        (``P(bad after n | state now)``), so the advance costs one uniform
+        (:meth:`n_step_bad_probability`), so the advance costs one uniform
         draw regardless of how long the link sat idle.
         """
         if self._last_update_us is None:
@@ -271,15 +295,9 @@ class GilbertElliottChannel(_StochasticChannel):
         if slots <= 0:
             return
         self._last_update_us += slots * self.slot_us
-        total = self.p_gb + self.p_bg
-        if total == 0.0:
+        if self.p_gb + self.p_bg == 0.0:
             return
-        pi_bad = self.p_gb / total
-        decay = (1.0 - total) ** slots
-        if self.state_good:
-            p_bad = pi_bad * (1.0 - decay)
-        else:
-            p_bad = pi_bad + (1.0 - pi_bad) * decay
+        p_bad = self.n_step_bad_probability(slots)
         self.state_good = self.rng.random() >= p_bad
 
     # -- error model ---------------------------------------------------------

@@ -1,0 +1,372 @@
+"""Inter-piconet interference: hop sequences, interferers, the shared field.
+
+Bluetooth piconets are not alone on the 2.4 GHz band: every co-located
+piconet hops over the same 79 channels under its own master's pseudo-random
+sequence, and whenever two unsynchronised piconets land on the same channel
+in the same slot their packets collide.  The paper's evaluation assumes an
+isolated piconet; this module supplies the coupling layer for the
+multi-piconet scenarios (ROADMAP follow-on):
+
+* :class:`HopSequence` — one piconet's 79-channel pseudo-random hopping,
+  deterministically seeded, random-access by slot index.
+* :class:`InterfererProcess` — a co-located piconet as seen by a victim:
+  a hop sequence plus a duty cycle (the fraction of slots it actually
+  transmits in).
+* :class:`InterferenceField` — the shared medium.  Piconets register by
+  name; for any victim transmission the field counts the co-channel
+  collisions with every *other* registered member and converts them into a
+  time-varying BER boost.
+* :class:`InterferenceAwareChannel` — a :class:`~repro.baseband.channel.
+  Channel` wrapper that composes a base (per-link) channel with the
+  field's collision BER, so interference slots straight into
+  :class:`~repro.baseband.channel.ChannelMap` /
+  :func:`~repro.baseband.channel.coerce_channel_map` and everything built
+  on them.
+
+The real frequency-hopping kernel (clock-driven permutation tables) is
+replaced by a seeded pseudo-random sequence with the statistics that matter
+at this abstraction level: per-slot channels uniform over the 79 channels
+and independent between piconets, which yields the classic 1/79 co-channel
+collision probability between two unsynchronised piconets.
+
+Determinism: all randomness is drawn from
+:class:`~repro.sim.rng.RandomStreams` substreams via
+:meth:`~repro.sim.rng.RandomStreams.child`, and per-slot draws are cached
+by slot index, so hop channels and activity are reproducible regardless of
+the order in which they are first queried — and identical across the sweep
+orchestrator's serial / process / batch backends.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.baseband.channel import (
+    Channel,
+    IdealChannel,
+    TransmissionResult,
+    TX_NOT_RECEIVED,
+    TX_OK,
+    TX_PAYLOAD_CORRUPT,
+    _StochasticChannel,
+)
+from repro.baseband.constants import SLOT_US
+from repro.baseband.fec import (
+    PacketErrorProbabilities,
+    packet_error_probabilities,
+)
+from repro.baseband.packets import BasebandPacket
+from repro.sim.rng import RandomStreams
+
+#: Channels of the 2.4 GHz Bluetooth hop set.
+HOP_CHANNELS = 79
+
+#: Default bit error rate a single co-channel collision inflicts on the
+#: victim's air bits during the collided slot.  0.05 over a DH payload of
+#: hundreds of bits makes a collided data packet almost certainly fail —
+#: matching the reality that a same-channel overlap destroys the overlap —
+#: while short FEC-protected sections retain a fighting chance.
+DEFAULT_COLLISION_BER = 0.05
+
+#: Hard cap on any effective interference BER (a bit flipped with
+#: probability > 0.5 would carry information again).
+MAX_COLLISION_BER = 0.5
+
+
+class HopSequence:
+    """One piconet's pseudo-random 79-channel hop sequence.
+
+    ``channel_at(slot)`` is random-access: the underlying draw list is
+    extended lazily up to the requested slot, so the channel of any slot is
+    a pure function of the seed and the slot index, independent of query
+    order.
+    """
+
+    def __init__(self, rng: random.Random, channels: int = HOP_CHANNELS):
+        if channels < 1:
+            raise ValueError(f"channels must be >= 1, got {channels}")
+        self._rng = rng
+        self.channels = channels
+        self._sequence: List[int] = []
+
+    def channel_at(self, slot_index: int) -> int:
+        """The hop channel this piconet occupies in ``slot_index``."""
+        if slot_index < 0:
+            raise ValueError(f"slot_index must be >= 0, got {slot_index}")
+        sequence = self._sequence
+        while len(sequence) <= slot_index:
+            sequence.append(self._rng.randrange(self.channels))
+        return sequence[slot_index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"HopSequence(channels={self.channels}, "
+                f"drawn={len(self._sequence)})")
+
+
+class InterfererProcess:
+    """A co-located piconet as seen by a victim: hops plus a duty cycle.
+
+    ``duty_cycle`` is the probability that the piconet actually transmits
+    in a given slot (its offered load); activity is drawn per slot from a
+    dedicated stream and cached, so it too is independent of query order.
+    A duty cycle of 1.0 models a saturated piconet, 0.0 a silent one.
+    """
+
+    def __init__(self, name: str, hops: HopSequence,
+                 activity_rng: random.Random, duty_cycle: float = 1.0):
+        if not 0.0 <= duty_cycle <= 1.0:
+            raise ValueError(
+                f"duty_cycle must be within [0, 1], got {duty_cycle}")
+        self.name = name
+        self.hops = hops
+        self.duty_cycle = duty_cycle
+        self._rng = activity_rng
+        self._activity: List[bool] = []
+
+    def active_at(self, slot_index: int) -> bool:
+        """Whether this piconet transmits in ``slot_index``."""
+        if slot_index < 0:
+            raise ValueError(f"slot_index must be >= 0, got {slot_index}")
+        activity = self._activity
+        while len(activity) <= slot_index:
+            # always draw, so the activity pattern at a given duty cycle is
+            # a deterministic function of (seed, slot) alone
+            activity.append(self._rng.random() < self.duty_cycle)
+        return activity[slot_index]
+
+    def transmits_on(self, slot_index: int, channel: int) -> bool:
+        """Whether this piconet radiates on ``channel`` in ``slot_index``."""
+        return self.active_at(slot_index) \
+            and self.hops.channel_at(slot_index) == channel
+
+
+class InterferenceField:
+    """The shared 2.4 GHz medium coupling several piconets.
+
+    Piconets register by name (:meth:`register`); each gets its own hop
+    sequence and activity stream from a :meth:`~repro.sim.rng.
+    RandomStreams.child` substream named after it.  For a victim
+    transmission the field counts how many *other* members are active on
+    the victim's hop channel (:meth:`collisions`) and converts the count
+    into a BER boost (:meth:`collision_ber`, ``ber_per_collision`` per
+    collider, capped at ``0.5``).
+
+    Passing an ``int`` for ``streams`` seeds a fresh
+    :class:`~repro.sim.rng.RandomStreams`; sweep drivers hand in
+    ``RandomStreams(seed).child("interference")`` so the field's draws stay
+    independent of the victim piconet's own channel and traffic streams.
+    """
+
+    def __init__(self, streams: Union[RandomStreams, int, None] = None,
+                 channels: int = HOP_CHANNELS,
+                 ber_per_collision: float = DEFAULT_COLLISION_BER):
+        if streams is None:
+            streams = RandomStreams(0)
+        elif isinstance(streams, int):
+            streams = RandomStreams(streams)
+        if channels < 1:
+            raise ValueError(f"channels must be >= 1, got {channels}")
+        if not 0.0 <= ber_per_collision <= MAX_COLLISION_BER:
+            raise ValueError(
+                f"ber_per_collision must be within [0, {MAX_COLLISION_BER}],"
+                f" got {ber_per_collision}")
+        self.streams = streams
+        self.channels = channels
+        self.ber_per_collision = ber_per_collision
+        self._members: Dict[str, InterfererProcess] = {}
+
+    # -- membership ----------------------------------------------------------
+    def register(self, name: str,
+                 duty_cycle: float = 1.0) -> InterfererProcess:
+        """Add a piconet to the field (victim and interferer alike)."""
+        if name in self._members:
+            raise ValueError(f"piconet {name!r} already registered")
+        family = self.streams.child(f"piconet:{name}")
+        member = InterfererProcess(
+            name=name,
+            hops=HopSequence(family.stream("hops"), channels=self.channels),
+            activity_rng=family.stream("activity"),
+            duty_cycle=duty_cycle)
+        self._members[name] = member
+        return member
+
+    def member(self, name: str) -> InterfererProcess:
+        try:
+            return self._members[name]
+        except KeyError:
+            known = ", ".join(sorted(self._members)) or "<none>"
+            raise KeyError(
+                f"unknown piconet {name!r}; registered: {known}") from None
+
+    def members(self) -> List[str]:
+        """Registered piconet names, in registration order."""
+        return list(self._members)
+
+    # -- collision accounting ------------------------------------------------
+    def collisions(self, victim: str, slot_index: int) -> int:
+        """Co-channel colliders against ``victim`` in ``slot_index``."""
+        channel = self.member(victim).hops.channel_at(slot_index)
+        return sum(1 for name, member in self._members.items()
+                   if name != victim
+                   and member.transmits_on(slot_index, channel))
+
+    def count_collisions(self, victim: str, horizon_slots: int) -> int:
+        """Total collider-slots against ``victim`` over ``horizon_slots``."""
+        if horizon_slots < 0:
+            raise ValueError(
+                f"horizon_slots must be >= 0, got {horizon_slots}")
+        return sum(self.collisions(victim, slot)
+                   for slot in range(horizon_slots))
+
+    def collision_ber(self, victim: str, slot_index: int) -> float:
+        """Effective interference BER on ``victim`` in one slot."""
+        collisions = self.collisions(victim, slot_index)
+        if collisions == 0:
+            return 0.0
+        return min(MAX_COLLISION_BER, collisions * self.ber_per_collision)
+
+    def mean_collision_ber(self, victim: str, start_slot: int,
+                           slots: int) -> float:
+        """Mean interference BER over a packet spanning ``slots`` slots."""
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        return sum(self.collision_ber(victim, start_slot + offset)
+                   for offset in range(slots)) / slots
+
+    def expected_collision_probability(self, victim: str) -> float:
+        """Analytic per-slot collision probability against ``victim``.
+
+        Each other member independently collides with probability
+        ``duty_cycle / channels``; the victim is hit when at least one
+        does.
+        """
+        self.member(victim)
+        miss = 1.0
+        for name, member in self._members.items():
+            if name != victim:
+                miss *= 1.0 - member.duty_cycle / self.channels
+        return 1.0 - miss
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"InterferenceField({len(self._members)} piconets, "
+                f"{self.channels} channels)")
+
+
+class InterferenceAwareChannel(_StochasticChannel):
+    """A per-link channel wrapper adding hop-collision interference.
+
+    Composes a ``base`` channel (the link's own fading / thermal-noise
+    model — ideal, lossy, or Gilbert-Elliott) with an
+    :class:`InterferenceField`: every transmission first traverses the base
+    channel (advancing its burst state as usual), then suffers the field's
+    collision BER averaged over the slots the packet occupies, decomposed
+    into per-section probabilities by the real FEC model.  Both outcomes
+    must survive for the packet to get through.
+
+    Interference is sampled from the wrapper's own RNG on every
+    transmission — whether or not the base channel already failed — so the
+    interference draw sequence is a function of the transmission sequence
+    alone and stays reproducible when the base model is swapped.
+
+    ``now_us`` (passed by the piconet's master loop) anchors the packet on
+    the slot grid; without a timestamp an internal cursor advances by each
+    packet's slot count (the timestamp-less legacy mode of the other
+    channel models).
+    """
+
+    def __init__(self, base: Optional[Channel], field: InterferenceField,
+                 piconet: str, rng: Optional[random.Random] = None,
+                 slot_us: int = SLOT_US):
+        if slot_us <= 0:
+            raise ValueError(f"slot_us must be positive, got {slot_us}")
+        field.member(piconet)  # fail fast on unregistered victims
+        self.base = base if base is not None else IdealChannel()
+        self.field = field
+        self.piconet = piconet
+        self.rng = rng if rng is not None else random.Random(0)
+        self.slot_us = slot_us
+        self._cursor_us = 0
+        #: packets this link lost to interference (the base channel had
+        #: let them through)
+        self.interference_failures = 0
+        # the section decomposition is a pure function of (BER, shape); the
+        # BER takes few distinct values (multiples of ber_per_collision
+        # averaged over 1/3/5 slots), so memoing keeps it off the hot path
+        self._memo: Dict[Tuple[float, str, int], PacketErrorProbabilities] \
+            = {}
+
+    def _interference_probabilities(self, packet: BasebandPacket,
+                                    ber: float) -> PacketErrorProbabilities:
+        key = (ber, packet.ptype.name, packet.payload)
+        probabilities = self._memo.get(key)
+        if probabilities is None:
+            probabilities = packet_error_probabilities(packet, ber)
+            self._memo[key] = probabilities
+        return probabilities
+
+    def error_probabilities(self, packet: BasebandPacket
+                            ) -> PacketErrorProbabilities:
+        """Long-run per-section probabilities (base + expected collisions).
+
+        The time-varying collision state is averaged analytically: the
+        expected per-slot interference BER is the collision probability
+        times ``ber_per_collision`` (first-order in the duty cycles).
+        """
+        base = self.base.error_probabilities(packet)
+        expected_ber = (
+            self.field.expected_collision_probability(self.piconet)
+            * self.field.ber_per_collision)
+        if expected_ber <= 0.0:
+            return base
+        boost = self._interference_probabilities(packet, expected_ber)
+        return PacketErrorProbabilities(
+            access=1.0 - (1.0 - base.access) * (1.0 - boost.access),
+            header=1.0 - (1.0 - base.header) * (1.0 - boost.header),
+            payload=1.0 - (1.0 - base.payload) * (1.0 - boost.payload))
+
+    def transmit(self, packet: BasebandPacket,
+                 now_us: Optional[int] = None) -> TransmissionResult:
+        if now_us is None:
+            now_us = self._cursor_us
+            self._cursor_us += packet.duration_us
+        base_result = self.base.transmit(packet, now_us)
+        ber = self.field.mean_collision_ber(
+            self.piconet, now_us // self.slot_us, packet.slots)
+        interference = TX_OK
+        if ber > 0.0:
+            interference = self._sample(
+                self._interference_probabilities(packet, ber))
+        if base_result.ok and not interference.ok:
+            self.interference_failures += 1
+        received = base_result.received and interference.received
+        if not received:
+            return TX_NOT_RECEIVED
+        if not (base_result.payload_intact and interference.payload_intact):
+            return TX_PAYLOAD_CORRUPT
+        return TX_OK
+
+
+def interference_channel_map(field: InterferenceField, piconet: str,
+                             base_factory=None,
+                             streams: Union[RandomStreams, int, None] = None):
+    """A :class:`~repro.baseband.channel.ChannelMap` under interference.
+
+    Every ``(slave, direction)`` link of ``piconet`` gets its own
+    :class:`InterferenceAwareChannel` wrapping a base channel built by
+    ``base_factory(link, rng)`` (ideal links when ``None``).  The link's
+    :class:`~repro.sim.rng.RandomStreams` substream is split between the
+    base model and the interference sampler so swapping the base model
+    never perturbs the interference draws.
+    """
+    from repro.baseband.channel import ChannelMap
+
+    def factory(link, rng: random.Random) -> Channel:
+        base_rng = random.Random(rng.getrandbits(64))
+        base = base_factory(link, base_rng) if base_factory is not None \
+            else IdealChannel()
+        return InterferenceAwareChannel(base=base, field=field,
+                                        piconet=piconet, rng=rng)
+
+    return ChannelMap(factory, streams=streams,
+                      stream_prefix=f"interference:{piconet}")

@@ -19,8 +19,12 @@ Beyond the paper's tables, :mod:`repro.experiments.scenario_packs`
 registers the ``heavy_piconet``, ``mixed_sco_gs`` and ``be_load_scale``
 workloads, and :mod:`repro.experiments.channel_packs` the per-link channel
 workloads ``link_quality_mix``, ``bursty_channel``, ``dm_vs_dh`` and
-``multi_sco``.  See ``src/repro/experiments/README.md`` for the subsystem
-documentation.
+``multi_sco`` plus the inter-piconet packs ``two_piconet_interference``,
+``bridge_split`` and ``crowded_room``.  Every registered experiment's
+golden rows are pinned as fixtures under ``tests/golden/``
+(:mod:`repro.experiments.golden`, refreshed via ``python -m
+repro.experiments regen-golden``).  See ``src/repro/experiments/README.md``
+for the subsystem documentation.
 """
 
 from repro.experiments.table1_parameters import (
@@ -56,14 +60,19 @@ from repro.experiments.scenario_packs import (
     run_mixed_sco_gs_point,
 )
 from repro.experiments.channel_packs import (
+    run_bridge_split_point,
     run_bursty_channel_point,
+    run_crowded_room_point,
     run_dm_vs_dh_point,
     run_link_quality_mix_point,
     run_multi_sco_point,
+    run_two_piconet_interference_point,
 )
 from repro.experiments.orchestrator import (
     BACKENDS,
     BatchingProcessBackend,
+    EVENT_DONE,
+    EVENT_START,
     ExecutionBackend,
     ProcessPoolBackend,
     ResultCache,
@@ -86,6 +95,8 @@ from repro.experiments.registry import (
 __all__ = [
     "BACKENDS",
     "BatchingProcessBackend",
+    "EVENT_DONE",
+    "EVENT_START",
     "ExecutionBackend",
     "ExperimentSpec",
     "ProcessPoolBackend",
@@ -102,12 +113,15 @@ __all__ = [
     "make_backend",
     "register",
     "run_be_load_scale_point",
+    "run_bridge_split_point",
     "run_bursty_channel_point",
+    "run_crowded_room_point",
     "run_dm_vs_dh_point",
     "run_heavy_piconet_point",
     "run_link_quality_mix_point",
     "run_mixed_sco_gs_point",
     "run_multi_sco_point",
+    "run_two_piconet_interference_point",
     "compute_table1_parameters",
     "format_admission_capacity",
     "format_bandwidth_savings",

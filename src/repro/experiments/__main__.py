@@ -9,6 +9,7 @@ Usage::
         --progress
     python -m repro.experiments run lossy_channel \
         --set bit_error_rate='[0.0,1e-3]' --set duration_seconds=2.0
+    python -m repro.experiments regen-golden [EXPERIMENT ...]
 
 ``run`` caches raw task results under ``--cache-dir`` (default
 ``.repro-cache``), so repeated invocations only execute new
@@ -36,7 +37,14 @@ from repro.experiments.registry import experiment_names, iter_experiments
 
 
 def _parse_overrides(assignments: List[str]) -> Dict[str, object]:
-    """Parse ``--set key=value`` pairs; values are JSON with string fallback."""
+    """Parse ``--set key=value`` pairs; values are JSON with string fallback.
+
+    A value that *looks like* a JSON container (starts with ``[`` or ``{``,
+    e.g. a grid-axis list) but fails to parse is a malformed override: it
+    is rejected with a clear message instead of being passed through as a
+    string, which would blow up deep inside ``run_point`` with a
+    traceback.
+    """
     overrides: Dict[str, object] = {}
     for assignment in assignments:
         key, separator, raw = assignment.partition("=")
@@ -46,6 +54,14 @@ def _parse_overrides(assignments: List[str]) -> Dict[str, object]:
         try:
             overrides[key] = json.loads(raw)
         except ValueError:
+            stripped = raw.strip()
+            if not stripped:
+                raise SystemExit(
+                    f"--set {key}= is missing a value") from None
+            if stripped[0] in "[{":
+                raise SystemExit(
+                    f"--set {key}={raw!r} is not valid JSON (malformed "
+                    f"list/object override)") from None
             overrides[key] = raw
     return overrides
 
@@ -93,6 +109,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_regen_golden(args: argparse.Namespace) -> int:
+    from repro.experiments.golden import regenerate
+
+    for path in regenerate(args.experiments or None):
+        print(f"wrote {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -131,12 +155,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="override a grid axis or fixed parameter "
                                  "(value parsed as JSON, repeatable)")
 
+    regen_parser = commands.add_parser(
+        "regen-golden",
+        help="refresh the golden regression fixtures under tests/golden/")
+    regen_parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment names to refresh (default: all registered)")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     try:
+        if args.command == "regen-golden":
+            return _cmd_regen_golden(args)
         return _cmd_run(args)
-    except (KeyError, ValueError) as error:
+    except (KeyError, TypeError, ValueError) as error:
+        # registry misses (unknown experiment), bad parameter values and
+        # type mismatches from overridden grids all end as a clean one-line
+        # error instead of a traceback
         raise SystemExit(str(error.args[0]) if error.args else str(error))
 
 

@@ -32,6 +32,28 @@ reproduction, all riding on :class:`~repro.baseband.channel.ChannelMap`
     single 2-slot gap per six slots, so a DH3-capable ACL policy is
     blocked by the SCO-overlap guard (ACL starves) while a DH1-only
     policy degrades to one single-slot exchange per gap.
+
+Three further packs couple piconets together through the inter-piconet
+interference subsystem (:mod:`repro.baseband.interference`) and the
+scatternet layer (:mod:`repro.piconet.scatternet`):
+
+``two_piconet_interference``
+    One co-located interfering piconet with a swept duty cycle: hop
+    collisions (1/79 per active slot) drive a time-varying BER on every
+    victim link through :class:`~repro.baseband.interference.
+    InterferenceAwareChannel`.
+
+``bridge_split``
+    A real two-piconet co-simulation on a shared clock: slave S3 of the
+    Section-4.1 piconet doubles as a scatternet bridge serving a second
+    master, and its GS flow's bound survives only while the bridge's
+    residency share leaves enough reachable polls.
+
+``crowded_room``
+    N co-located saturated piconets (one simulated victim, N-1 interferer
+    processes, symmetric by construction): per-piconet goodput decays with
+    the collision probability ``1-(1-1/79)^(N-1)`` while the room's
+    aggregate keeps growing — the classic unlicensed-band scaling curve.
 """
 
 from __future__ import annotations
@@ -47,6 +69,10 @@ from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.scenario_packs import _gs_metrics, _be_metrics, \
     _rejected_row
 from repro.sim.rng import RandomStreams
+from repro.traffic.scatternet_workloads import (
+    build_bridge_split_scenario,
+    build_interfered_be_scenario,
+)
 from repro.traffic.workloads import (
     build_figure4_scenario,
     build_multi_sco_scenario,
@@ -193,6 +219,96 @@ def run_multi_sco_point(params: Dict, seed: int) -> List[Dict]:
     }]
 
 
+def run_two_piconet_interference_point(params: Dict, seed: int) -> List[Dict]:
+    """One duty-cycle point: a single co-located interfering piconet."""
+    duty = params["interferer_duty"]
+    duration_seconds = params.get("duration_seconds", 5.0)
+    scenario = build_interfered_be_scenario(
+        interferer_duties=(duty,) if duty > 0 else (),
+        seed=seed,
+        acl_load_scale=params.get("acl_load_scale", 1.5),
+        base_bit_error_rate=params.get("base_bit_error_rate", 0.0))
+    scenario.run(duration_seconds)
+    piconet = scenario.piconet
+    states = [piconet.flow_state(fid)
+              for fid in scenario.scenario.be_flow_ids]
+    return [{
+        "interferer_duty": duty,
+        "acl_kbps": scenario.acl_throughput_kbps(),
+        "collision_probability": scenario.collision_probability(),
+        "interference_failures": scenario.interference_failures(),
+        "retransmissions": sum(s.retransmissions for s in states),
+        "segments_not_received": sum(s.segments_not_received
+                                     for s in states),
+        "crc_failures": sum(s.crc_failures for s in states),
+    }]
+
+
+def run_bridge_split_point(params: Dict, seed: int) -> List[Dict]:
+    """One residency-share point of the scatternet bridge scenario."""
+    share = params["bridge_share"]
+    requirement = params.get("delay_requirement", 0.040)
+    duration_seconds = params.get("duration_seconds", 5.0)
+    scenario = build_bridge_split_scenario(
+        bridge_share=share,
+        period_slots=params.get("period_slots", 96),
+        switch_slots=params.get("switch_slots", 2),
+        delay_requirement=requirement,
+        b_load_scale=params.get("b_load_scale", 1.0),
+        seed=seed)
+    if not scenario.scenario_a.all_gs_admitted:
+        return [{"bridge_share": share,
+                 **_rejected_row(scenario.scenario_a, requirement)}]
+    scenario.run(duration_seconds)
+    bridge_gs = scenario.scenario_a.gs_delay_summary()[4]
+    row: Dict = {
+        "bridge_share": share,
+        "admitted": True,
+        "gs": _gs_metrics(scenario.scenario_a, duration_seconds),
+        "be": _be_metrics(scenario.scenario_a, duration_seconds),
+        "bridge": {
+            "gs_max_delay_s": bridge_gs["max_delay_s"],
+            "gs_bound_violated": (
+                bridge_gs["max_delay_s"] > requirement + 1e-9),
+            "absent_polls_a": scenario.piconet_a.bridge_absent_polls,
+            "absent_polls_b": scenario.piconet_b.bridge_absent_polls,
+            "b_kbps": scenario.bridge_throughput_b_kbps(),
+        },
+    }
+    return [row]
+
+
+def run_crowded_room_point(params: Dict, seed: int) -> List[Dict]:
+    """One room-occupancy point: N saturated co-located piconets.
+
+    The room is symmetric (every piconet sees N-1 statistically identical
+    interferers), so one piconet is simulated in full and the aggregate is
+    N times its goodput.
+    """
+    piconets = params["piconets"]
+    if piconets < 1:
+        raise ValueError(f"piconets must be >= 1, got {piconets}")
+    duty = params.get("interferer_duty", 1.0)
+    duration_seconds = params.get("duration_seconds", 5.0)
+    scenario = build_interfered_be_scenario(
+        interferer_duties=(duty,) * (piconets - 1),
+        seed=seed,
+        acl_load_scale=params.get("acl_load_scale", 2.0))
+    scenario.run(duration_seconds)
+    per_piconet = scenario.acl_throughput_kbps()
+    piconet = scenario.piconet
+    states = [piconet.flow_state(fid)
+              for fid in scenario.scenario.be_flow_ids]
+    return [{
+        "piconets": piconets,
+        "per_piconet_kbps": per_piconet,
+        "aggregate_kbps": per_piconet * piconets,
+        "collision_probability": scenario.collision_probability(),
+        "interference_failures": scenario.interference_failures(),
+        "retransmissions": sum(s.retransmissions for s in states),
+    }]
+
+
 register(ExperimentSpec(
     name="link_quality_mix",
     description="Figure-4 scenario with a heterogeneous per-slave BER ramp "
@@ -229,4 +345,35 @@ register(ExperimentSpec(
     run_point=run_multi_sco_point,
     grid={"acl_types": ["DH1", "DH1+DH3"]},
     defaults={"duration_seconds": 5.0, "acl_load_scale": 1.0},
+))
+
+register(ExperimentSpec(
+    name="two_piconet_interference",
+    description="BE goodput under a co-located piconet's hop collisions "
+                "vs. its duty cycle",
+    run_point=run_two_piconet_interference_point,
+    grid={"interferer_duty": [0.0, 0.25, 0.5, 1.0]},
+    defaults={"duration_seconds": 5.0, "acl_load_scale": 1.5,
+              "base_bit_error_rate": 0.0},
+))
+
+register(ExperimentSpec(
+    name="bridge_split",
+    description="Scatternet bridge (S3) time-sharing two masters: GS "
+                "compliance vs. residency share",
+    run_point=run_bridge_split_point,
+    grid={"bridge_share": [0.25, 0.5, 0.75, 1.0]},
+    defaults={"period_slots": 96, "switch_slots": 2,
+              "delay_requirement": 0.040, "duration_seconds": 5.0,
+              "b_load_scale": 1.0},
+))
+
+register(ExperimentSpec(
+    name="crowded_room",
+    description="N saturated co-located piconets: aggregate goodput "
+                "scaling under 1/79 hop collisions",
+    run_point=run_crowded_room_point,
+    grid={"piconets": [1, 2, 4, 8]},
+    defaults={"duration_seconds": 5.0, "acl_load_scale": 2.0,
+              "interferer_duty": 1.0},
 ))

@@ -1,0 +1,136 @@
+"""Golden-row regression fixtures for every registered experiment.
+
+Refactors of the scale this repository keeps landing (new channel layers,
+scheduler rewrites, backend changes) must not silently perturb the results
+of the experiments that were already reproduced.  Instead of re-verifying
+"byte-identical" by hand after every change, the aggregated rows of every
+registered experiment — under a deliberately small, deterministic *golden
+configuration* — are pinned as JSON fixtures under ``tests/golden/`` and
+compared byte-for-byte by ``tests/experiments/test_golden.py``.
+
+The golden configuration of each experiment (:data:`GOLDEN_OVERRIDES`)
+shrinks grids to a couple of representative points and the simulated
+duration to about a second, so the whole fixture set regenerates in
+seconds and the comparison test stays in the default (non-slow) tier.
+Sweeps always run on the serial backend with ``master_seed=0`` and a
+single replication, without the on-disk cache — the resulting
+:meth:`~repro.experiments.orchestrator.SweepResult.to_json` rendering is
+deterministic, so any byte difference is a genuine behaviour change.
+
+Refreshing after an *intentional* behaviour change::
+
+    python -m repro.experiments regen-golden            # all experiments
+    python -m repro.experiments regen-golden figure5    # just one
+
+and commit the updated fixtures together with the change that explains
+them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.figure5 import default_delay_requirements
+from repro.experiments.orchestrator import SweepResult, SweepRunner
+from repro.experiments.registry import experiment_names, get_experiment
+
+#: environment variable overriding the fixture directory (used by tests)
+GOLDEN_DIR_ENV = "REPRO_GOLDEN_DIR"
+
+#: master seed every golden sweep runs under
+GOLDEN_MASTER_SEED = 0
+
+#: per-experiment overrides shrinking each sweep to a fast, deterministic
+#: golden configuration (grids cut to representative points, simulated
+#: durations cut to ~1 s).  Experiments without an entry run their full
+#: registered grid (only acceptable for cheap analytic sweeps).
+GOLDEN_OVERRIDES: Dict[str, Dict[str, object]] = {
+    # the paper's tables and figures (ideal channel throughout)
+    "figure5": {"delay_requirement": default_delay_requirements(points=2),
+                "duration_seconds": 1.0},
+    "delay_compliance": {
+        "delay_requirement": default_delay_requirements(points=2),
+        "duration_seconds": 1.0},
+    "bandwidth_savings": {
+        "delay_requirement": default_delay_requirements(points=2),
+        "duration_seconds": 1.0},
+    "admission_capacity": {},  # analytic, the full grid is instant
+    "sco_comparison": {"duration_seconds": 1.0},
+    "baseline_comparison": {"duration_seconds": 1.0},
+    "improvement_ablation": {"duration_seconds": 1.0},
+    "lossy_channel": {"bit_error_rate": [0.0, 3e-4],
+                      "duration_seconds": 1.0},
+    # scenario packs
+    "heavy_piconet": {"delay_requirement": [0.038], "duration_seconds": 1.0},
+    "mixed_sco_gs": {"delay_requirement": [0.046], "duration_seconds": 1.0},
+    "be_load_scale": {"be_load_scale": [1.0], "duration_seconds": 1.0},
+    # per-link channel packs
+    "link_quality_mix": {"base_bit_error_rate": [0.0, 3e-4],
+                         "duration_seconds": 1.0},
+    "bursty_channel": {"bad_dwell_slots": [25], "duration_seconds": 1.0},
+    "dm_vs_dh": {"bit_error_rate": [3e-4], "duration_seconds": 1.0},
+    "multi_sco": {"duration_seconds": 1.0},
+    # inter-piconet interference / scatternet packs
+    "two_piconet_interference": {"interferer_duty": [0.0, 1.0],
+                                 "duration_seconds": 1.0},
+    "bridge_split": {"bridge_share": [0.5], "duration_seconds": 1.0},
+    "crowded_room": {"piconets": [1, 4], "duration_seconds": 1.0},
+}
+
+
+def golden_dir() -> Path:
+    """The fixture directory (``tests/golden/`` unless overridden)."""
+    override = os.environ.get(GOLDEN_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def golden_path(experiment: str, directory: Optional[Path] = None) -> Path:
+    """Fixture file of one experiment."""
+    return (directory if directory is not None else golden_dir()) \
+        / f"{experiment}.json"
+
+
+def golden_result(experiment: str) -> SweepResult:
+    """Run one experiment's golden sweep (serial, uncached, seed 0)."""
+    get_experiment(experiment)  # fail fast with the known-names message
+    runner = SweepRunner(max_workers=1, backend="serial", cache_dir=None)
+    return runner.run(experiment,
+                      overrides=GOLDEN_OVERRIDES.get(experiment),
+                      replications=1,
+                      master_seed=GOLDEN_MASTER_SEED)
+
+
+def golden_json(experiment: str) -> str:
+    """The canonical fixture text of one experiment (newline-terminated)."""
+    return golden_result(experiment).to_json() + "\n"
+
+
+def regenerate(experiments: Optional[Sequence[str]] = None,
+               directory: Optional[Path] = None) -> List[Path]:
+    """(Re)write golden fixtures; returns the paths written."""
+    names = list(experiments) if experiments else experiment_names()
+    directory = directory if directory is not None else golden_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in names:
+        path = golden_path(name, directory)
+        path.write_text(golden_json(name), encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def compare(experiment: str,
+            directory: Optional[Path] = None) -> Mapping[str, str]:
+    """Regenerate one experiment and diff it against its fixture.
+
+    Returns ``{"expected": ..., "actual": ...}``; raises
+    ``FileNotFoundError`` when the fixture is missing (a newly registered
+    experiment whose fixture was never generated).
+    """
+    path = golden_path(experiment, directory)
+    expected = path.read_text(encoding="utf-8")
+    return {"expected": expected, "actual": golden_json(experiment)}

@@ -20,11 +20,14 @@ backend executed it or how many workers it used.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import logging
 import math
+import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -119,14 +122,35 @@ def execute_point(experiment: str, params: Dict[str, object],
     return list(rows)
 
 
-def execute_batch(tasks: Sequence[Tuple[str, Dict[str, object], int]]
+def execute_point_reporting(start_queue, token: int, experiment: str,
+                            params: Dict[str, object], seed: int
+                            ) -> List[Dict]:
+    """Worker entry point announcing the task's start on ``start_queue``."""
+    start_queue.put(token)
+    return execute_point(experiment, params, seed)
+
+
+def execute_batch(tasks: Sequence[Tuple[str, Dict[str, object], int]],
+                  start_queue=None,
+                  start_tokens: Optional[Sequence[int]] = None
                   ) -> List[List[Dict]]:
-    """Worker entry point of the batching backend: run a chunk of tasks."""
-    return [execute_point(experiment, params, seed)
-            for experiment, params, seed in tasks]
+    """Worker entry point of the batching backend: run a chunk of tasks.
+
+    With ``start_queue``/``start_tokens`` the worker announces each task of
+    the chunk as it *starts* (not just when the chunk's future resolves),
+    so the parent's progress reporting ticks while long points run.
+    """
+    results = []
+    for index, (experiment, params, seed) in enumerate(tasks):
+        if start_queue is not None:
+            start_queue.put(start_tokens[index])
+        results.append(execute_point(experiment, params, seed))
+    return results
 
 
-def execute_batch_timed(tasks: Sequence[Tuple[str, Dict[str, object], int]]
+def execute_batch_timed(tasks: Sequence[Tuple[str, Dict[str, object], int]],
+                        start_queue=None,
+                        start_tokens: Optional[Sequence[int]] = None
                         ) -> Tuple[List[List[Dict]], float]:
     """Like :func:`execute_batch`, also reporting the worker-side seconds.
 
@@ -136,8 +160,54 @@ def execute_batch_timed(tasks: Sequence[Tuple[str, Dict[str, object], int]]
     cost estimate by roughly the oversubscription factor.
     """
     started = time.monotonic()
-    results = execute_batch(tasks)
+    results = execute_batch(tasks, start_queue, start_tokens)
     return results, time.monotonic() - started
+
+
+class _StartReporter:
+    """Ships per-task start notifications out of worker processes.
+
+    A :mod:`multiprocessing` manager queue is handed to every worker
+    submission (manager proxies — unlike raw ``multiprocessing.Queue``
+    objects — survive pickling into :class:`~concurrent.futures.
+    ProcessPoolExecutor` submissions under any start method); a daemon
+    thread in the parent drains it and invokes the callback with each
+    started slot.  One proxy round trip per task start is cheap next to a
+    simulation point, and the whole machinery is only built when a
+    progress callback is attached.
+    """
+
+    def __init__(self, callback: Callable[[int], None]):
+        self._callback = callback
+        self._manager = multiprocessing.Manager()
+        self.queue = self._manager.Queue()
+        self._thread = threading.Thread(
+            target=self._drain, name="sweep-start-reporter", daemon=True)
+
+    def __enter__(self) -> "_StartReporter":
+        self._thread.start()
+        return self
+
+    def _drain(self) -> None:
+        while True:
+            token = self.queue.get()
+            if token is None:
+                return
+            try:
+                self._callback(token)
+            except Exception:  # never let a callback kill the drain thread
+                progress_logger.exception("start-progress callback failed")
+
+    def __exit__(self, *exc_info) -> None:
+        self.queue.put(None)
+        self._thread.join(timeout=10)
+        self._manager.shutdown()
+
+
+def _optional(context_manager):
+    """Pass a context manager through, or a no-op one for ``None``."""
+    return context_manager if context_manager is not None \
+        else contextlib.nullcontext()
 
 
 # ---------------------------------------------------------------- backends
@@ -166,9 +236,22 @@ class ExecutionBackend:
 
     def __init__(self, max_workers: Optional[int] = None):
         self.max_workers = max_workers
+        #: when set (the runner wires it to its progress reporting), the
+        #: backend announces each task as it *starts* executing — from a
+        #: helper thread for the process-pool backends
+        self.start_callback: Optional[Callable[["SweepTask"], None]] = None
 
     def execute(self, pending: PendingTasks) -> Iterator[CompletedTask]:
         raise NotImplementedError
+
+    def _start_reporter(self, pending: PendingTasks
+                        ) -> Optional[_StartReporter]:
+        """A reporter translating started slots into task callbacks."""
+        if self.start_callback is None:
+            return None
+        tasks_by_slot = {slot: task for slot, task in pending}
+        callback = self.start_callback
+        return _StartReporter(lambda slot: callback(tasks_by_slot[slot]))
 
 
 class SerialBackend(ExecutionBackend):
@@ -182,6 +265,8 @@ class SerialBackend(ExecutionBackend):
 
     def execute(self, pending: PendingTasks) -> Iterator[CompletedTask]:
         for slot, task in pending:
+            if self.start_callback is not None:
+                self.start_callback(task)
             yield slot, task, execute_point(task.experiment, task.params,
                                             task.seed)
 
@@ -195,10 +280,19 @@ class ProcessPoolBackend(ExecutionBackend):
     def execute(self, pending: PendingTasks) -> Iterator[CompletedTask]:
         if not pending:
             return
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = [(slot, task,
-                        pool.submit(execute_point, task.experiment,
-                                    task.params, task.seed))
+        reporter = self._start_reporter(pending)
+        queue = reporter.queue if reporter is not None else None
+
+        def submit(pool, slot, task):
+            if queue is not None:
+                return pool.submit(execute_point_reporting, queue, slot,
+                                   task.experiment, task.params, task.seed)
+            return pool.submit(execute_point, task.experiment, task.params,
+                               task.seed)
+
+        with _optional(reporter), ProcessPoolExecutor(
+                max_workers=self.max_workers) as pool:
+            futures = [(slot, task, submit(pool, slot, task))
                        for slot, task in pending]
             for slot, task, future in futures:
                 yield slot, task, future.result()
@@ -282,12 +376,17 @@ class BatchingProcessBackend(ExecutionBackend):
     def _execute_fixed(self, pending: PendingTasks
                        ) -> Iterator[CompletedTask]:
         batches = self._chunk(pending)
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+        reporter = self._start_reporter(pending)
+        queue = reporter.queue if reporter is not None else None
+        with _optional(reporter), ProcessPoolExecutor(
+                max_workers=self.max_workers) as pool:
             futures = [
                 (batch,
                  pool.submit(execute_batch,
                              [(task.experiment, task.params, task.seed)
-                              for _, task in batch]))
+                              for _, task in batch],
+                             queue,
+                             [slot for slot, _ in batch] if queue else None))
                 for batch in batches]
             for batch, future in futures:
                 for (slot, task), rows in zip(batch, future.result()):
@@ -319,7 +418,10 @@ class BatchingProcessBackend(ExecutionBackend):
         window = workers * self.oversubscribe
         next_index = 0
         inflight: List[Tuple[PendingTasks, object]] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        reporter = self._start_reporter(pending)
+        queue = reporter.queue if reporter is not None else None
+        with _optional(reporter), ProcessPoolExecutor(
+                max_workers=workers) as pool:
 
             def submit_one() -> None:
                 nonlocal next_index
@@ -329,7 +431,9 @@ class BatchingProcessBackend(ExecutionBackend):
                 inflight.append((batch, pool.submit(
                     execute_batch_timed,
                     [(task.experiment, task.params, task.seed)
-                     for _, task in batch])))
+                     for _, task in batch],
+                    queue,
+                    [slot for slot, _ in batch] if queue else None)))
 
             while next_index < len(pending) and len(inflight) < window:
                 submit_one()
@@ -372,12 +476,28 @@ def make_backend(name: str,
 
 # ---------------------------------------------------------------- progress
 
+#: progress event kinds: a task began executing / a task's rows are in
+EVENT_START = "start"
+EVENT_DONE = "done"
+
+
 @dataclass(frozen=True)
 class SweepProgress:
-    """One completed task, as seen by a progress callback."""
+    """One progress event of a sweep, as seen by a progress callback.
+
+    ``event`` is :data:`EVENT_DONE` when the task's rows arrived (the
+    historical meaning) and :data:`EVENT_START` when a task began
+    executing — the process-pool backends ship start events out of their
+    workers over a lightweight queue, so long-running points tick when
+    they *begin*, not only when they resolve.  Start events are reported
+    from a helper thread; callbacks must be thread-safe (the standard
+    :mod:`logging` handlers are).  Cache-served tasks resolve instantly
+    and emit no start event.
+    """
 
     experiment: str
-    #: tasks finished so far, counting cache hits
+    #: tasks finished so far, counting cache hits (for a start event: how
+    #: many had finished when this task began)
     completed: int
     #: total tasks of the sweep
     total: int
@@ -388,9 +508,11 @@ class SweepProgress:
     elapsed_seconds: float
     #: True when the task was served from the on-disk cache
     cached: bool = False
+    #: :data:`EVENT_START` or :data:`EVENT_DONE`
+    event: str = EVENT_DONE
 
 
-#: invoked once per completed task (executed or cache-served)
+#: invoked once per progress event (task started / completed / cache-served)
 ProgressCallback = Callable[[SweepProgress], None]
 
 progress_logger = logging.getLogger("repro.experiments.progress")
@@ -401,8 +523,16 @@ def log_progress(progress: SweepProgress) -> None:
 
     Attach it with ``SweepRunner(progress=log_progress)`` or the CLI's
     ``--progress`` flag; it logs to the ``repro.experiments.progress``
-    logger at INFO level, one line per completed task.
+    logger at INFO level, one line per task start and one per completion.
     """
+    if progress.event == EVENT_START:
+        progress_logger.info(
+            "%s: task started (point %d, replication %d; %d/%d done) "
+            "after %.2fs",
+            progress.experiment, progress.point_index,
+            progress.replication, progress.completed, progress.total,
+            progress.elapsed_seconds)
+        return
     progress_logger.info(
         "%s: task %d/%d done (point %d, replication %d%s) after %.2fs",
         progress.experiment, progress.completed, progress.total,
@@ -541,9 +671,14 @@ class SweepRunner:
         ``max_workers``), or ``None`` to derive the historical behaviour
         from ``max_workers`` (inline for ``<= 1``, process pool otherwise).
     progress:
-        Optional callback invoked once per completed task with a
-        :class:`SweepProgress` (see :func:`log_progress` for a ready-made
-        logging handler).
+        Optional callback invoked with a :class:`SweepProgress` once per
+        task *start* (``event="start"``, shipped out of worker processes
+        by the pool backends and delivered from a helper thread — the
+        callback must be thread-safe) and once per completion
+        (``event="done"``, also covering cache hits).  Callbacks that only
+        care about completions should return early unless
+        ``progress.event == "done"``; see :func:`log_progress` for a
+        ready-made logging handler.
     """
 
     def __init__(self, max_workers: Optional[int] = 1,
@@ -623,6 +758,19 @@ class SweepRunner:
                     replication=task.replication, params=dict(task.params),
                     elapsed_seconds=time.monotonic() - started,
                     cached=cached))
+
+        def report_start(task: SweepTask) -> None:
+            # called by the backend — possibly from its reporter thread —
+            # the moment a worker picks the task up
+            self.progress(SweepProgress(
+                experiment=spec.name, completed=completed,
+                total=len(tasks), point_index=task.point_index,
+                replication=task.replication, params=dict(task.params),
+                elapsed_seconds=time.monotonic() - started,
+                event=EVENT_START))
+
+        self.backend.start_callback = \
+            report_start if self.progress is not None else None
 
         # the cache key carries the spec's result-schema version so bumping
         # it after a run_point change invalidates stale entries

@@ -20,11 +20,15 @@ from repro.piconet.queues import FlowQueue
 from repro.piconet.device import Master, Slave
 from repro.piconet.piconet import FlowState, Piconet, PiconetConfig
 from repro.piconet.sco import ScoLink, ScoReservationTable
+from repro.piconet.bridge import BridgeNode, BridgeSchedule
+from repro.piconet.scatternet import Scatternet
 
 __all__ = [
     "AMAddress",
     "BDAddress",
     "BE",
+    "BridgeNode",
+    "BridgeSchedule",
     "DOWNLINK",
     "FlowQueue",
     "FlowSpec",
@@ -34,6 +38,7 @@ __all__ = [
     "Master",
     "Piconet",
     "PiconetConfig",
+    "Scatternet",
     "ScoLink",
     "ScoReservationTable",
     "Slave",

@@ -1,0 +1,131 @@
+"""Scatternet bridge nodes: one slave time-sharing two masters.
+
+A Bluetooth device may participate in two piconets, but it has one radio:
+it can only follow one master's hop sequence at a time.  A *bridge* node
+therefore time-divides its presence under a hold/sniff-style agreement —
+it resides in piconet A for part of a fixed period and in piconet B for
+the rest, losing a few guard slots at every handover to re-synchronise to
+the other master's clock and hop phase.
+
+Crucially, the masters do **not** know the bridge's schedule (neither
+hold nor sniff negotiation is modelled): a master that polls the bridge
+while it is away simply gets no response.  The piconet's master loop
+(:meth:`repro.piconet.piconet.Piconet.set_bridge_presence`) turns such
+polls into guaranteed failures — the downlink packet is never received and
+the uplink slot stays silent — which is exactly the retransmission and
+fairness pressure the ``bridge_split`` experiment measures.
+
+:class:`BridgeSchedule` is the pure time-division policy;
+:class:`BridgeNode` binds it to the two piconets' slave addresses (see
+:class:`repro.piconet.scatternet.Scatternet`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+#: the two residency roles of a bridge
+ROLE_A = "A"
+ROLE_B = "B"
+
+
+@dataclass(frozen=True)
+class BridgeSchedule:
+    """Hold/sniff-style time division of one bridge between two masters.
+
+    Every ``period_slots``-slot cycle the bridge spends the first
+    ``round(period_slots * share_a)`` slots in piconet A and the remainder
+    in piconet B; the first ``switch_slots`` slots of each residency are
+    guard slots (resynchronisation) during which the bridge is present in
+    *neither* piconet.  With ``share_a`` 0.0 or 1.0 the bridge never
+    switches and the guard does not apply.
+    """
+
+    period_slots: int = 96
+    share_a: float = 0.5
+    switch_slots: int = 2
+
+    def __post_init__(self) -> None:
+        if self.period_slots < 2:
+            raise ValueError(
+                f"period_slots must be >= 2, got {self.period_slots}")
+        if not 0.0 <= self.share_a <= 1.0:
+            raise ValueError(
+                f"share_a must be within [0, 1], got {self.share_a}")
+        if self.switch_slots < 0:
+            raise ValueError(
+                f"switch_slots must be >= 0, got {self.switch_slots}")
+        if 2 * self.switch_slots >= self.period_slots:
+            raise ValueError(
+                f"two guard intervals of {self.switch_slots} slots do not "
+                f"fit a {self.period_slots}-slot period")
+        boundary = round(self.period_slots * self.share_a)
+        if 0.0 < self.share_a < 1.0 and (
+                boundary <= self.switch_slots
+                or boundary + self.switch_slots >= self.period_slots):
+            # an extreme share leaves one residency empty (or swallowed by
+            # its guard): that is share 0.0/1.0 semantics requested as a
+            # split — reject rather than silently starving one piconet
+            raise ValueError(
+                f"share_a={self.share_a} leaves no usable residency in one "
+                f"piconet of a {self.period_slots}-slot period with "
+                f"{self.switch_slots} guard slots")
+
+    @property
+    def slots_in_a(self) -> int:
+        """Slots per period scheduled in piconet A (before guards)."""
+        return round(self.period_slots * self.share_a)
+
+    def present_in_a(self, slot_index: int) -> bool:
+        """Whether the bridge listens to master A in ``slot_index``."""
+        boundary = self.slots_in_a
+        if boundary == 0:
+            return False
+        phase = slot_index % self.period_slots
+        if boundary == self.period_slots:
+            return True
+        return self.switch_slots <= phase < boundary
+
+    def present_in_b(self, slot_index: int) -> bool:
+        """Whether the bridge listens to master B in ``slot_index``."""
+        boundary = self.slots_in_a
+        if boundary == self.period_slots:
+            return False
+        phase = slot_index % self.period_slots
+        if boundary == 0:
+            return True
+        return boundary + self.switch_slots <= phase
+
+    def presence(self, role: str) -> Callable[[int], bool]:
+        """The per-slot presence function of one residency role."""
+        if role == ROLE_A:
+            return self.present_in_a
+        if role == ROLE_B:
+            return self.present_in_b
+        raise ValueError(
+            f"role must be {ROLE_A!r} or {ROLE_B!r}, got {role!r}")
+
+    def duty(self, role: str) -> float:
+        """Fraction of slots the bridge is present under ``role``."""
+        present = self.presence(role)
+        return sum(1 for slot in range(self.period_slots)
+                   if present(slot)) / self.period_slots
+
+
+@dataclass
+class BridgeNode:
+    """One bridge device bound to its slave address in each piconet.
+
+    ``residences`` maps the residency role (``"A"``/``"B"``) to the
+    ``(piconet name, slave AM address)`` the bridge occupies there; the
+    :class:`~repro.piconet.scatternet.Scatternet` driver fills it in and
+    installs the matching presence functions on both piconets.
+    """
+
+    name: str
+    schedule: BridgeSchedule
+    residences: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+
+    def presence(self, role: str) -> Callable[[int], bool]:
+        return self.schedule.presence(role)

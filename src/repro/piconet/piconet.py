@@ -20,12 +20,13 @@ Design notes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from repro.baseband.channel import (
     Channel,
     ChannelMap,
     TransmissionResult,
+    TX_NOT_RECEIVED,
     TX_OK,
     coerce_channel_map,
 )
@@ -125,6 +126,8 @@ class Piconet:
         self.sco_table = ScoReservationTable()
         self._states: Dict[int, FlowState] = {}
         self._sco_flows: Dict[int, Dict[str, Optional[int]]] = {}
+        #: scatternet bridges: slave -> per-slot presence in *this* piconet
+        self._bridge_presence: Dict[int, Callable[[int], bool]] = {}
         self._started = False
         self._run_started_at: Optional[int] = None
         self._run_ended_at: Optional[int] = None
@@ -138,6 +141,7 @@ class Piconet:
         self.transactions_be = 0
         self.gs_polls_without_data = 0
         self.be_polls_without_data = 0
+        self.bridge_absent_polls = 0
 
     # ------------------------------------------------------------------ setup
     def add_slave(self, name: Optional[str] = None) -> Slave:
@@ -194,6 +198,27 @@ class Piconet:
         self._sco_flows[slave] = {"DL": dl_flow_id, "UL": ul_flow_id}
         self.devices.slave(slave).has_sco = True
         return link
+
+    def set_bridge_presence(self, slave: int,
+                            presence: Callable[[int], bool]) -> None:
+        """Mark ``slave`` as a scatternet bridge with a presence schedule.
+
+        ``presence(slot_index)`` says whether the bridge is listening to
+        *this* piconet's master in that slot.  The master does not know the
+        schedule: a transaction addressed to an absent bridge is a
+        guaranteed poll failure — the downlink packet is never received and
+        the uplink slot stays silent — while still consuming its slots.
+        """
+        if slave not in self.devices:
+            raise ValueError(f"slave {slave} is not part of the piconet")
+        self._bridge_presence[slave] = presence
+
+    def _slave_present(self, slave: int, now_us: int) -> bool:
+        """Whether ``slave`` is listening to this master at ``now_us``."""
+        presence = self._bridge_presence.get(slave)
+        if presence is None:
+            return True
+        return bool(presence(now_us // SLOT_US))
 
     def attach_poller(self, poller) -> None:
         """Attach the intra-piconet scheduler."""
@@ -315,7 +340,7 @@ class Piconet:
     def slot_accounting(self) -> dict:
         """Slots spent per activity since the simulation started."""
         used = self.slots_gs + self.slots_be + self.slots_sco + self.slots_idle
-        return {
+        accounting = {
             "gs": self.slots_gs,
             "be": self.slots_be,
             "sco": self.slots_sco,
@@ -324,6 +349,11 @@ class Piconet:
             "gs_polls_without_data": self.gs_polls_without_data,
             "be_polls_without_data": self.be_polls_without_data,
         }
+        # only scatternet piconets report the bridge counter, so the rows
+        # (and golden fixtures) of single-piconet experiments are unchanged
+        if self._bridge_presence:
+            accounting["bridge_absent_polls"] = self.bridge_absent_polls
+        return accounting
 
     # ------------------------------------------------------------ master loop
     def _master_process(self):
@@ -395,15 +425,29 @@ class Piconet:
 
         deliveries: List[SegmentDelivery] = []
 
+        # A scatternet bridge that is currently residing in its other
+        # piconet hears nothing: the transaction still burns its slots, but
+        # both directions are guaranteed failures (the downlink packet is
+        # never received, the uplink answer never sent).  Presence is
+        # evaluated per direction, so a handover mid-transaction loses
+        # exactly the directions transmitted while away.
+        bridge_absent = not self._slave_present(plan.slave, start)
+        if bridge_absent:
+            self.bridge_absent_polls += 1
+
         # Each direction traverses its own link channel, with the channel
         # state advanced to the slot the packet starts in; losses in the two
         # directions are sampled independently (control POLL/NULL packets
         # are assumed to always get through, as before).
         # -- downlink ------------------------------------------------------
         yield self.env.timeout(dl_packet.duration_us)
-        dl_result = (self.channels.transmit(plan.slave, DOWNLINK, dl_packet,
-                                            now_us=start)
-                     if dl_segment is not None else TX_OK)
+        if dl_segment is None:
+            dl_result = TX_OK
+        elif bridge_absent:  # presence at `start`, computed above
+            dl_result = TX_NOT_RECEIVED
+        else:
+            dl_result = self.channels.transmit(plan.slave, DOWNLINK,
+                                               dl_packet, now_us=start)
         dl_error = dl_segment is not None and not dl_result.ok
         if dl_segment is not None:
             if dl_result.ok:
@@ -416,9 +460,13 @@ class Piconet:
         # -- uplink ---------------------------------------------------------
         ul_start = self.env.now
         yield self.env.timeout(ul_packet.duration_us)
-        ul_result = (self.channels.transmit(plan.slave, UPLINK, ul_packet,
-                                            now_us=ul_start)
-                     if ul_segment is not None else TX_OK)
+        if ul_segment is None:
+            ul_result = TX_OK
+        elif not self._slave_present(plan.slave, ul_start):
+            ul_result = TX_NOT_RECEIVED
+        else:
+            ul_result = self.channels.transmit(plan.slave, UPLINK,
+                                               ul_packet, now_us=ul_start)
         ul_error = ul_segment is not None and not ul_result.ok
         if ul_segment is not None:
             if ul_result.ok:
@@ -455,6 +503,7 @@ class Piconet:
             ul_not_received=ul_segment is not None and not ul_result.received,
             dl_link=dl_link,
             ul_link=ul_link,
+            bridge_absent=bridge_absent,
             deliveries=deliveries,
         )
         if self.poller is not None:
@@ -485,9 +534,14 @@ class Piconet:
                     f"SCO flow {flow_id} produced a segment of {segment.payload} "
                     f"bytes which does not fit in {link.packet_type.name}")
             state.queue.confirm_segment()
-            result = self.channels.transmit(
-                link.slave, direction, segment,
-                now_us=start + slot_offset * SLOT_US)
+            slot_start = start + slot_offset * SLOT_US
+            if not self._slave_present(link.slave, slot_start):
+                # an absent bridge neither hears nor fills its reserved
+                # slots; the voice frame is erased outright
+                result = TX_NOT_RECEIVED
+            else:
+                result = self.channels.transmit(
+                    link.slave, direction, segment, now_us=slot_start)
             if not result.ok:
                 # SCO has no retransmission: the (corrupted or erased)
                 # payload is still played out, only the residual error is

@@ -101,6 +101,9 @@ class PollOutcome:
     ul_error: bool = False
     dl_not_received: bool = False
     ul_not_received: bool = False
+    #: the addressed slave was a scatternet bridge away in its other
+    #: piconet when the transaction started (guaranteed failure)
+    bridge_absent: bool = False
     #: directed links used by the transaction, e.g. ``(3, "DL")``
     dl_link: Optional[Tuple[int, str]] = None
     ul_link: Optional[Tuple[int, str]] = None

@@ -27,6 +27,7 @@ RandomStreams
     Named, independently seeded random-number streams.
 """
 
+from repro.sim.coordination import SharedClock
 from repro.sim.engine import Environment, StopSimulation
 from repro.sim.events import (
     AllOf,
@@ -52,6 +53,7 @@ __all__ = [
     "RandomStreams",
     "derive_seed",
     "Resource",
+    "SharedClock",
     "StopSimulation",
     "Store",
     "TimeSeriesMonitor",

@@ -1,0 +1,220 @@
+"""Multi-piconet workloads: interference victims and scatternet bridges.
+
+Two scenario families back the inter-piconet experiment packs:
+
+* :func:`build_interfered_be_scenario` — a saturated round-robin
+  best-effort piconet whose every link runs through an
+  :class:`~repro.baseband.interference.InterferenceAwareChannel`; the
+  co-located piconets are modelled as
+  :class:`~repro.baseband.interference.InterfererProcess` members of a
+  shared :class:`~repro.baseband.interference.InterferenceField` (their
+  hop patterns and duty cycles are what matters to the victim, not their
+  internal scheduling).  Used by ``two_piconet_interference`` and, with
+  many interferers, ``crowded_room``.
+
+* :func:`build_bridge_split_scenario` — a genuine two-piconet
+  co-simulation on a :class:`~repro.sim.coordination.SharedClock`:
+  piconet A is the paper's Section-4.1 GS workload with slave S3 doubling
+  as a scatternet bridge, piconet B a single-slave best-effort piconet the
+  bridge serves while away.  Sweeping the bridge's residency share shows
+  the Guaranteed Service bound breaking exactly when the bridge's absence
+  exceeds the slack the admission control negotiated.  Used by
+  ``bridge_split``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.baseband.channel import ChannelFactory, LossyChannel
+from repro.baseband.interference import (
+    InterferenceField,
+    interference_channel_map,
+)
+from repro.piconet.bridge import BridgeNode, BridgeSchedule
+from repro.piconet.flows import BE, DOWNLINK, FlowSpec, UPLINK
+from repro.piconet.piconet import Piconet, PiconetConfig
+from repro.piconet.scatternet import Scatternet
+from repro.sim.rng import RandomStreams
+from repro.traffic.sources import CBRSource, TrafficSource
+from repro.traffic.workloads import (
+    BE_PACKET_SIZE,
+    Figure4Scenario,
+    MultiScoScenario,
+    be_rate_bps,
+    build_figure4_scenario,
+    build_multi_sco_scenario,
+)
+
+#: name the victim piconet registers under in the interference field
+VICTIM = "victim"
+
+
+@dataclass
+class InterferedScenario:
+    """A best-effort victim piconet inside an interference field."""
+
+    scenario: MultiScoScenario
+    field: InterferenceField
+    #: names of the interfering piconets registered in the field
+    interferers: List[str]
+
+    @property
+    def piconet(self) -> Piconet:
+        return self.scenario.piconet
+
+    def run(self, duration_seconds: float) -> None:
+        self.scenario.run(duration_seconds)
+
+    def acl_throughput_kbps(self) -> float:
+        return self.scenario.acl_throughput_kbps()
+
+    def interference_failures(self) -> int:
+        """Packets lost to collisions after surviving their base channel."""
+        channels = self.piconet.channels
+        return sum(
+            getattr(channels.channel_for(*link), "interference_failures", 0)
+            for link in channels.links())
+
+    def collision_probability(self) -> float:
+        """Analytic per-slot co-channel collision probability."""
+        return self.field.expected_collision_probability(VICTIM)
+
+
+def build_interfered_be_scenario(
+        interferer_duties: Sequence[float],
+        seed: int = 1,
+        acl_load_scale: float = 1.5,
+        acl_types: Sequence[str] = ("DH1", "DH3"),
+        acl_slaves: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+        base_bit_error_rate: float = 0.0,
+        ber_per_collision: Optional[float] = None) -> InterferedScenario:
+    """A round-robin BE piconet next to ``len(interferer_duties)`` piconets.
+
+    Each entry of ``interferer_duties`` registers one co-located piconet
+    with that duty cycle; the victim's links combine an optional base BER
+    with the field's hop-collision BER.
+    """
+    streams = RandomStreams(seed)
+    field_kwargs = {} if ber_per_collision is None else \
+        {"ber_per_collision": ber_per_collision}
+    field = InterferenceField(streams=streams.child("interference"),
+                              **field_kwargs)
+    field.register(VICTIM, duty_cycle=1.0)
+    interferers = []
+    for index, duty in enumerate(interferer_duties, start=1):
+        name = f"interferer-{index}"
+        field.register(name, duty_cycle=duty)
+        interferers.append(name)
+    base_factory: Optional[ChannelFactory] = None
+    if base_bit_error_rate > 0:
+        base_factory = (lambda link, rng: LossyChannel(
+            bit_error_rate=base_bit_error_rate, rng=rng))
+    channel = interference_channel_map(
+        field, VICTIM, base_factory=base_factory,
+        streams=streams.child("channel-map"))
+    scenario = build_multi_sco_scenario(
+        acl_types=tuple(acl_types), sco_slaves=(),
+        acl_slaves=tuple(acl_slaves), acl_load_scale=acl_load_scale,
+        channel=channel, seed=seed)
+    return InterferedScenario(scenario=scenario, field=field,
+                              interferers=interferers)
+
+
+@dataclass
+class BridgeSplitScenario:
+    """Two co-simulated piconets sharing one bridge slave (S3 of A)."""
+
+    scatternet: Scatternet
+    scenario_a: Figure4Scenario
+    piconet_b: Piconet
+    bridge: BridgeNode
+    b_flow_ids: List[int]
+    sources_b: List[TrafficSource]
+
+    @property
+    def piconet_a(self) -> Piconet:
+        return self.scenario_a.piconet
+
+    def run(self, duration_seconds: float) -> None:
+        for source in self.scenario_a.sources:
+            source.start()
+        for source in self.sources_b:
+            source.start()
+        self.scatternet.run(duration_seconds)
+
+    def bridge_throughput_b_kbps(self) -> float:
+        """Delivered throughput of the bridge's piconet-B flows."""
+        elapsed = self.piconet_b.elapsed_seconds
+        if elapsed <= 0:
+            return 0.0
+        delivered = sum(self.piconet_b.flow_state(fid).delivered_bytes
+                        for fid in self.b_flow_ids)
+        return delivered * 8 / elapsed / 1000.0
+
+
+#: AM address of the bridge inside piconet A (carries GS flow 4).
+BRIDGE_SLAVE_A = 3
+
+#: AM address of the bridge inside piconet B.
+BRIDGE_SLAVE_B = 1
+
+
+def build_bridge_split_scenario(
+        bridge_share: float,
+        period_slots: int = 96,
+        switch_slots: int = 2,
+        delay_requirement: float = 0.040,
+        b_load_scale: float = 1.0,
+        seed: int = 1) -> BridgeSplitScenario:
+    """The Section-4.1 piconet with S3 bridging into a second piconet.
+
+    ``bridge_share`` is the fraction of every ``period_slots``-slot cycle
+    the bridge spends in piconet A (where it carries GS flow 4); the rest
+    of the cycle it serves one downlink + one uplink best-effort flow as
+    the only slave of piconet B.  Neither master knows the schedule, so A's
+    admission control still negotiates flow 4's rate as if S3 were always
+    reachable — exactly the blind spot this scenario measures.
+    """
+    scatternet = Scatternet()
+    env = scatternet.clock.env
+    scenario_a = build_figure4_scenario(
+        delay_requirement=delay_requirement, seed=seed, env=env)
+    scatternet.adopt_piconet("A", scenario_a.piconet)
+
+    streams = RandomStreams(seed).child("piconet-b")
+    piconet_b = Piconet(env=env, config=PiconetConfig(name="B"))
+    scatternet.adopt_piconet("B", piconet_b)
+    piconet_b.add_slave("bridge")
+    b_specs = [
+        FlowSpec(1, slave=BRIDGE_SLAVE_B, direction=DOWNLINK,
+                 traffic_class=BE, allowed_types=("DH1", "DH3")),
+        FlowSpec(2, slave=BRIDGE_SLAVE_B, direction=UPLINK,
+                 traffic_class=BE, allowed_types=("DH1", "DH3")),
+    ]
+    for spec in b_specs:
+        piconet_b.add_flow(spec)
+    from repro.schedulers.round_robin import PureRoundRobinPoller
+    piconet_b.attach_poller(PureRoundRobinPoller())
+
+    sources_b: List[TrafficSource] = []
+    if b_load_scale > 0:
+        for spec in b_specs:
+            rate = be_rate_bps(4) * b_load_scale
+            rng = streams.stream(f"be-{spec.flow_id}")
+            interval = BE_PACKET_SIZE * 8 / rate
+            sources_b.append(CBRSource(
+                piconet_b, spec.flow_id, interval, BE_PACKET_SIZE, rng=rng,
+                start_offset=rng.uniform(0, interval)))
+
+    schedule = BridgeSchedule(period_slots=period_slots,
+                              share_a=bridge_share,
+                              switch_slots=switch_slots)
+    bridge = scatternet.add_bridge("bridge", schedule,
+                                   "A", BRIDGE_SLAVE_A,
+                                   "B", BRIDGE_SLAVE_B)
+    return BridgeSplitScenario(
+        scatternet=scatternet, scenario_a=scenario_a, piconet_b=piconet_b,
+        bridge=bridge, b_flow_ids=[spec.flow_id for spec in b_specs],
+        sources_b=sources_b)

@@ -27,6 +27,7 @@ from repro.core.pfp import PredictiveFairPoller
 from repro.core.token_bucket import TSpec, cbr_tspec
 from repro.piconet.flows import BE, DOWNLINK, FlowSpec, GS, UPLINK
 from repro.piconet.piconet import Piconet, PiconetConfig
+from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
 from repro.traffic.sources import CBRSource, TrafficSource
 
@@ -133,7 +134,8 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
                            gs_uplink_only: bool = False,
                            be_directions: Sequence[str] = (DOWNLINK, UPLINK),
                            allowed_types: Sequence[str] = ALLOWED_TYPES,
-                           adaptive_segmentation: bool = False
+                           adaptive_segmentation: bool = False,
+                           env: Optional["Environment"] = None
                            ) -> Figure4Scenario:
     """Build the Section 4.1 piconet, flows, sources, manager and poller.
 
@@ -184,6 +186,11 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
         falls back to DM (FEC) types when the observed per-link loss says
         so (see :class:`~repro.baseband.segmentation.
         ChannelAdaptiveSegmentationPolicy`).
+    env:
+        Simulation environment to build the piconet against.  Scatternet
+        scenarios pass a :class:`~repro.sim.coordination.SharedClock`'s
+        environment so several piconets co-advance on one clock; ``None``
+        keeps the historical private environment.
     """
     if (delay_requirement is None) == (gs_rate is None):
         raise ValueError("specify exactly one of delay_requirement / gs_rate")
@@ -210,7 +217,7 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
     streams = RandomStreams(seed)
     config = PiconetConfig(allowed_types=acl_types,
                            adaptive_segmentation=adaptive_segmentation)
-    piconet = Piconet(channel=channel, config=config)
+    piconet = Piconet(env=env, channel=channel, config=config)
     # the admission control must budget the worst transaction the links can
     # actually produce: with adaptive segmentation that includes the robust
     # (DM) types a flow may fall back to under loss
@@ -363,7 +370,8 @@ def build_multi_sco_scenario(acl_types: Sequence[str] = ("DH1",),
                              channel: Union[Channel, ChannelMap, None] = None,
                              seed: int = 1,
                              stagger_sources: bool = True,
-                             adaptive_segmentation: bool = False
+                             adaptive_segmentation: bool = False,
+                             env: Optional["Environment"] = None
                              ) -> MultiScoScenario:
     """A piconet with HV3 voice on several slaves plus best-effort ACL.
 
@@ -395,7 +403,7 @@ def build_multi_sco_scenario(acl_types: Sequence[str] = ("DH1",),
         raise ValueError("acl_load_scale cannot be negative")
 
     streams = RandomStreams(seed)
-    piconet = Piconet(channel=channel, config=PiconetConfig(
+    piconet = Piconet(env=env, channel=channel, config=PiconetConfig(
         allowed_types=tuple(acl_types),
         adaptive_segmentation=adaptive_segmentation))
     for index in range(1, 8):

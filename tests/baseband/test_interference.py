@@ -1,0 +1,219 @@
+"""Tests of the inter-piconet interference subsystem."""
+
+import random
+
+import pytest
+
+from repro.baseband.channel import (
+    ChannelMap,
+    GilbertElliottChannel,
+    IdealChannel,
+    LossyChannel,
+)
+from repro.baseband.interference import (
+    HOP_CHANNELS,
+    HopSequence,
+    InterfererProcess,
+    InterferenceAwareChannel,
+    InterferenceField,
+    interference_channel_map,
+)
+from repro.baseband.packets import BasebandPacket, get_packet_type
+from repro.sim.rng import RandomStreams
+
+
+def dh3_packet(payload=183):
+    return BasebandPacket(ptype=get_packet_type("DH3"), payload=payload)
+
+
+def dh1_packet(payload=27):
+    return BasebandPacket(ptype=get_packet_type("DH1"), payload=payload)
+
+
+# ------------------------------------------------------------ hop sequence
+
+def test_hop_sequence_is_random_access_deterministic():
+    forward = HopSequence(random.Random(42))
+    backward = HopSequence(random.Random(42))
+    slots = list(range(200))
+    expected = [forward.channel_at(s) for s in slots]
+    # querying in reverse (and repeatedly) yields the same channels
+    assert [backward.channel_at(s) for s in reversed(slots)] \
+        == list(reversed(expected))
+    assert [forward.channel_at(s) for s in slots] == expected
+    assert all(0 <= c < HOP_CHANNELS for c in expected)
+    with pytest.raises(ValueError):
+        forward.channel_at(-1)
+
+
+def test_hop_sequence_covers_the_band():
+    hops = HopSequence(random.Random(1))
+    seen = {hops.channel_at(s) for s in range(4000)}
+    assert len(seen) == HOP_CHANNELS
+
+
+# ------------------------------------------------------------- interferer
+
+def test_interferer_duty_cycle_bounds_and_activity():
+    rng = random.Random(3)
+    silent = InterfererProcess("s", HopSequence(rng), random.Random(5),
+                               duty_cycle=0.0)
+    assert not any(silent.active_at(s) for s in range(100))
+    saturated = InterfererProcess("x", HopSequence(rng), random.Random(5),
+                                  duty_cycle=1.0)
+    assert all(saturated.active_at(s) for s in range(100))
+    with pytest.raises(ValueError):
+        InterfererProcess("bad", HopSequence(rng), random.Random(1),
+                          duty_cycle=1.5)
+
+
+# ------------------------------------------------------------------ field
+
+def test_field_collision_rate_matches_one_in_79():
+    field = InterferenceField(streams=7)
+    field.register("victim")
+    field.register("other", duty_cycle=1.0)
+    horizon = 40_000
+    count = field.count_collisions("victim", horizon)
+    rate = count / horizon
+    assert abs(rate - 1.0 / HOP_CHANNELS) < 0.003
+    assert field.expected_collision_probability("victim") == \
+        pytest.approx(1.0 / HOP_CHANNELS)
+
+
+def test_field_membership_errors():
+    field = InterferenceField()
+    field.register("a")
+    with pytest.raises(ValueError, match="already registered"):
+        field.register("a")
+    with pytest.raises(KeyError, match="unknown piconet"):
+        field.collisions("nope", 0)
+
+
+def test_field_collision_ber_scales_with_colliders_and_caps():
+    field = InterferenceField(streams=1, ber_per_collision=0.2)
+    field.register("victim")
+    for index in range(9):
+        field.register(f"i{index}", duty_cycle=1.0)
+    bers = {field.collision_ber("victim", slot) for slot in range(2000)}
+    assert 0.0 in bers
+    assert all(b in (0.0, 0.2, 0.4, 0.5) for b in bers)
+
+
+def test_field_reproducible_for_a_given_stream_seed():
+    sequences = []
+    for _ in range(2):
+        field = InterferenceField(streams=RandomStreams(9).child("intf"))
+        field.register("victim")
+        field.register("other", duty_cycle=0.5)
+        sequences.append([field.collisions("victim", s) for s in range(500)])
+    assert sequences[0] == sequences[1]
+
+
+# ---------------------------------------------------- interference channel
+
+def test_interference_channel_ideal_base_loses_only_on_collisions():
+    field = InterferenceField(streams=11, ber_per_collision=0.5)
+    field.register("victim")
+    field.register("other", duty_cycle=1.0)
+    channel = InterferenceAwareChannel(IdealChannel(), field, "victim",
+                                       rng=random.Random(2))
+    packet = dh1_packet()
+    failures = sum(
+        0 if channel.transmit(packet, now_us=slot * 625).ok else 1
+        for slot in range(20_000))
+    # DH1 spans one slot: failures can only happen in collision slots
+    assert failures > 0
+    assert failures <= field.count_collisions("victim", 20_000)
+    assert channel.interference_failures == failures
+
+
+def test_interference_channel_composes_with_base_losses():
+    def build(base):
+        field = InterferenceField(streams=13)
+        field.register("victim")
+        field.register("other", duty_cycle=1.0)
+        return InterferenceAwareChannel(base, field, "victim",
+                                        rng=random.Random(4))
+
+    packet = dh3_packet()
+    lossy = build(LossyChannel(bit_error_rate=1e-3,
+                               rng=random.Random(9)))
+    ideal = build(IdealChannel())
+    trials = 4000
+    lossy_fails = sum(
+        0 if lossy.transmit(packet, now_us=s * 6 * 625).ok else 1
+        for s in range(trials))
+    ideal_fails = sum(
+        0 if ideal.transmit(packet, now_us=s * 6 * 625).ok else 1
+        for s in range(trials))
+    # the base channel's losses stack on top of the interference losses
+    assert lossy_fails > ideal_fails
+
+
+def test_interference_sampling_independent_of_base_model():
+    """Swapping the base model must not perturb the interference draws."""
+
+    def interference_losses(base):
+        field = InterferenceField(streams=21, ber_per_collision=0.5)
+        field.register("victim")
+        field.register("other", duty_cycle=1.0)
+        channel = InterferenceAwareChannel(base, field, "victim",
+                                           rng=random.Random(6))
+        packet = dh1_packet()
+        losses = []
+        for slot in range(10_000):
+            before = channel.interference_failures
+            channel.transmit(packet, now_us=slot * 625)
+            losses.append(channel.interference_failures - before)
+        return losses
+
+    ideal = interference_losses(IdealChannel())
+    bursty = interference_losses(
+        GilbertElliottChannel(p_gb=0.05, p_bg=0.1, per_good=0.0,
+                              per_bad=0.2, rng=random.Random(8)))
+    # interference_failures only counts base-survivors, so compare the
+    # slots where interference struck at all: a base failure in the same
+    # slot hides the interference loss from the counter but never moves it
+    struck_ideal = [i for i, loss in enumerate(ideal) if loss]
+    struck_bursty = [i for i, loss in enumerate(bursty) if loss]
+    assert set(struck_bursty) <= set(struck_ideal)
+
+
+def test_interference_channel_error_probabilities_include_expected_boost():
+    field = InterferenceField(streams=5)
+    field.register("victim")
+    field.register("other", duty_cycle=1.0)
+    channel = InterferenceAwareChannel(IdealChannel(), field, "victim")
+    probabilities = channel.error_probabilities(dh3_packet())
+    assert probabilities.any > 0.0
+    # a second, silent neighbour adds nothing
+    field.register("silent", duty_cycle=0.0)
+    assert channel.error_probabilities(dh3_packet()).any == \
+        pytest.approx(probabilities.any)
+
+
+def test_interference_channel_requires_registered_victim():
+    field = InterferenceField()
+    with pytest.raises(KeyError, match="unknown piconet"):
+        InterferenceAwareChannel(IdealChannel(), field, "ghost")
+
+
+def test_interference_channel_map_wraps_every_link():
+    field = InterferenceField(streams=3)
+    field.register("victim")
+    field.register("other")
+    cmap = interference_channel_map(field, "victim",
+                                    streams=RandomStreams(2).child("cm"))
+    assert isinstance(cmap, ChannelMap)
+    dl = cmap.channel_for(1, "DL")
+    ul = cmap.channel_for(1, "UL")
+    assert isinstance(dl, InterferenceAwareChannel)
+    assert dl is not ul
+    assert isinstance(dl.base, IdealChannel)
+    lossy_map = interference_channel_map(
+        field, "victim",
+        base_factory=lambda link, rng: LossyChannel(bit_error_rate=1e-4,
+                                                    rng=rng),
+        streams=RandomStreams(2).child("cm"))
+    assert isinstance(lossy_map.channel_for(2, "DL").base, LossyChannel)

@@ -1,0 +1,95 @@
+"""Error-path tests of the ``python -m repro.experiments`` CLI.
+
+Every malformed invocation must exit nonzero with a clear one-line
+message — never a traceback.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.__main__ import _parse_overrides, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *args],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"})
+
+
+# ------------------------------------------------------------- subprocess
+
+def test_unknown_experiment_name_exits_with_known_names():
+    result = run_cli("run", "does_not_exist", "--no-cache")
+    assert result.returncode != 0
+    assert "unknown experiment 'does_not_exist'" in result.stderr
+    assert "registered:" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_invalid_backend_is_rejected_by_argparse():
+    result = run_cli("run", "figure5", "--backend", "quantum")
+    assert result.returncode != 0
+    assert "invalid choice: 'quantum'" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_malformed_grid_override_exits_with_message():
+    result = run_cli("run", "lossy_channel", "--no-cache",
+                     "--set", "bit_error_rate=[0.0,1e-3")
+    assert result.returncode != 0
+    assert "not valid JSON" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_set_without_value_exits_with_message():
+    result = run_cli("run", "figure5", "--no-cache", "--set", "duration")
+    assert result.returncode != 0
+    assert "expects key=value" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_wrongly_typed_override_exits_without_traceback():
+    result = run_cli("run", "figure5", "--no-cache",
+                     "--set", "duration_seconds=fast")
+    assert result.returncode != 0
+    assert "Traceback" not in result.stderr
+    assert result.stderr.strip()  # some explanation is printed
+
+
+def test_unknown_regen_golden_experiment_exits_with_known_names():
+    result = run_cli("regen-golden", "does_not_exist")
+    assert result.returncode != 0
+    assert "unknown experiment 'does_not_exist'" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+# ----------------------------------------------------- in-process parsing
+
+def test_parse_overrides_accepts_json_and_strings():
+    overrides = _parse_overrides(
+        ["a=1", "b=[1,2]", "c=text", "d=1e-3", "e=true"])
+    assert overrides == {"a": 1, "b": [1, 2], "c": "text", "d": 1e-3,
+                         "e": True}
+
+
+@pytest.mark.parametrize("assignment,message", [
+    ("x=[1,", "not valid JSON"),
+    ("x={'a': 1", "not valid JSON"),
+    ("x=", "missing a value"),
+    ("novalue", "expects key=value"),
+    ("=5", "expects key=value"),
+])
+def test_parse_overrides_rejects_malformed_assignments(assignment, message):
+    with pytest.raises(SystemExit, match=message):
+        _parse_overrides([assignment])
+
+
+def test_main_translates_registry_keyerror_to_systemexit():
+    with pytest.raises(SystemExit, match="unknown experiment"):
+        main(["run", "nope", "--no-cache"])

@@ -1,0 +1,82 @@
+"""Tests of the inter-piconet interference / scatternet scenario packs."""
+
+import pytest
+
+from repro.baseband.interference import HOP_CHANNELS
+from repro.experiments.channel_packs import (
+    run_bridge_split_point,
+    run_crowded_room_point,
+    run_two_piconet_interference_point,
+)
+from repro.experiments.registry import get_experiment
+
+
+def test_interference_packs_are_registered_with_grids():
+    for name, axis in (("two_piconet_interference", "interferer_duty"),
+                       ("bridge_split", "bridge_share"),
+                       ("crowded_room", "piconets")):
+        spec = get_experiment(name)
+        assert axis in spec.grid
+        assert len(spec.grid[axis]) >= 2
+
+
+def test_two_piconet_interference_goodput_decays_with_duty():
+    def row(duty):
+        return run_two_piconet_interference_point(
+            {"interferer_duty": duty, "duration_seconds": 2.0}, seed=3)[0]
+
+    quiet, loud = row(0.0), row(1.0)
+    assert quiet["interference_failures"] == 0
+    assert quiet["retransmissions"] == 0
+    assert quiet["collision_probability"] == 0.0
+    assert loud["collision_probability"] == \
+        pytest.approx(1.0 / HOP_CHANNELS)
+    assert loud["interference_failures"] > 0
+    assert loud["acl_kbps"] < quiet["acl_kbps"]
+    # ARQ recovers the collided segments: every interference failure shows
+    # up as a retransmission
+    assert loud["retransmissions"] >= loud["interference_failures"]
+
+
+def test_bridge_split_bound_breaks_below_full_residency():
+    def row(share):
+        return run_bridge_split_point(
+            {"bridge_share": share, "duration_seconds": 2.0}, seed=3)[0]
+
+    full, half = row(1.0), row(0.5)
+    assert full["admitted"] and half["admitted"]
+    # always-resident bridge: the paper's single-piconet behaviour
+    assert not full["bridge"]["gs_bound_violated"]
+    assert full["bridge"]["absent_polls_a"] == 0
+    assert full["bridge"]["b_kbps"] == 0.0
+    # a half-time bridge misses polls in A and carries data in B
+    assert half["bridge"]["absent_polls_a"] > 0
+    assert half["bridge"]["gs_bound_violated"]
+    assert half["bridge"]["gs_max_delay_s"] > \
+        full["bridge"]["gs_max_delay_s"]
+    assert half["bridge"]["b_kbps"] > 0.0
+
+
+def test_crowded_room_aggregate_grows_while_per_piconet_decays():
+    def row(piconets):
+        return run_crowded_room_point(
+            {"piconets": piconets, "duration_seconds": 2.0}, seed=3)[0]
+
+    alone, crowded = row(1), row(8)
+    assert alone["collision_probability"] == 0.0
+    assert alone["interference_failures"] == 0
+    expected = 1.0 - (1.0 - 1.0 / HOP_CHANNELS) ** 7
+    assert crowded["collision_probability"] == pytest.approx(expected)
+    assert crowded["per_piconet_kbps"] < alone["per_piconet_kbps"]
+    assert crowded["aggregate_kbps"] > alone["aggregate_kbps"]
+    with pytest.raises(ValueError):
+        run_crowded_room_point({"piconets": 0}, seed=1)
+
+
+def test_interference_points_are_deterministic_per_seed():
+    params = {"interferer_duty": 1.0, "duration_seconds": 1.0}
+    first = run_two_piconet_interference_point(dict(params), seed=11)
+    second = run_two_piconet_interference_point(dict(params), seed=11)
+    other_seed = run_two_piconet_interference_point(dict(params), seed=12)
+    assert first == second
+    assert first != other_seed

@@ -237,13 +237,16 @@ def test_progress_callback_reports_every_task(toy_experiment):
     events = []
     runner = SweepRunner(max_workers=1, progress=events.append)
     runner.run("toy", replications=3, master_seed=2)
-    assert len(events) == 6  # 2 points x 3 replications
-    assert [e.completed for e in events] == list(range(1, 7))
+    starts = [e for e in events if e.event == "start"]
+    dones = [e for e in events if e.event == "done"]
+    assert len(starts) == len(dones) == 6  # 2 points x 3 replications
+    assert [e.completed for e in dones] == list(range(1, 7))
     assert all(e.total == 6 for e in events)
     assert all(not e.cached for e in events)
     assert all(e.elapsed_seconds >= 0 for e in events)
-    assert {(e.point_index, e.replication) for e in events} == {
-        (p, r) for p in range(2) for r in range(3)}
+    for group in (starts, dones):
+        assert {(e.point_index, e.replication) for e in group} == {
+            (p, r) for p in range(2) for r in range(3)}
     assert all(e.params["x"] in (1, 2) for e in events)
 
 
@@ -440,8 +443,11 @@ def test_cli_progress_flag_logs_per_task(tmp_path, caplog):
     lines = [r.message for r in caplog.records
              if "admission_capacity: task" in r.message]
     grid = get_experiment("admission_capacity").grid["rate_bytes_per_second"]
-    assert len(lines) == len(grid)
-    assert "task 1/" in lines[0] and "done" in lines[0]
+    done_lines = [line for line in lines if "done (" in line]
+    start_lines = [line for line in lines if "task started" in line]
+    assert len(done_lines) == len(start_lines) == len(grid)
+    assert "task started" in lines[0]
+    assert "task 1/" in lines[1] and "done" in lines[1]
 
 
 def test_cli_run_writes_json_and_hits_cache(tmp_path):

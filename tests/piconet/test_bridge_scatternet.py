@@ -1,0 +1,211 @@
+"""Tests of the scatternet bridge layer and the shared-clock driver."""
+
+import pytest
+
+from repro.piconet import (
+    BE,
+    BridgeSchedule,
+    DOWNLINK,
+    FlowSpec,
+    Piconet,
+    Scatternet,
+    UPLINK,
+)
+from repro.schedulers.round_robin import PureRoundRobinPoller
+from repro.sim import Environment, SharedClock
+from repro.traffic.sources import CBRSource
+
+TYPES = ("DH1", "DH3")
+
+
+def be_flow(flow_id, slave, direction):
+    return FlowSpec(flow_id, slave=slave, direction=direction,
+                    traffic_class=BE, allowed_types=TYPES)
+
+
+# --------------------------------------------------------- bridge schedule
+
+def test_bridge_schedule_partitions_the_period():
+    schedule = BridgeSchedule(period_slots=10, share_a=0.5, switch_slots=1)
+    for slot in range(30):
+        assert not (schedule.present_in_a(slot)
+                    and schedule.present_in_b(slot))
+    # 10-slot period, boundary at 5, one guard slot per residency
+    assert [schedule.present_in_a(s) for s in range(10)] == \
+        [False, True, True, True, True, False, False, False, False, False]
+    assert [schedule.present_in_b(s) for s in range(10)] == \
+        [False] * 6 + [True] * 4
+
+
+def test_bridge_schedule_extremes_never_switch():
+    always_a = BridgeSchedule(period_slots=10, share_a=1.0, switch_slots=2)
+    assert all(always_a.present_in_a(s) for s in range(20))
+    assert not any(always_a.present_in_b(s) for s in range(20))
+    always_b = BridgeSchedule(period_slots=10, share_a=0.0, switch_slots=2)
+    assert all(always_b.present_in_b(s) for s in range(20))
+    assert not any(always_b.present_in_a(s) for s in range(20))
+
+
+def test_bridge_schedule_duty_accounts_for_guards():
+    schedule = BridgeSchedule(period_slots=10, share_a=0.5, switch_slots=1)
+    assert schedule.duty("A") == pytest.approx(0.4)
+    assert schedule.duty("B") == pytest.approx(0.4)
+    with pytest.raises(ValueError):
+        schedule.presence("C")
+
+
+def test_bridge_schedule_validation():
+    with pytest.raises(ValueError):
+        BridgeSchedule(period_slots=1)
+    with pytest.raises(ValueError):
+        BridgeSchedule(share_a=1.5)
+    with pytest.raises(ValueError):
+        BridgeSchedule(switch_slots=-1)
+    with pytest.raises(ValueError):
+        BridgeSchedule(period_slots=4, switch_slots=2)
+
+
+def test_bridge_schedule_rejects_degenerate_extreme_shares():
+    # share 0.98 of 96 slots leaves piconet B an empty residency window
+    with pytest.raises(ValueError, match="no usable residency"):
+        BridgeSchedule(period_slots=96, share_a=0.98, switch_slots=2)
+    with pytest.raises(ValueError, match="no usable residency"):
+        BridgeSchedule(period_slots=96, share_a=0.02, switch_slots=2)
+    # the explicit never-switch extremes stay valid
+    BridgeSchedule(period_slots=96, share_a=1.0, switch_slots=2)
+    BridgeSchedule(period_slots=96, share_a=0.0, switch_slots=2)
+    # the smallest non-degenerate shares next to the guards stay valid
+    BridgeSchedule(period_slots=96, share_a=4 / 96, switch_slots=2)
+
+
+# ------------------------------------------------------------ shared clock
+
+def test_shared_clock_rejects_foreign_environments():
+    clock = SharedClock()
+    foreign = Piconet(env=Environment())
+    with pytest.raises(ValueError, match="different Environment"):
+        clock.register("p", foreign)
+    native = Piconet(env=clock.env)
+    clock.register("p", native)
+    with pytest.raises(ValueError, match="already registered"):
+        clock.register("p", native)
+    assert clock.member("p") is native
+    with pytest.raises(KeyError, match="unknown component"):
+        clock.member("q")
+
+
+def test_shared_clock_advances_all_members_together():
+    clock = SharedClock()
+    ticks = {"a": 0, "b": 0}
+
+    def ticker(key, interval_us):
+        while True:
+            yield clock.env.timeout(interval_us)
+            ticks[key] += 1
+
+    clock.env.process(ticker("a", 1000))
+    clock.env.process(ticker("b", 2500))
+    clock.run(0.01)
+    # ticks scheduled for exactly the horizon run after the stop event
+    assert ticks == {"a": 9, "b": 3}
+    assert clock.now_seconds == pytest.approx(0.01)
+    with pytest.raises(ValueError):
+        clock.run(0.0)
+
+
+# ----------------------------------------------- master loop with a bridge
+
+def build_single_slave_piconet(env):
+    piconet = Piconet(env=env)
+    piconet.add_slave()
+    piconet.add_flow(be_flow(1, 1, DOWNLINK))
+    piconet.add_flow(be_flow(2, 1, UPLINK))
+    piconet.attach_poller(PureRoundRobinPoller())
+    return piconet
+
+
+def test_absent_bridge_polls_are_guaranteed_failures():
+    env = Environment()
+    piconet = build_single_slave_piconet(env)
+    piconet.set_bridge_presence(1, lambda slot: False)  # never present
+    sources = [CBRSource(piconet, fid, 0.005, 176) for fid in (1, 2)]
+    for source in sources:
+        source.start()
+    piconet.run(0.5)
+    assert piconet.bridge_absent_polls > 0
+    assert piconet.total_throughput_bps() == 0.0
+    states = piconet.flow_states()
+    assert all(state.delivered_bytes == 0 for state in states)
+    assert sum(state.segments_not_received for state in states) > 0
+    accounting = piconet.slot_accounting()
+    assert accounting["bridge_absent_polls"] == piconet.bridge_absent_polls
+
+
+def test_present_bridge_behaves_like_a_plain_slave():
+    def throughput(presence):
+        env = Environment()
+        piconet = build_single_slave_piconet(env)
+        if presence is not None:
+            piconet.set_bridge_presence(1, presence)
+        sources = [CBRSource(piconet, fid, 0.005, 176, start_offset=0.001)
+                   for fid in (1, 2)]
+        for source in sources:
+            source.start()
+        piconet.run(0.5)
+        return piconet.total_throughput_bps()
+
+    assert throughput(lambda slot: True) == throughput(None)
+
+
+def test_slot_accounting_omits_bridge_counter_without_bridges():
+    piconet = Piconet()
+    assert "bridge_absent_polls" not in piconet.slot_accounting()
+
+
+def test_set_bridge_presence_requires_known_slave():
+    piconet = Piconet()
+    with pytest.raises(ValueError, match="not part of the piconet"):
+        piconet.set_bridge_presence(1, lambda slot: True)
+
+
+# -------------------------------------------------------------- scatternet
+
+def build_bridged_pair(share_a=0.5):
+    scatternet = Scatternet()
+    schedule = BridgeSchedule(period_slots=96, share_a=share_a,
+                              switch_slots=2)
+    piconets = {}
+    for name in ("A", "B"):
+        piconet = scatternet.add_piconet(name)
+        piconet.add_slave()
+        piconet.add_flow(be_flow(1, 1, DOWNLINK))
+        piconet.add_flow(be_flow(2, 1, UPLINK))
+        piconet.attach_poller(PureRoundRobinPoller())
+        piconets[name] = piconet
+    scatternet.add_bridge("bridge", schedule, "A", 1, "B", 1)
+    sources = [CBRSource(piconet, fid, 0.01, 176)
+               for piconet in piconets.values() for fid in (1, 2)]
+    return scatternet, piconets, sources
+
+
+def test_scatternet_split_shares_throughput_between_masters():
+    scatternet, piconets, sources = build_bridged_pair(share_a=0.75)
+    for source in sources:
+        source.start()
+    scatternet.run(2.0)
+    a, b = piconets["A"], piconets["B"]
+    assert a.env is b.env is scatternet.clock.env
+    # offered load (281.6 kbit/s) exceeds neither residency alone, but the
+    # 25% residency in B cannot carry what the 75% one can
+    assert a.total_throughput_bps() > b.total_throughput_bps() > 0
+    assert a.bridge_absent_polls > 0
+    assert b.bridge_absent_polls > 0
+    assert scatternet.bridges[0].residences["A"] == ("A", 1)
+
+
+def test_scatternet_adopt_rejects_foreign_piconet():
+    scatternet = Scatternet()
+    with pytest.raises(ValueError, match="different Environment"):
+        scatternet.adopt_piconet("A", Piconet(env=Environment()))
+    with pytest.raises(KeyError, match="unknown piconet"):
+        scatternet.piconet("A")

@@ -1,0 +1,111 @@
+"""Property-based tests of the channel-state and interference invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baseband.channel import GilbertElliottChannel
+from repro.baseband.interference import InterferenceField
+from repro.sim.rng import RandomStreams
+
+probabilities = st.floats(min_value=0.0, max_value=1.0,
+                          allow_nan=False, allow_infinity=False)
+duty_cycles = st.floats(min_value=0.0, max_value=1.0,
+                        allow_nan=False, allow_infinity=False)
+
+
+# ------------------------------------------------- Gilbert-Elliott closure
+
+def iterated_bad_probability(p_gb: float, p_bg: float, slots: int,
+                             from_good: bool) -> float:
+    """``P(bad after slots)`` by explicit one-slot steps of the chain."""
+    p_bad = 0.0 if from_good else 1.0
+    for _ in range(slots):
+        p_bad = p_bad * (1.0 - p_bg) + (1.0 - p_bad) * p_gb
+    return p_bad
+
+
+@given(p_gb=probabilities, p_bg=probabilities,
+       slots=st.integers(min_value=0, max_value=400),
+       from_good=st.booleans())
+@settings(max_examples=200, deadline=None)
+def test_closed_form_n_step_matches_explicit_single_slot_steps(
+        p_gb, p_bg, slots, from_good):
+    channel = GilbertElliottChannel(p_gb=p_gb, p_bg=p_bg)
+    closed = channel.n_step_bad_probability(slots, from_good=from_good)
+    explicit = iterated_bad_probability(p_gb, p_bg, slots, from_good)
+    assert closed == pytest.approx(explicit, abs=1e-9)
+    assert 0.0 <= closed <= 1.0
+
+
+@given(p_gb=st.floats(min_value=1e-6, max_value=1.0),
+       p_bg=st.floats(min_value=1e-6, max_value=1.0),
+       from_good=st.booleans())
+@settings(max_examples=50, deadline=None)
+def test_n_step_converges_to_the_stationary_distribution(
+        p_gb, p_bg, from_good):
+    channel = GilbertElliottChannel(p_gb=p_gb, p_bg=p_bg)
+    total = p_gb + p_bg
+    if total < 2.0:  # total == 2 oscillates deterministically
+        # the chain mixes at rate |1 - total|: give it 40 time constants
+        slots = int(40 / min(total, 2.0 - total)) + 1
+        limit = channel.n_step_bad_probability(slots, from_good=from_good)
+        assert limit == pytest.approx(channel.stationary_bad, abs=1e-6)
+    assert channel.n_step_bad_probability(0, from_good=True) == 0.0
+    assert channel.n_step_bad_probability(0, from_good=False) == 1.0
+    with pytest.raises(ValueError):
+        channel.n_step_bad_probability(-1)
+
+
+# --------------------------------------------- interference field counting
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       duties=st.lists(duty_cycles, min_size=1, max_size=4),
+       horizon=st.integers(min_value=1, max_value=400))
+@settings(max_examples=60, deadline=None)
+def test_field_collisions_match_brute_force_hop_overlap_count(
+        seed, duties, horizon):
+    field = InterferenceField(streams=RandomStreams(seed).child("intf"))
+    victim = field.register("victim")
+    others = [field.register(f"i{index}", duty_cycle=duty)
+              for index, duty in enumerate(duties)]
+
+    brute_force = 0
+    for slot in range(horizon):
+        channel = victim.hops.channel_at(slot)
+        for other in others:
+            if other.active_at(slot) \
+                    and other.hops.channel_at(slot) == channel:
+                brute_force += 1
+
+    assert field.count_collisions("victim", horizon) == brute_force
+    # per-slot counts agree too, and the victim never collides with itself
+    assert all(field.collisions("victim", slot)
+               <= len(others) for slot in range(horizon))
+
+
+@given(duties=st.lists(duty_cycles, min_size=0, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_field_analytic_collision_probability_product_form(duties):
+    field = InterferenceField(streams=5)
+    field.register("victim")
+    for index, duty in enumerate(duties):
+        field.register(f"i{index}", duty_cycle=duty)
+    expected = 1.0
+    for duty in duties:
+        expected *= 1.0 - duty / field.channels
+    assert field.expected_collision_probability("victim") == \
+        pytest.approx(1.0 - expected)
+
+
+def test_field_empirical_rate_approaches_the_analytic_probability():
+    field = InterferenceField(streams=17)
+    field.register("victim")
+    field.register("a", duty_cycle=1.0)
+    field.register("b", duty_cycle=0.5)
+    horizon = 60_000
+    # collider-slots over the horizon: the expected count sums each
+    # member's own duty/channels rate
+    expected = (1.0 + 0.5) / field.channels * horizon
+    count = field.count_collisions("victim", horizon)
+    assert count == pytest.approx(expected, rel=0.15)
