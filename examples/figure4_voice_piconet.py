@@ -13,14 +13,16 @@ Run with:  python examples/figure4_voice_piconet.py [delay_ms] [duration_s]
 import sys
 
 from repro.analysis import format_table
-from repro.traffic import build_figure4_scenario
+from repro.scenario import figure4_spec
 
 
 def main() -> None:
     delay_ms = float(sys.argv[1]) if len(sys.argv) > 1 else 40.0
     duration = float(sys.argv[2]) if len(sys.argv) > 2 else 30.0
 
-    scenario = build_figure4_scenario(delay_requirement=delay_ms / 1000.0)
+    spec = figure4_spec(delay_requirement=delay_ms / 1000.0)
+    compiled = spec.compile(seed=1)
+    scenario = compiled.primary
     if not scenario.all_gs_admitted:
         for flow_id, setup in scenario.gs_setups.items():
             if not setup.accepted:
@@ -35,7 +37,7 @@ def main() -> None:
               f"u={stream.wait_bound * 1000:.2f} ms, "
               f"bound {scenario.manager.delay_bound_for(flow_id) * 1000:.2f} ms")
 
-    scenario.run(duration)
+    compiled.run(duration)
 
     print(f"\nPer-slave throughput after {duration:.0f} s "
           f"(requested bound {delay_ms:.0f} ms):")

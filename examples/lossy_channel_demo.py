@@ -10,19 +10,20 @@ how delays and the failure decomposition (missed packets vs. CRC failures)
 grow while throughput is preserved by ARQ.  A second run gives every link a
 bursty Gilbert-Elliott fade process instead.
 
-Run with:  python examples/lossy_channel_demo.py
+Run with:  python examples/lossy_channel_demo.py [duration_s]
 """
 
+import sys
+
 from repro.analysis import format_table
-from repro.baseband import ChannelMap, GilbertElliottChannel
+from repro.scenario import ChannelSpec, figure4_spec
 from repro.experiments import run_lossy_channel
-from repro.sim.rng import RandomStreams
-from repro.traffic import build_figure4_scenario
 
 
 def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 5.0
     rows = run_lossy_channel(bit_error_rates=[0.0, 1e-4, 3e-4, 1e-3],
-                             duration_seconds=5.0)
+                             duration_seconds=duration)
     table = [[f"{row['bit_error_rate']:.0e}", row["gs_throughput_kbps"],
               row["gs_mean_delay_ms"], row["gs_max_delay_ms"],
               row["gs_retransmissions"], row["gs_segments_not_received"],
@@ -33,14 +34,15 @@ def main() -> None:
                        table, float_format=".2f"))
 
     print("\nBursty (Gilbert-Elliott) fades, one burst state per link:")
-    channel = ChannelMap.uniform(
-        lambda rng: GilbertElliottChannel(p_gb=0.002, p_bg=0.02,
-                                          ber_good=0.0, ber_bad=3e-3,
-                                          rng=rng),
-        streams=RandomStreams(1).child("channel-map"))
-    scenario = build_figure4_scenario(delay_requirement=0.040,
-                                      channel=channel)
-    scenario.run(5.0)
+    # declaratively: a Gilbert-Elliott channel per link whose bad state
+    # holds ~10% of the time (mean dwell 1/p_bg = 50 slots) at a long-run
+    # mean BER of 3e-4
+    spec = figure4_spec(delay_requirement=0.040,
+                        channel=ChannelSpec(model="gilbert", ber=3e-4,
+                                            p_bg=0.02, stationary_bad=0.1))
+    compiled = spec.compile(seed=1)
+    scenario = compiled.primary
+    compiled.run(duration)
     table = []
     for flow_id, summary in scenario.gs_delay_summary().items():
         state = scenario.piconet.flow_state(flow_id)

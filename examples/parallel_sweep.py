@@ -15,8 +15,10 @@ The same sweep from the command line:
         --backend batch --workers 4 --replications 3 --progress \
         --set duration_seconds=2.0
 
-Run with:  python examples/parallel_sweep.py
+Run with:  python examples/parallel_sweep.py [--duration S] [--workers N]
 """
+
+import argparse
 
 from repro.experiments import SweepRunner, format_sweep
 
@@ -38,11 +40,18 @@ def report(progress) -> None:
 
 
 def main() -> None:
-    runner = SweepRunner(max_workers=4, cache_dir=".repro-cache",
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="simulated seconds per point "
+                             "(default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes (default: %(default)s)")
+    args = parser.parse_args()
+    runner = SweepRunner(max_workers=args.workers, cache_dir=".repro-cache",
                          backend="batch", progress=report)
     result = runner.run(
         "lossy_channel",
-        overrides={"duration_seconds": 2.0},   # keep the demo quick
+        overrides={"duration_seconds": args.duration},  # keep the demo quick
         replications=3,
         master_seed=0)
     print(format_sweep(result))

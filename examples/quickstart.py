@@ -1,57 +1,70 @@
 #!/usr/bin/env python3
 """Quickstart: a delay-bounded voice flow next to best-effort traffic.
 
-Builds a two-slave piconet, admits one 64 kbit/s Guaranteed Service uplink
-flow with a 30 ms delay bound, lets a greedy best-effort slave compete for
-the remaining capacity, and prints the resulting throughput and delays.
+Describes a two-slave piconet as a declarative ``ScenarioSpec`` — one
+64 kbit/s Guaranteed Service uplink flow with a 30 ms delay bound, one
+greedy best-effort uploader competing for the remaining capacity — then
+compiles and runs it, printing the resulting throughput and delays.
 
-Run with:  python examples/quickstart.py
+The spec is *data*: it validates at construction, round-trips through
+``to_dict()``/``from_dict()`` (so sweeps and remote workers can ship it as
+plain JSON), and ``compile(seed)`` builds the piconet, admission control,
+poller and traffic sources in one step.
+
+Run with:  python examples/quickstart.py [--duration SECONDS]
 """
 
-from repro.core import GuaranteedServiceManager, PredictiveFairPoller, cbr_tspec
-from repro.piconet import FlowSpec, Piconet
+import argparse
+
 from repro.piconet.flows import BE, GS, UPLINK
-from repro.traffic import CBRSource, DelayThroughputSink
+from repro.scenario import FlowSpec, PiconetSpec, ScenarioSpec
+from repro.traffic import DelayThroughputSink
+
+#: the scenario, declaratively: a voice slave with a 30 ms GS bound and a
+#: laptop offering far more best-effort traffic than fits
+SPEC = ScenarioSpec(piconets=(PiconetSpec(
+    name="quickstart",
+    slaves=("headset", "laptop"),
+    flows=(
+        # 64 kbit/s voice: one 144..176-byte packet every 20 ms, admitted
+        # with a 30 ms delay bound (the manager negotiates the service
+        # rate from the poller's error terms, Eq. 1 of the paper)
+        FlowSpec(1, slave=1, direction=UPLINK, traffic_class=GS,
+                 interval_s=0.020, size=(144, 176), delay_bound=0.030),
+        # greedy uploader: a 176-byte packet every 3 ms (~470 kbit/s)
+        FlowSpec(2, slave=2, direction=UPLINK, traffic_class=BE,
+                 interval_s=0.003, size=176),
+    )),))
 
 
 def main() -> None:
-    piconet = Piconet()
-    piconet.add_slave("headset")      # slave 1: carries the voice flow
-    piconet.add_slave("laptop")       # slave 2: greedy best-effort uploader
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="simulated seconds (default: %(default)s)")
+    args = parser.parse_args()
 
-    voice = FlowSpec(1, slave=1, direction=UPLINK, traffic_class=GS)
-    bulk = FlowSpec(2, slave=2, direction=UPLINK, traffic_class=BE)
-    piconet.add_flow(voice)
-    piconet.add_flow(bulk)
+    # the spec is plain data: serializable, mutable by dotted path
+    assert ScenarioSpec.from_dict(SPEC.to_dict()) == SPEC
 
-    # Guaranteed Service: describe the voice traffic with a token bucket and
-    # ask for a 30 ms delay bound; the manager negotiates the service rate
-    # from the error terms the poller exports (Eq. 1 of the paper).
-    manager = GuaranteedServiceManager()
-    tspec = cbr_tspec(packet_interval=0.020, min_size=144, max_size=176)
-    setup = manager.add_flow(voice, tspec, delay_bound=0.030)
+    compiled = SPEC.compile(seed=1)
+    scenario = compiled.primary
+    setup = scenario.gs_setups[1]
     if not setup.accepted:
         raise SystemExit(f"voice flow rejected: {setup.reason}")
-
     print(f"admitted voice flow: rate {setup.rate:.0f} B/s, "
           f"poll interval {setup.interval * 1000:.2f} ms, "
-          f"analytical bound {manager.delay_bound_for(1) * 1000:.2f} ms")
+          f"analytical bound "
+          f"{scenario.manager.delay_bound_for(1) * 1000:.2f} ms")
 
-    piconet.attach_poller(PredictiveFairPoller(manager))
+    compiled.run(duration_seconds=args.duration)
 
-    # Traffic: 64 kbit/s voice; the laptop offers far more than fits.
-    CBRSource(piconet, 1, interval=0.020, size=(144, 176)).start()
-    CBRSource(piconet, 2, interval=0.003, size=176).start()
-
-    piconet.run(duration_seconds=10.0)
-
-    sink = DelayThroughputSink(piconet)
+    sink = DelayThroughputSink(scenario.piconet)
     for row in sink.summary():
         print(f"flow {row['flow_id']} ({row['class']}): "
               f"{row['throughput_kbps']:6.1f} kbit/s, "
               f"mean delay {row['mean_delay_ms']:6.2f} ms, "
               f"max delay {row['max_delay_ms']:6.2f} ms")
-    print(f"slots: {piconet.slot_accounting()}")
+    print(f"slots: {scenario.piconet.slot_accounting()}")
     voice_max = sink.max_delay(1)
     print(f"voice delay bound respected: {voice_max <= 0.030}")
 

@@ -12,8 +12,16 @@ registry, so every experiment can be run on any execution backend with seed
 replications and confidence intervals through the orchestrator::
 
     python -m repro.experiments list
+    python -m repro.experiments describe figure5
     python -m repro.experiments run figure5 --workers 4 --replications 3
     python -m repro.experiments run heavy_piconet --backend batch --progress
+    python -m repro.experiments run figure5 --set channel.ber=1e-4
+
+Every simulation driver resolves its sweep point into a declarative
+:class:`repro.scenario.ScenarioSpec` (registered on
+``ExperimentSpec.scenario``) and compiles it — scenarios are typed,
+serializable data that dotted ``--set`` overrides mutate by path; see
+:mod:`repro.scenario` and the README's migration table.
 
 Beyond the paper's tables, :mod:`repro.experiments.scenario_packs`
 registers the ``heavy_piconet``, ``mixed_sco_gs`` and ``be_load_scale``

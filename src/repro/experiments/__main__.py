@@ -3,12 +3,15 @@
 Usage::
 
     python -m repro.experiments list
+    python -m repro.experiments describe figure5
     python -m repro.experiments run figure5 --workers 4 --replications 3 \
         --json out.json
     python -m repro.experiments run figure5 --backend batch --workers 4 \
         --progress
     python -m repro.experiments run lossy_channel \
         --set bit_error_rate='[0.0,1e-3]' --set duration_seconds=2.0
+    python -m repro.experiments run figure5 --set channel.ber=1e-4 \
+        --set channel.model=iid
     python -m repro.experiments regen-golden [EXPERIMENT ...]
 
 ``run`` caches raw task results under ``--cache-dir`` (default
@@ -16,6 +19,13 @@ Usage::
 (experiment, params, seed) combinations.  ``--backend`` selects how tasks
 execute (``serial``, ``process``, or chunked ``batch``); ``--progress``
 logs one line per completed task to stderr.
+
+``--set`` overrides a grid axis or a fixed parameter by flat key; a
+*dotted* key (``channel.ber=1e-4``) addresses a field of the experiment's
+declarative :class:`~repro.scenario.ScenarioSpec` — a scalar value pins it
+on every point, a JSON list value becomes an additional swept axis.
+``describe`` prints an experiment's grid, defaults and the resolved
+scenario spec of its first point (after any ``--set`` overrides).
 """
 
 from __future__ import annotations
@@ -33,7 +43,11 @@ from repro.experiments.orchestrator import (
     log_progress,
     progress_logger,
 )
-from repro.experiments.registry import experiment_names, iter_experiments
+from repro.experiments.registry import (
+    experiment_names,
+    get_experiment,
+    iter_experiments,
+)
 
 
 def _parse_overrides(assignments: List[str]) -> Dict[str, object]:
@@ -66,6 +80,49 @@ def _parse_overrides(assignments: List[str]) -> Dict[str, object]:
     return overrides
 
 
+def _cmd_describe(args: argparse.Namespace) -> int:
+    spec = get_experiment(args.experiment)
+    overrides = _parse_overrides(args.set)
+    print(f"{spec.name}: {spec.description}")
+    print(f"  replications: {spec.replications}   "
+          f"stochastic: {spec.stochastic}   version: {spec.version}")
+    points = spec.points(overrides)
+    # show the axes as resolved (--set may shrink/extend grid axes or add
+    # dotted spec axes), not the registered grid
+    axis_names = list(spec.grid) + [key for key in (points[0] if points
+                                                    else {})
+                                    if "." in key]
+    print("  grid:")
+    for axis in axis_names:
+        values: List[object] = []
+        for point in points:
+            if axis in point and point[axis] not in values:
+                values.append(point[axis])
+        print(f"    {axis} = {json.dumps(values, default=str)}")
+    print("  defaults:")
+    for key, value in spec.defaults.items():
+        print(f"    {key} = {json.dumps(value)}")
+    print(f"  points: {len(points)}")
+    if not points:
+        print("  (an override emptied a grid axis — nothing to resolve)")
+        return 0
+    if spec.scenario is None:
+        print("  scenario: (none — analytic experiment)")
+        return 0
+    from repro.scenario import resolve_point_spec
+
+    first = points[0]
+    resolved = resolve_point_spec(first, spec.scenario)
+    shown = {key: value for key, value in first.items()
+             if key in spec.grid or "." in key}
+    print(f"  scenario (resolved for the first point "
+          f"{json.dumps(shown, default=str)}):")
+    rendered = json.dumps(resolved.to_dict(), indent=2)
+    for line in rendered.splitlines():
+        print(f"    {line}")
+    return 0
+
+
 def _cmd_list() -> int:
     width = max((len(name) for name in experiment_names()), default=0)
     for spec in iter_experiments():
@@ -89,13 +146,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.progress:
         _enable_progress_logging()
         progress = log_progress
+    overrides = _parse_overrides(args.set)
     runner = SweepRunner(
         max_workers=args.workers,
         cache_dir=None if args.no_cache else args.cache_dir,
         backend=args.backend,
         progress=progress)
     result = runner.run(args.experiment,
-                        overrides=_parse_overrides(args.set),
+                        overrides=overrides,
                         replications=args.replications,
                         master_seed=args.seed)
     if args.json:
@@ -126,6 +184,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     commands.add_parser("list", help="list the registered experiments")
 
+    describe_parser = commands.add_parser(
+        "describe",
+        help="show an experiment's grid, defaults and resolved scenario "
+             "spec")
+    describe_parser.add_argument("experiment",
+                                 help="registered experiment name")
+    describe_parser.add_argument("--set", action="append", default=[],
+                                 metavar="KEY=VALUE",
+                                 help="preview the spec under overrides "
+                                      "(flat or dotted keys, repeatable)")
+
     run_parser = commands.add_parser(
         "run", help="run one experiment's sweep")
     run_parser.add_argument("experiment", help="registered experiment name")
@@ -153,7 +222,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser.add_argument("--set", action="append", default=[],
                             metavar="KEY=VALUE",
                             help="override a grid axis or fixed parameter "
-                                 "(value parsed as JSON, repeatable)")
+                                 "(value parsed as JSON, repeatable); a "
+                                 "dotted key like channel.ber=1e-4 "
+                                 "overrides the scenario spec — a JSON "
+                                 "list value sweeps it as an extra axis")
 
     regen_parser = commands.add_parser(
         "regen-golden",
@@ -168,6 +240,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "regen-golden":
             return _cmd_regen_golden(args)
+        if args.command == "describe":
+            return _cmd_describe(args)
         return _cmd_run(args)
     except (KeyError, TypeError, ValueError) as error:
         # registry misses (unknown experiment), bad parameter values and

@@ -18,14 +18,30 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.reporting import format_table
 from repro.experiments.figure5 import default_delay_requirements
 from repro.experiments.registry import ExperimentSpec, register
-from repro.traffic.workloads import build_figure4_scenario
+from repro.scenario import (
+    SCENARIO_PARAM,
+    ScenarioSpec,
+    figure4_spec,
+    forbid_overrides,
+    resolve_point_spec,
+)
 
 
-def _run_one(requirement: float, variable_interval: bool,
+def scenario_spec(params: Dict, variable_interval: bool = True
+                  ) -> ScenarioSpec:
+    """One poller configuration's spec (the sweep compares two of them)."""
+    forbid_overrides(params, {
+        "flows.*.delay_bound": "delay_requirement axis",
+        "improvements.variable_interval": "fixed-vs-variable comparison"})
+    return figure4_spec(delay_requirement=params["delay_requirement"],
+                        variable_interval=variable_interval)
+
+
+def _run_one(params: Dict, variable_interval: bool,
              duration_seconds: float, seed: int) -> Optional[Dict]:
-    scenario = build_figure4_scenario(delay_requirement=requirement,
-                                      variable_interval=variable_interval,
-                                      seed=seed)
+    spec = resolve_point_spec(
+        params, lambda point: scenario_spec(point, variable_interval))
+    scenario = spec.compile(seed).primary
     if not scenario.all_gs_admitted:
         return None
     scenario.run(duration_seconds)
@@ -55,8 +71,15 @@ def run_point(params: Dict, seed: int) -> List[Dict]:
     """
     requirement = params["delay_requirement"]
     duration_seconds = params.get("duration_seconds", 5.0)
-    fixed = _run_one(requirement, False, duration_seconds, seed)
-    variable = _run_one(requirement, True, duration_seconds, seed)
+    if SCENARIO_PARAM in params:
+        raise ValueError(
+            "bandwidth_savings compares two poller configurations per "
+            "point; use dotted --set overrides instead of a serialized "
+            "scenario payload")
+    forbid_overrides(params, {
+        "improvements.variable_interval": "fixed-vs-variable comparison"})
+    fixed = _run_one(params, False, duration_seconds, seed)
+    variable = _run_one(params, True, duration_seconds, seed)
     if fixed is None or variable is None:
         return []
     return [{
@@ -117,4 +140,5 @@ register(ExperimentSpec(
     # v2: rows returned nested (fixed/variable sub-dicts) and flattened by
     # the orchestrator's aggregation instead of pre-flattened in run_point
     version=2,
+    scenario=scenario_spec,
 ))

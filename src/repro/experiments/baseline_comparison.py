@@ -14,43 +14,50 @@ from typing import Callable, Dict, List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.experiments.registry import ExperimentSpec, register
-from repro.schedulers import (
-    DemandBasedPoller,
-    EfficientDoubleCyclePoller,
-    ExhaustivePoller,
-    FairExhaustivePoller,
-    HolPriorityPoller,
-    LimitedRoundRobinPoller,
-    PureRoundRobinPoller,
+from repro.scenario import (
+    PollerSpec,
+    ScenarioSpec,
+    baseline_poller_factories,
+    figure4_spec,
+    forbid_overrides,
+    resolve_point_spec,
 )
-from repro.traffic.workloads import build_figure4_scenario
 
-#: Baseline poller factories evaluated by the driver.
-BASELINE_FACTORIES: Dict[str, Callable] = {
-    "pure-round-robin": PureRoundRobinPoller,
-    "limited-round-robin": lambda: LimitedRoundRobinPoller(limit=2),
-    "exhaustive": ExhaustivePoller,
-    "fep": FairExhaustivePoller,
-    "edc": EfficientDoubleCyclePoller,
-    "hol-priority": HolPriorityPoller,
-    "demand-based": DemandBasedPoller,
-}
+#: Baseline poller factories evaluated by the driver (by PollerSpec kind).
+BASELINE_FACTORIES: Dict[str, Callable] = baseline_poller_factories()
 
 
 #: registry key of the paper's own poller in the ``poller`` sweep axis
 PFP_NAME = "pfp (this paper)"
 
 
+def scenario_spec(params: Dict) -> ScenarioSpec:
+    """The Figure-4 scenario under one poller (PFP or a baseline kind)."""
+    poller_name = params["poller"]
+    if poller_name != PFP_NAME and poller_name not in BASELINE_FACTORIES:
+        known = ", ".join([repr(PFP_NAME)]
+                          + sorted(map(repr, BASELINE_FACTORIES)))
+        raise ValueError(
+            f"unknown poller {poller_name!r}; known: {known}")
+    spec = figure4_spec(
+        delay_requirement=params.get("delay_requirement", 0.040),
+        be_load_scale=params.get("be_load_scale", 1.0))
+    if poller_name == PFP_NAME:
+        return spec
+    # a baseline kind keeps the admission control (and the PFP it would
+    # drive) and then replaces the attached poller — see PollerSpec
+    piconet = spec.piconets[0]
+    from dataclasses import replace
+    return ScenarioSpec(piconets=(replace(
+        piconet, poller=PollerSpec(kind=poller_name)),))
+
+
 def run_point(params: Dict, seed: int) -> List[Dict]:
     """One poller under the Figure-4 traffic: GS delay statistics."""
+    forbid_overrides(params, {"poller": "poller axis"})
     poller_name = params["poller"]
     delay_requirement = params.get("delay_requirement", 0.040)
-    scenario = build_figure4_scenario(
-        delay_requirement=delay_requirement, seed=seed,
-        be_load_scale=params.get("be_load_scale", 1.0))
-    if poller_name != PFP_NAME:
-        # replace the GS-aware poller with the baseline under test
-        scenario.piconet.attach_poller(BASELINE_FACTORIES[poller_name]())
+    scenario = resolve_point_spec(params, scenario_spec).compile(seed).primary
     scenario.run(params.get("duration_seconds", 5.0))
     delays = scenario.gs_delay_summary()
     gs_throughput = sum(
@@ -104,4 +111,5 @@ register(ExperimentSpec(
     grid={"poller": [PFP_NAME, *BASELINE_FACTORIES]},
     defaults={"delay_requirement": 0.040, "duration_seconds": 5.0,
               "be_load_scale": 1.0},
+    scenario=scenario_spec,
 ))

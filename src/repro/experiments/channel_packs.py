@@ -47,35 +47,39 @@ scatternet layer (:mod:`repro.piconet.scatternet`):
     A real two-piconet co-simulation on a shared clock: slave S3 of the
     Section-4.1 piconet doubles as a scatternet bridge serving a second
     master, and its GS flow's bound survives only while the bridge's
-    residency share leaves enough reachable polls.
+    residency share leaves enough reachable polls.  ``--set
+    negotiated=true`` switches both masters to a negotiated hold schedule:
+    planned polls to the absent bridge are skipped (reported as
+    ``bridge_skipped_polls``) instead of burned.
 
 ``crowded_room``
     N co-located saturated piconets (one simulated victim, N-1 interferer
     processes, symmetric by construction): per-piconet goodput decays with
     the collision probability ``1-(1-1/79)^(N-1)`` while the room's
     aggregate keeps growing — the classic unlicensed-band scaling curve.
+
+Every pack resolves its sweep point through a declarative
+:class:`~repro.scenario.ScenarioSpec` (see the ``*_spec`` factories), so
+dotted ``--set`` overrides (``channel.ber=3e-4``,
+``bridges.0.switch_slots=4``) apply to all of them.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.baseband.channel import (
-    ChannelMap,
-    GilbertElliottChannel,
-    LossyChannel,
-)
 from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.scenario_packs import _gs_metrics, _be_metrics, \
     _rejected_row
-from repro.sim.rng import RandomStreams
-from repro.traffic.scatternet_workloads import (
-    build_bridge_split_scenario,
-    build_interfered_be_scenario,
-)
-from repro.traffic.workloads import (
-    build_figure4_scenario,
-    build_multi_sco_scenario,
+from repro.scenario import (
+    ChannelSpec,
+    ScenarioSpec,
+    bridge_split_spec,
+    figure4_spec,
+    forbid_overrides,
+    interfered_be_spec,
+    multi_sco_spec,
+    resolve_point_spec,
 )
 
 #: per-slave BER multiplier of the ``link_quality_mix`` ramp (S4 = 1.0)
@@ -89,21 +93,24 @@ DM_VS_DH_POLICIES = {
 }
 
 
+def link_quality_mix_spec(params: Dict) -> ScenarioSpec:
+    """The Figure-4 piconet under a per-slave BER ramp."""
+    forbid_overrides(params, {
+        "channel.ber": "base_bit_error_rate axis"})
+    return figure4_spec(
+        delay_requirement=params.get("delay_requirement", 0.040),
+        channel=ChannelSpec(
+            model="iid", ber=params["base_bit_error_rate"],
+            slave_ber_scale=tuple(sorted(LINK_QUALITY_RAMP.items()))))
+
+
 def run_link_quality_mix_point(params: Dict, seed: int) -> List[Dict]:
     """One heterogeneous-quality point: a per-slave BER ramp."""
     base_ber = params["base_bit_error_rate"]
     requirement = params.get("delay_requirement", 0.040)
     duration_seconds = params.get("duration_seconds", 5.0)
-    channel = None
-    if base_ber > 0:
-        streams = RandomStreams(seed).child("channel-map")
-        makers = {
-            slave: (lambda rng, ber=base_ber * ramp:
-                    LossyChannel(bit_error_rate=ber, rng=rng))
-            for slave, ramp in LINK_QUALITY_RAMP.items()}
-        channel = ChannelMap.per_slave(makers, streams=streams)
-    scenario = build_figure4_scenario(delay_requirement=requirement,
-                                      channel=channel, seed=seed)
+    scenario = resolve_point_spec(
+        params, link_quality_mix_spec).compile(seed).primary
     if not scenario.all_gs_admitted:
         return [_rejected_row(scenario, requirement)]
     scenario.run(duration_seconds)
@@ -120,13 +127,14 @@ def run_link_quality_mix_point(params: Dict, seed: int) -> List[Dict]:
     return [row]
 
 
-def run_bursty_channel_point(params: Dict, seed: int) -> List[Dict]:
-    """One burstiness point: per-link Gilbert-Elliott at fixed mean BER."""
+def bursty_channel_spec(params: Dict) -> ScenarioSpec:
+    """Per-link Gilbert-Elliott fades at a fixed long-run mean BER."""
+    forbid_overrides(params, {
+        "channel.p_bg": "bad_dwell_slots axis",
+        "channel.ber": "bit_error_rate parameter",
+        "channel.stationary_bad": "stationary_bad parameter"})
     dwell_slots = params["bad_dwell_slots"]
-    mean_ber = params.get("bit_error_rate", 3e-4)
     stationary_bad = params.get("stationary_bad", 0.1)
-    requirement = params.get("delay_requirement", 0.040)
-    duration_seconds = params.get("duration_seconds", 5.0)
     if dwell_slots < 1:
         raise ValueError(
             f"bad_dwell_slots must be >= 1, got {dwell_slots}")
@@ -134,23 +142,27 @@ def run_bursty_channel_point(params: Dict, seed: int) -> List[Dict]:
         raise ValueError(
             f"stationary_bad must lie strictly within (0, 1), got "
             f"{stationary_bad}")
-    p_bg = 1.0 / dwell_slots
-    p_gb = p_bg * stationary_bad / (1.0 - stationary_bad)
-    ber_bad = min(1.0, mean_ber / stationary_bad)
-    streams = RandomStreams(seed).child("channel-map")
-    channel = ChannelMap.uniform(
-        lambda rng: GilbertElliottChannel(
-            p_gb=p_gb, p_bg=p_bg, ber_good=0.0, ber_bad=ber_bad, rng=rng),
-        streams=streams)
-    scenario = build_figure4_scenario(delay_requirement=requirement,
-                                      channel=channel, seed=seed)
+    return figure4_spec(
+        delay_requirement=params.get("delay_requirement", 0.040),
+        channel=ChannelSpec(model="gilbert",
+                            ber=params.get("bit_error_rate", 3e-4),
+                            p_bg=1.0 / dwell_slots,
+                            stationary_bad=stationary_bad))
+
+
+def run_bursty_channel_point(params: Dict, seed: int) -> List[Dict]:
+    """One burstiness point: per-link Gilbert-Elliott at fixed mean BER."""
+    requirement = params.get("delay_requirement", 0.040)
+    duration_seconds = params.get("duration_seconds", 5.0)
+    scenario = resolve_point_spec(
+        params, bursty_channel_spec).compile(seed).primary
     if not scenario.all_gs_admitted:
         return [_rejected_row(scenario, requirement)]
     scenario.run(duration_seconds)
     piconet = scenario.piconet
     gs_states = [piconet.flow_state(fid) for fid in scenario.gs_flow_ids]
     return [{
-        "bad_dwell_slots": dwell_slots,
+        "bad_dwell_slots": params["bad_dwell_slots"],
         "admitted": True,
         "gs": _gs_metrics(scenario, duration_seconds),
         "be": _be_metrics(scenario, duration_seconds),
@@ -159,34 +171,39 @@ def run_bursty_channel_point(params: Dict, seed: int) -> List[Dict]:
     }]
 
 
-def run_dm_vs_dh_point(params: Dict, seed: int) -> List[Dict]:
-    """One (BER, policy) point of the DM-vs-DH goodput comparison."""
-    ber = params["bit_error_rate"]
+def dm_vs_dh_spec(params: Dict) -> ScenarioSpec:
+    """One (BER, policy) point's overloaded round-robin piconet."""
+    forbid_overrides(params, {
+        "channel.ber": "bit_error_rate axis",
+        "allowed_types": "policy axis",
+        "flows.*.allowed_types": "policy axis",
+        "adaptive_segmentation": "policy axis"})
     policy = params["policy"]
-    duration_seconds = params.get("duration_seconds", 5.0)
-    load_scale = params.get("acl_load_scale", 2.0)
     try:
         acl_types, adaptive = DM_VS_DH_POLICIES[policy]
     except KeyError:
         known = ", ".join(sorted(DM_VS_DH_POLICIES))
         raise ValueError(
             f"unknown policy {policy!r}; known: {known}") from None
-    channel = None
-    if ber > 0:
-        streams = RandomStreams(seed).child("channel-map")
-        channel = ChannelMap.uniform(
-            lambda rng: LossyChannel(bit_error_rate=ber, rng=rng),
-            streams=streams)
-    scenario = build_multi_sco_scenario(
-        acl_types=acl_types, sco_slaves=(), acl_slaves=(1, 2, 3, 4, 5, 6, 7),
-        acl_load_scale=load_scale, channel=channel, seed=seed,
+    ber = params["bit_error_rate"]
+    return multi_sco_spec(
+        acl_types=acl_types, sco_slaves=(),
+        acl_slaves=(1, 2, 3, 4, 5, 6, 7),
+        acl_load_scale=params.get("acl_load_scale", 2.0),
+        channel=ChannelSpec(model="iid", ber=ber) if ber > 0 else None,
         adaptive_segmentation=adaptive)
+
+
+def run_dm_vs_dh_point(params: Dict, seed: int) -> List[Dict]:
+    """One (BER, policy) point of the DM-vs-DH goodput comparison."""
+    duration_seconds = params.get("duration_seconds", 5.0)
+    scenario = resolve_point_spec(params, dm_vs_dh_spec).compile(seed).primary
     scenario.run(duration_seconds)
     piconet = scenario.piconet
     states = [piconet.flow_state(fid) for fid in scenario.be_flow_ids]
     return [{
-        "bit_error_rate": ber,
-        "policy": policy,
+        "bit_error_rate": params["bit_error_rate"],
+        "policy": params["policy"],
         "acl_kbps": scenario.acl_throughput_kbps(),
         "retransmissions": sum(s.retransmissions for s in states),
         "segments_not_received": sum(s.segments_not_received
@@ -195,13 +212,22 @@ def run_dm_vs_dh_point(params: Dict, seed: int) -> List[Dict]:
     }]
 
 
+def multi_sco_point_spec(params: Dict) -> ScenarioSpec:
+    """Two HV3 links next to ACL flows of the point's allowed types."""
+    forbid_overrides(params, {
+        "allowed_types": "acl_types axis",
+        "flows.*.allowed_types": "acl_types axis"})
+    return multi_sco_spec(
+        acl_types=tuple(params["acl_types"].split("+")),
+        sco_slaves=(6, 7), acl_slaves=(1, 2, 3),
+        acl_load_scale=params.get("acl_load_scale", 1.0))
+
+
 def run_multi_sco_point(params: Dict, seed: int) -> List[Dict]:
     """One multi-SCO point: two HV3 links next to ACL of the given types."""
-    acl_types = tuple(params["acl_types"].split("+"))
     duration_seconds = params.get("duration_seconds", 5.0)
-    scenario = build_multi_sco_scenario(
-        acl_types=acl_types, sco_slaves=(6, 7), acl_slaves=(1, 2, 3),
-        acl_load_scale=params.get("acl_load_scale", 1.0), seed=seed)
+    scenario = resolve_point_spec(
+        params, multi_sco_point_spec).compile(seed).primary
     scenario.run(duration_seconds)
     piconet = scenario.piconet
     acl_kbps = scenario.acl_throughput_kbps()
@@ -219,24 +245,31 @@ def run_multi_sco_point(params: Dict, seed: int) -> List[Dict]:
     }]
 
 
-def run_two_piconet_interference_point(params: Dict, seed: int) -> List[Dict]:
-    """One duty-cycle point: a single co-located interfering piconet."""
+def two_piconet_interference_spec(params: Dict) -> ScenarioSpec:
+    """A saturated BE piconet next to one interferer of the swept duty."""
+    forbid_overrides(params, {
+        "interference.interferer_duties": "interferer_duty axis"})
     duty = params["interferer_duty"]
-    duration_seconds = params.get("duration_seconds", 5.0)
-    scenario = build_interfered_be_scenario(
+    return interfered_be_spec(
         interferer_duties=(duty,) if duty > 0 else (),
-        seed=seed,
         acl_load_scale=params.get("acl_load_scale", 1.5),
         base_bit_error_rate=params.get("base_bit_error_rate", 0.0))
-    scenario.run(duration_seconds)
+
+
+def run_two_piconet_interference_point(params: Dict, seed: int) -> List[Dict]:
+    """One duty-cycle point: a single co-located interfering piconet."""
+    duration_seconds = params.get("duration_seconds", 5.0)
+    compiled = resolve_point_spec(
+        params, two_piconet_interference_spec).compile(seed)
+    scenario = compiled.primary
+    compiled.run(duration_seconds)
     piconet = scenario.piconet
-    states = [piconet.flow_state(fid)
-              for fid in scenario.scenario.be_flow_ids]
+    states = [piconet.flow_state(fid) for fid in scenario.be_flow_ids]
     return [{
-        "interferer_duty": duty,
+        "interferer_duty": params["interferer_duty"],
         "acl_kbps": scenario.acl_throughput_kbps(),
-        "collision_probability": scenario.collision_probability(),
-        "interference_failures": scenario.interference_failures(),
+        "collision_probability": compiled.collision_probability(),
+        "interference_failures": compiled.interference_failures(),
         "retransmissions": sum(s.retransmissions for s in states),
         "segments_not_received": sum(s.segments_not_received
                                      for s in states),
@@ -244,38 +277,67 @@ def run_two_piconet_interference_point(params: Dict, seed: int) -> List[Dict]:
     }]
 
 
+def bridge_split_point_spec(params: Dict) -> ScenarioSpec:
+    """The two-piconet bridge scenario of one residency-share point."""
+    forbid_overrides(params, {
+        "bridges.*.share_a": "bridge_share axis"})
+    return bridge_split_spec(
+        bridge_share=params["bridge_share"],
+        period_slots=params.get("period_slots", 96),
+        switch_slots=params.get("switch_slots", 2),
+        delay_requirement=params.get("delay_requirement", 0.040),
+        b_load_scale=params.get("b_load_scale", 1.0),
+        negotiated=params.get("negotiated", False))
+
+
 def run_bridge_split_point(params: Dict, seed: int) -> List[Dict]:
     """One residency-share point of the scatternet bridge scenario."""
     share = params["bridge_share"]
     requirement = params.get("delay_requirement", 0.040)
     duration_seconds = params.get("duration_seconds", 5.0)
-    scenario = build_bridge_split_scenario(
-        bridge_share=share,
-        period_slots=params.get("period_slots", 96),
-        switch_slots=params.get("switch_slots", 2),
-        delay_requirement=requirement,
-        b_load_scale=params.get("b_load_scale", 1.0),
-        seed=seed)
-    if not scenario.scenario_a.all_gs_admitted:
+    compiled = resolve_point_spec(
+        params, bridge_split_point_spec).compile(seed)
+    scenario_a = compiled.piconets["A"]
+    scenario_b = compiled.piconets["B"]
+    if not scenario_a.all_gs_admitted:
         return [{"bridge_share": share,
-                 **_rejected_row(scenario.scenario_a, requirement)}]
-    scenario.run(duration_seconds)
-    bridge_gs = scenario.scenario_a.gs_delay_summary()[4]
+                 **_rejected_row(scenario_a, requirement)}]
+    compiled.run(duration_seconds)
+    bridge_gs = scenario_a.gs_delay_summary()[4]
+    piconet_a, piconet_b = scenario_a.piconet, scenario_b.piconet
     row: Dict = {
         "bridge_share": share,
         "admitted": True,
-        "gs": _gs_metrics(scenario.scenario_a, duration_seconds),
-        "be": _be_metrics(scenario.scenario_a, duration_seconds),
+        "gs": _gs_metrics(scenario_a, duration_seconds),
+        "be": _be_metrics(scenario_a, duration_seconds),
         "bridge": {
             "gs_max_delay_s": bridge_gs["max_delay_s"],
             "gs_bound_violated": (
                 bridge_gs["max_delay_s"] > requirement + 1e-9),
-            "absent_polls_a": scenario.piconet_a.bridge_absent_polls,
-            "absent_polls_b": scenario.piconet_b.bridge_absent_polls,
-            "b_kbps": scenario.bridge_throughput_b_kbps(),
+            "absent_polls_a": piconet_a.bridge_absent_polls,
+            "absent_polls_b": piconet_b.bridge_absent_polls,
+            "b_kbps": scenario_b.acl_throughput_kbps(),
         },
     }
+    if compiled.bridges[0].negotiated:
+        # only negotiated runs report the skip counters, so the default
+        # (unnegotiated) rows — and their golden fixtures — are unchanged
+        row["bridge"]["skipped_polls_a"] = piconet_a.bridge_skipped_polls
+        row["bridge"]["skipped_polls_b"] = piconet_b.bridge_skipped_polls
     return [row]
+
+
+def crowded_room_spec(params: Dict) -> ScenarioSpec:
+    """One victim piconet next to ``piconets - 1`` interferer processes."""
+    forbid_overrides(params, {
+        "interference.interferer_duties": "piconets axis"})
+    piconets = params["piconets"]
+    if piconets < 1:
+        raise ValueError(f"piconets must be >= 1, got {piconets}")
+    return interfered_be_spec(
+        interferer_duties=(params.get("interferer_duty", 1.0),)
+        * (piconets - 1),
+        acl_load_scale=params.get("acl_load_scale", 2.0))
 
 
 def run_crowded_room_point(params: Dict, seed: int) -> List[Dict]:
@@ -286,25 +348,19 @@ def run_crowded_room_point(params: Dict, seed: int) -> List[Dict]:
     N times its goodput.
     """
     piconets = params["piconets"]
-    if piconets < 1:
-        raise ValueError(f"piconets must be >= 1, got {piconets}")
-    duty = params.get("interferer_duty", 1.0)
     duration_seconds = params.get("duration_seconds", 5.0)
-    scenario = build_interfered_be_scenario(
-        interferer_duties=(duty,) * (piconets - 1),
-        seed=seed,
-        acl_load_scale=params.get("acl_load_scale", 2.0))
-    scenario.run(duration_seconds)
+    compiled = resolve_point_spec(params, crowded_room_spec).compile(seed)
+    scenario = compiled.primary
+    compiled.run(duration_seconds)
     per_piconet = scenario.acl_throughput_kbps()
     piconet = scenario.piconet
-    states = [piconet.flow_state(fid)
-              for fid in scenario.scenario.be_flow_ids]
+    states = [piconet.flow_state(fid) for fid in scenario.be_flow_ids]
     return [{
         "piconets": piconets,
         "per_piconet_kbps": per_piconet,
         "aggregate_kbps": per_piconet * piconets,
-        "collision_probability": scenario.collision_probability(),
-        "interference_failures": scenario.interference_failures(),
+        "collision_probability": compiled.collision_probability(),
+        "interference_failures": compiled.interference_failures(),
         "retransmissions": sum(s.retransmissions for s in states),
     }]
 
@@ -316,6 +372,7 @@ register(ExperimentSpec(
     run_point=run_link_quality_mix_point,
     grid={"base_bit_error_rate": [0.0, 1e-4, 3e-4]},
     defaults={"delay_requirement": 0.040, "duration_seconds": 5.0},
+    scenario=link_quality_mix_spec,
 ))
 
 register(ExperimentSpec(
@@ -326,6 +383,7 @@ register(ExperimentSpec(
     grid={"bad_dwell_slots": [5, 25, 125]},
     defaults={"bit_error_rate": 3e-4, "stationary_bad": 0.1,
               "delay_requirement": 0.040, "duration_seconds": 5.0},
+    scenario=bursty_channel_spec,
 ))
 
 register(ExperimentSpec(
@@ -336,6 +394,7 @@ register(ExperimentSpec(
     grid={"bit_error_rate": [3e-5, 1e-4, 3e-4, 1e-3],
           "policy": ["DH", "DM", "adaptive"]},
     defaults={"duration_seconds": 5.0, "acl_load_scale": 2.0},
+    scenario=dm_vs_dh_spec,
 ))
 
 register(ExperimentSpec(
@@ -345,6 +404,7 @@ register(ExperimentSpec(
     run_point=run_multi_sco_point,
     grid={"acl_types": ["DH1", "DH1+DH3"]},
     defaults={"duration_seconds": 5.0, "acl_load_scale": 1.0},
+    scenario=multi_sco_point_spec,
 ))
 
 register(ExperimentSpec(
@@ -355,6 +415,7 @@ register(ExperimentSpec(
     grid={"interferer_duty": [0.0, 0.25, 0.5, 1.0]},
     defaults={"duration_seconds": 5.0, "acl_load_scale": 1.5,
               "base_bit_error_rate": 0.0},
+    scenario=two_piconet_interference_spec,
 ))
 
 register(ExperimentSpec(
@@ -366,6 +427,7 @@ register(ExperimentSpec(
     defaults={"period_slots": 96, "switch_slots": 2,
               "delay_requirement": 0.040, "duration_seconds": 5.0,
               "b_load_scale": 1.0},
+    scenario=bridge_split_point_spec,
 ))
 
 register(ExperimentSpec(
@@ -376,4 +438,5 @@ register(ExperimentSpec(
     grid={"piconets": [1, 2, 4, 8]},
     defaults={"duration_seconds": 5.0, "acl_load_scale": 2.0,
               "interferer_duty": 1.0},
+    scenario=crowded_room_spec,
 ))

@@ -14,13 +14,25 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.reporting import format_table
 from repro.experiments.figure5 import default_delay_requirements
 from repro.experiments.registry import ExperimentSpec, register
-from repro.traffic.workloads import build_figure4_scenario
+from repro.scenario import (
+    ScenarioSpec,
+    figure4_spec,
+    forbid_overrides,
+    resolve_point_spec,
+)
+
+
+def scenario_spec(params: Dict) -> ScenarioSpec:
+    """The compliance scenario of one sweep point: the Figure-4 piconet."""
+    forbid_overrides(params, {
+        "flows.*.delay_bound": "delay_requirement axis"})
+    return figure4_spec(delay_requirement=params["delay_requirement"])
 
 
 def run_point(params: Dict, seed: int) -> List[Dict]:
     """One delay requirement: a compliance row per admitted GS flow."""
     requirement = params["delay_requirement"]
-    scenario = build_figure4_scenario(delay_requirement=requirement, seed=seed)
+    scenario = resolve_point_spec(params, scenario_spec).compile(seed).primary
     if not scenario.all_gs_admitted:
         return []
     scenario.run(params.get("duration_seconds", 10.0))
@@ -74,4 +86,5 @@ register(ExperimentSpec(
     run_point=run_point,
     grid={"delay_requirement": default_delay_requirements(points=4)},
     defaults={"duration_seconds": 10.0},
+    scenario=scenario_spec,
 ))

@@ -14,7 +14,20 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.reporting import format_table
 from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.table1_parameters import compute_table1_parameters
-from repro.traffic.workloads import build_figure4_scenario
+from repro.scenario import (
+    ScenarioSpec,
+    figure4_spec,
+    forbid_overrides,
+    resolve_point_spec,
+)
+
+
+def scenario_spec(params: Dict) -> ScenarioSpec:
+    """The Figure-4 scenario of one sweep point, as a declarative spec."""
+    forbid_overrides(params, {
+        "flows.*.delay_bound": "delay_requirement axis"})
+    return figure4_spec(delay_requirement=params["delay_requirement"],
+                        be_load_scale=params.get("be_load_scale", 1.0))
 
 
 def default_delay_requirements(points: int = 7) -> List[float]:
@@ -38,9 +51,7 @@ def run_point(params: Dict, seed: int) -> List[Dict]:
     delay so the delay guarantee can be checked alongside the throughput.
     """
     requirement = params["delay_requirement"]
-    scenario = build_figure4_scenario(
-        delay_requirement=requirement, seed=seed,
-        be_load_scale=params.get("be_load_scale", 1.0))
+    scenario = resolve_point_spec(params, scenario_spec).compile(seed).primary
     if not scenario.all_gs_admitted:
         rejected = [fid for fid, s in scenario.gs_setups.items()
                     if not s.accepted]
@@ -116,4 +127,5 @@ register(ExperimentSpec(
     run_point=run_point,
     grid={"delay_requirement": default_delay_requirements()},
     defaults={"duration_seconds": 10.0, "be_load_scale": 1.0},
+    scenario=scenario_spec,
 ))

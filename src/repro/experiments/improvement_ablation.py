@@ -14,7 +14,12 @@ from typing import Dict, List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.experiments.registry import ExperimentSpec, register
-from repro.traffic.workloads import build_figure4_scenario
+from repro.scenario import (
+    ScenarioSpec,
+    figure4_spec,
+    forbid_overrides,
+    resolve_point_spec,
+)
 
 #: named improvement combinations evaluated by the ablation
 CONFIGURATIONS = [
@@ -38,13 +43,29 @@ CONFIGURATIONS = [
 _CONFIGURATION_OPTIONS = dict(CONFIGURATIONS)
 
 
+def scenario_spec(params: Dict) -> ScenarioSpec:
+    """One improvement combination's spec, selected by its label."""
+    label = params["configuration"]
+    try:
+        options = _CONFIGURATION_OPTIONS[label]
+    except KeyError:
+        known = ", ".join(repr(name) for name, _ in CONFIGURATIONS)
+        raise ValueError(
+            f"unknown configuration {label!r}; known: {known}") from None
+    return figure4_spec(
+        delay_requirement=params.get("delay_requirement", 0.036), **options)
+
+
 def run_point(params: Dict, seed: int) -> List[Dict]:
     """One improvement combination under the Figure-4 traffic."""
+    forbid_overrides(params, {
+        "improvements.variable_interval": "configuration axis",
+        "improvements.postpone_by_packet_size": "configuration axis",
+        "improvements.postpone_after_unsuccessful": "configuration axis",
+        "improvements.skip_when_no_downlink_data": "configuration axis"})
     label = params["configuration"]
     delay_requirement = params.get("delay_requirement", 0.036)
-    scenario = build_figure4_scenario(delay_requirement=delay_requirement,
-                                      seed=seed,
-                                      **_CONFIGURATION_OPTIONS[label])
+    scenario = resolve_point_spec(params, scenario_spec).compile(seed).primary
     if not scenario.all_gs_admitted:
         return []
     scenario.run(params.get("duration_seconds", 5.0))
@@ -95,4 +116,5 @@ register(ExperimentSpec(
     run_point=run_point,
     grid={"configuration": [label for label, _ in CONFIGURATIONS]},
     defaults={"delay_requirement": 0.036, "duration_seconds": 5.0},
+    scenario=scenario_spec,
 ))

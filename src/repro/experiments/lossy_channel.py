@@ -20,14 +20,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
-from repro.baseband.channel import (
-    ChannelMap,
-    GilbertElliottChannel,
-    LossyChannel,
-)
+from repro.baseband.channel import ChannelMap
 from repro.experiments.registry import ExperimentSpec, register
-from repro.sim.rng import RandomStreams
-from repro.traffic.workloads import build_figure4_scenario
+from repro.scenario import (
+    ChannelSpec,
+    ScenarioSpec,
+    compile_channel,
+    figure4_spec,
+    forbid_overrides,
+    resolve_point_spec,
+)
 
 #: the default bit-error-rate sweep (1e-3 corrupts most DH3 packets)
 DEFAULT_BIT_ERROR_RATES = [0.0, 1e-4, 3e-4, 1e-3]
@@ -38,6 +40,17 @@ GILBERT_P_BG = 0.02
 GILBERT_STATIONARY_BAD = 0.1
 
 
+def channel_spec(bit_error_rate: float,
+                 channel_model: str = "iid") -> ChannelSpec:
+    """The declarative per-link channel of one sweep point."""
+    if channel_model not in ("iid", "gilbert"):
+        raise ValueError(
+            f"unknown channel_model {channel_model!r}; known: iid, gilbert")
+    return ChannelSpec(model=channel_model, ber=bit_error_rate,
+                       p_bg=GILBERT_P_BG,
+                       stationary_bad=GILBERT_STATIONARY_BAD)
+
+
 def make_channel_map(bit_error_rate: float, seed: int,
                      channel_model: str = "iid") -> Optional[ChannelMap]:
     """Per-link channels for one run (``None`` for an error-free sweep point).
@@ -45,37 +58,28 @@ def make_channel_map(bit_error_rate: float, seed: int,
     Links are seeded from a dedicated substream family of the run's master
     seed, so the error processes are independent per link yet reproducible
     across execution backends and unperturbed by the traffic sources'
-    randomness.
+    randomness.  (Compatibility wrapper over
+    :func:`repro.scenario.compile_channel`.)
     """
-    if bit_error_rate <= 0:
-        return None
-    streams = RandomStreams(seed).child("channel-map")
-    if channel_model == "iid":
-        return ChannelMap.uniform(
-            lambda rng: LossyChannel(bit_error_rate=bit_error_rate, rng=rng),
-            streams=streams)
-    if channel_model == "gilbert":
-        p_bg = GILBERT_P_BG
-        pi_bad = GILBERT_STATIONARY_BAD
-        p_gb = p_bg * pi_bad / (1.0 - pi_bad)
-        ber_bad = min(1.0, bit_error_rate / pi_bad)
-        return ChannelMap.uniform(
-            lambda rng: GilbertElliottChannel(
-                p_gb=p_gb, p_bg=p_bg, ber_good=0.0, ber_bad=ber_bad,
-                rng=rng),
-            streams=streams)
-    raise ValueError(
-        f"unknown channel_model {channel_model!r}; known: iid, gilbert")
+    return compile_channel(channel_spec(bit_error_rate, channel_model), seed)
+
+
+def scenario_spec(params: Dict) -> ScenarioSpec:
+    """The lossy Figure-4 scenario of one sweep point."""
+    forbid_overrides(params, {
+        "channel.ber": "bit_error_rate axis",
+        "channel.model": "channel_model parameter"})
+    return figure4_spec(
+        delay_requirement=params.get("delay_requirement", 0.040),
+        channel=channel_spec(params["bit_error_rate"],
+                             params.get("channel_model", "iid")))
 
 
 def run_point(params: Dict, seed: int) -> List[Dict]:
     """One bit error rate of the lossy-channel extension."""
     ber = params["bit_error_rate"]
     delay_requirement = params.get("delay_requirement", 0.040)
-    channel = make_channel_map(ber, seed,
-                               params.get("channel_model", "iid"))
-    scenario = build_figure4_scenario(delay_requirement=delay_requirement,
-                                      channel=channel, seed=seed)
+    scenario = resolve_point_spec(params, scenario_spec).compile(seed).primary
     if not scenario.all_gs_admitted:
         return []
     scenario.run(params.get("duration_seconds", 5.0))
@@ -143,4 +147,5 @@ register(ExperimentSpec(
     defaults={"delay_requirement": 0.040, "duration_seconds": 5.0,
               "channel_model": "iid"},
     version=2,
+    scenario=scenario_spec,
 ))

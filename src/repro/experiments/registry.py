@@ -46,6 +46,11 @@ class ExperimentSpec:
     #: whenever ``run_point``'s semantics or row layout change, so stale
     #: cached results are never served for the new code
     version: int = 1
+    #: optional ``scenario(params) -> ScenarioSpec`` factory resolving the
+    #: declarative spec of one parameter point; spec-backed drivers set it
+    #: so ``python -m repro.experiments describe`` can show the resolved
+    #: spec and dotted ``--set`` overrides (``channel.ber=1e-4``) apply
+    scenario: Optional[Callable[[Dict[str, object]], object]] = None
 
     def points(self, overrides: Optional[Mapping[str, object]] = None
                ) -> List[Dict[str, object]]:
@@ -53,9 +58,18 @@ class ExperimentSpec:
 
         ``overrides`` may replace a grid axis (a sequence shrinks or extends
         the sweep, a scalar pins the axis to one value) or override/add a
-        fixed parameter.
+        fixed parameter.  A dotted-path key (``channel.ber``) addresses a
+        field of the experiment's :class:`~repro.scenario.ScenarioSpec`:
+        with a scalar value it is a fixed declarative override of every
+        point, with a list value it becomes an *additional swept axis*
+        (wrap a list-valued field in another list to pin it instead).
         """
         overrides = dict(overrides or {})
+        dotted = sorted(key for key in overrides if "." in key)
+        if dotted and self.scenario is None:
+            raise ValueError(
+                f"experiment {self.name!r} has no scenario spec; dotted "
+                f"override(s) {dotted} cannot apply")
         axes: Dict[str, Sequence] = {}
         for name, values in self.grid.items():
             if name in overrides:
@@ -66,6 +80,13 @@ class ExperimentSpec:
                 axes[name] = list(replacement)
             else:
                 axes[name] = list(values)
+        for name in [key for key in overrides if "." in key]:
+            replacement = overrides.pop(name)
+            if isinstance(replacement, Sequence) and not isinstance(
+                    replacement, (str, bytes)):
+                axes[name] = list(replacement)
+            else:
+                overrides[name] = replacement
         fixed = {**self.defaults, **overrides}
         names = list(axes)
         combos = itertools.product(*(axes[n] for n in names)) if names else [()]

@@ -36,7 +36,12 @@ from typing import Dict, List, Sequence
 from repro.experiments import figure5 as _figure5
 from repro.experiments.registry import ExperimentSpec, register
 from repro.piconet.flows import UPLINK
-from repro.traffic.workloads import Figure4Scenario, build_figure4_scenario
+from repro.scenario import (
+    ScenarioSpec,
+    figure4_spec,
+    forbid_overrides,
+    resolve_point_spec,
+)
 
 #: slaves of the heavy scenario: the full piconet carries best effort
 HEAVY_BE_SLAVES = (1, 2, 3, 4, 5, 6, 7)
@@ -52,14 +57,14 @@ def _jain_fairness(values: Sequence[float]) -> float:
     return square_of_sum / (len(values) * sum_of_squares)
 
 
-def _rejected_row(scenario: Figure4Scenario, requirement: float) -> Dict:
+def _rejected_row(scenario, requirement: float) -> Dict:
     rejected = [fid for fid, setup in scenario.gs_setups.items()
                 if not setup.accepted]
     return {"delay_requirement_s": requirement, "admitted": False,
             "rejected_flows": rejected}
 
 
-def _gs_metrics(scenario: Figure4Scenario, duration_seconds: float) -> Dict:
+def _gs_metrics(scenario, duration_seconds: float) -> Dict:
     summary = scenario.gs_delay_summary()
     piconet = scenario.piconet
     throughput = sum(piconet.flow_state(fid).delivered_bytes
@@ -73,7 +78,7 @@ def _gs_metrics(scenario: Figure4Scenario, duration_seconds: float) -> Dict:
     }
 
 
-def _be_metrics(scenario: Figure4Scenario, duration_seconds: float) -> Dict:
+def _be_metrics(scenario, duration_seconds: float) -> Dict:
     piconet = scenario.piconet
     per_flow_kbps = [
         piconet.flow_state(fid).delivered_bytes * 8 / duration_seconds / 1000.0
@@ -84,14 +89,21 @@ def _be_metrics(scenario: Figure4Scenario, duration_seconds: float) -> Dict:
     }
 
 
+def heavy_piconet_spec(params: Dict) -> ScenarioSpec:
+    """The fully loaded piconet of one sweep point (BE on all 7 slaves)."""
+    forbid_overrides(params, {
+        "flows.*.delay_bound": "delay_requirement axis"})
+    return figure4_spec(delay_requirement=params["delay_requirement"],
+                        be_load_scale=params.get("be_load_scale", 1.0),
+                        be_slaves=HEAVY_BE_SLAVES)
+
+
 def run_heavy_piconet_point(params: Dict, seed: int) -> List[Dict]:
     """One heavy-piconet point: BE flows on all seven slaves next to GS."""
     requirement = params["delay_requirement"]
     duration_seconds = params.get("duration_seconds", 5.0)
-    scenario = build_figure4_scenario(
-        delay_requirement=requirement, seed=seed,
-        be_load_scale=params.get("be_load_scale", 1.0),
-        be_slaves=HEAVY_BE_SLAVES)
+    scenario = resolve_point_spec(
+        params, heavy_piconet_spec).compile(seed).primary
     if not scenario.all_gs_admitted:
         return [_rejected_row(scenario, requirement)]
     scenario.run(duration_seconds)
@@ -106,15 +118,22 @@ def run_heavy_piconet_point(params: Dict, seed: int) -> List[Dict]:
     return [row]
 
 
+def mixed_sco_gs_spec(params: Dict) -> ScenarioSpec:
+    """The mixed SCO+GS piconet of one sweep point."""
+    forbid_overrides(params, {
+        "flows.*.delay_bound": "delay_requirement axis"})
+    return figure4_spec(delay_requirement=params["delay_requirement"],
+                        be_load_scale=params.get("be_load_scale", 1.0),
+                        be_slaves=(4, 5, 6), sco_slaves=(7,),
+                        gs_uplink_only=True, be_directions=(UPLINK,))
+
+
 def run_mixed_sco_gs_point(params: Dict, seed: int) -> List[Dict]:
     """One mixed point: HV3 SCO voice next to uplink GS and BE flows."""
     requirement = params["delay_requirement"]
     duration_seconds = params.get("duration_seconds", 5.0)
-    scenario = build_figure4_scenario(
-        delay_requirement=requirement, seed=seed,
-        be_load_scale=params.get("be_load_scale", 1.0),
-        be_slaves=(4, 5, 6), sco_slaves=(7,),
-        gs_uplink_only=True, be_directions=(UPLINK,))
+    scenario = resolve_point_spec(
+        params, mixed_sco_gs_spec).compile(seed).primary
     if not scenario.all_gs_admitted:
         return [_rejected_row(scenario, requirement)]
     scenario.run(duration_seconds)
@@ -160,6 +179,7 @@ register(ExperimentSpec(
     run_point=run_heavy_piconet_point,
     grid={"delay_requirement": [0.032, 0.038, 0.044]},
     defaults={"duration_seconds": 5.0, "be_load_scale": 1.0},
+    scenario=heavy_piconet_spec,
 ))
 
 register(ExperimentSpec(
@@ -170,6 +190,7 @@ register(ExperimentSpec(
     # Figure-4 set, so the feasible band starts around 38 ms
     grid={"delay_requirement": [0.038, 0.046]},
     defaults={"duration_seconds": 5.0, "be_load_scale": 1.0},
+    scenario=mixed_sco_gs_spec,
 ))
 
 register(ExperimentSpec(
@@ -179,4 +200,5 @@ register(ExperimentSpec(
     run_point=run_be_load_scale_point,
     grid={"be_load_scale": [0.5, 1.0, 1.5, 2.0]},
     defaults={"delay_requirement": 0.040, "duration_seconds": 5.0},
+    scenario=_figure5.scenario_spec,
 ))

@@ -7,13 +7,18 @@ it resides in piconet A for part of a fixed period and in piconet B for
 the rest, losing a few guard slots at every handover to re-synchronise to
 the other master's clock and hop phase.
 
-Crucially, the masters do **not** know the bridge's schedule (neither
-hold nor sniff negotiation is modelled): a master that polls the bridge
-while it is away simply gets no response.  The piconet's master loop
-(:meth:`repro.piconet.piconet.Piconet.set_bridge_presence`) turns such
-polls into guaranteed failures — the downlink packet is never received and
-the uplink slot stays silent — which is exactly the retransmission and
-fairness pressure the ``bridge_split`` experiment measures.
+By default the masters do **not** know the bridge's schedule: a master
+that polls the bridge while it is away simply gets no response.  The
+piconet's master loop (:meth:`repro.piconet.piconet.Piconet.
+set_bridge_presence`) turns such polls into guaranteed failures — the
+downlink packet is never received and the uplink slot stays silent —
+which is exactly the retransmission and fairness pressure the
+``bridge_split`` experiment measures.  A *negotiated* hold
+(``negotiated=True`` on :meth:`~repro.piconet.scatternet.Scatternet.
+add_bridge` / :class:`repro.scenario.BridgeSpec`) models masters that
+know the pattern: planned polls to the absent bridge are skipped
+(``bridge_skipped_polls`` in the slot accounting) and retried once the
+bridge is back, instead of burning 2..6 slots per failure.
 
 :class:`BridgeSchedule` is the pure time-division policy;
 :class:`BridgeNode` binds it to the two piconets' slave addresses (see
@@ -126,6 +131,9 @@ class BridgeNode:
     name: str
     schedule: BridgeSchedule
     residences: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    #: whether both masters know the hold schedule (and skip planned polls
+    #: to the bridge while it is away instead of burning the slots)
+    negotiated: bool = False
 
     def presence(self, role: str) -> Callable[[int], bool]:
         return self.schedule.presence(role)

@@ -128,6 +128,10 @@ class Piconet:
         self._sco_flows: Dict[int, Dict[str, Optional[int]]] = {}
         #: scatternet bridges: slave -> per-slot presence in *this* piconet
         self._bridge_presence: Dict[int, Callable[[int], bool]] = {}
+        #: bridges whose hold schedule this master knows (negotiated): the
+        #: master skips planned polls while such a bridge is away instead
+        #: of burning the transaction's slots on a guaranteed failure
+        self._negotiated_bridges: set = set()
         self._started = False
         self._run_started_at: Optional[int] = None
         self._run_ended_at: Optional[int] = None
@@ -142,6 +146,7 @@ class Piconet:
         self.gs_polls_without_data = 0
         self.be_polls_without_data = 0
         self.bridge_absent_polls = 0
+        self.bridge_skipped_polls = 0
 
     # ------------------------------------------------------------------ setup
     def add_slave(self, name: Optional[str] = None) -> Slave:
@@ -200,18 +205,26 @@ class Piconet:
         return link
 
     def set_bridge_presence(self, slave: int,
-                            presence: Callable[[int], bool]) -> None:
+                            presence: Callable[[int], bool],
+                            negotiated: bool = False) -> None:
         """Mark ``slave`` as a scatternet bridge with a presence schedule.
 
         ``presence(slot_index)`` says whether the bridge is listening to
-        *this* piconet's master in that slot.  The master does not know the
-        schedule: a transaction addressed to an absent bridge is a
-        guaranteed poll failure — the downlink packet is never received and
-        the uplink slot stays silent — while still consuming its slots.
+        *this* piconet's master in that slot.  By default the master does
+        not know the schedule: a transaction addressed to an absent bridge
+        is a guaranteed poll failure — the downlink packet is never
+        received and the uplink slot stays silent — while still consuming
+        its slots.  With ``negotiated=True`` the master *knows* the hold
+        pattern and skips planned polls while the bridge is away (counted
+        as ``bridge_skipped_polls``), retrying once it is back.
         """
         if slave not in self.devices:
             raise ValueError(f"slave {slave} is not part of the piconet")
         self._bridge_presence[slave] = presence
+        if negotiated:
+            self._negotiated_bridges.add(slave)
+        else:
+            self._negotiated_bridges.discard(slave)
 
     def _slave_present(self, slave: int, now_us: int) -> bool:
         """Whether ``slave`` is listening to this master at ``now_us``."""
@@ -349,10 +362,12 @@ class Piconet:
             "gs_polls_without_data": self.gs_polls_without_data,
             "be_polls_without_data": self.be_polls_without_data,
         }
-        # only scatternet piconets report the bridge counter, so the rows
+        # only scatternet piconets report the bridge counters, so the rows
         # (and golden fixtures) of single-piconet experiments are unchanged
         if self._bridge_presence:
             accounting["bridge_absent_polls"] = self.bridge_absent_polls
+        if self._negotiated_bridges:
+            accounting["bridge_skipped_polls"] = self.bridge_skipped_polls
         return accounting
 
     # ------------------------------------------------------------ master loop
@@ -368,6 +383,26 @@ class Piconet:
 
             # 2. ask the poller
             plan = self.poller.select(self.env.now) if self.poller is not None else None
+
+            # 2b. a negotiated hold schedule lets the master *know* the
+            #     bridge is away: skip the planned poll instead of burning
+            #     2..6 slots on a guaranteed failure.  The poller is
+            #     notified with a zero-slot outcome so its planner
+            #     postpones the skipped stream (and its fairness state
+            #     moves on) and the *same* slot can serve other traffic —
+            #     re-selecting is bounded so a poller that keeps proposing
+            #     absent bridges cannot spin the loop within one slot.
+            reselects = len(self.devices.slaves) + 1
+            while (plan is not None
+                    and plan.slave in self._negotiated_bridges
+                    and not self._slave_present(plan.slave, self.env.now)):
+                self.bridge_skipped_polls += 1
+                self.poller.notify(self._skipped_outcome(plan))
+                reselects -= 1
+                if reselects <= 0:
+                    plan = None
+                    break
+                plan = self.poller.select(self.env.now)
 
             # 3. never start an ACL transaction that would overlap the next
             #    SCO reservation.  The master knows the exact packet it will
@@ -508,6 +543,21 @@ class Piconet:
         )
         if self.poller is not None:
             self.poller.notify(outcome)
+
+    def _skipped_outcome(self, plan: TransactionPlan) -> PollOutcome:
+        """The zero-slot outcome of a negotiated skip (nothing on the air).
+
+        No transmission happened, so no failure is booked anywhere — the
+        outcome only tells the poller that the planned poll could not be
+        served now, which postpones the stream exactly like an
+        unsuccessful poll would, without consuming its slots.
+        """
+        now = self.env.now
+        return PollOutcome(
+            plan=plan, start=now, end=now, slots=0,
+            dl_carried_data=False, ul_carried_data=False,
+            bridge_absent=True,
+            dl_link=(plan.slave, DOWNLINK), ul_link=(plan.slave, UPLINK))
 
     def _observe_transmission(self, state: FlowState, error: bool) -> None:
         """Feed one observed data transmission back to an adaptive policy."""

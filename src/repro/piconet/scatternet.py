@@ -69,22 +69,25 @@ class Scatternet:
 
     def add_bridge(self, name: str, schedule: BridgeSchedule,
                    piconet_a: str, slave_a: int,
-                   piconet_b: str, slave_b: int) -> BridgeNode:
+                   piconet_b: str, slave_b: int,
+                   negotiated: bool = False) -> BridgeNode:
         """Register a bridge slave time-sharing two piconets.
 
         ``slave_a`` / ``slave_b`` are the AM addresses the bridge holds in
-        each piconet (a device's AM address is piconet-local).  Both
-        piconets treat transactions addressed to an absent bridge as
-        guaranteed poll failures.
+        each piconet (a device's AM address is piconet-local).  By default
+        both piconets treat transactions addressed to an absent bridge as
+        guaranteed poll failures; with ``negotiated=True`` both masters
+        know the hold schedule and skip planned polls during absence
+        (``bridge_skipped_polls`` in each piconet's slot accounting).
         """
         bridge = BridgeNode(name=name, schedule=schedule, residences={
             ROLE_A: (piconet_a, slave_a),
             ROLE_B: (piconet_b, slave_b),
-        })
+        }, negotiated=negotiated)
         self.piconet(piconet_a).set_bridge_presence(
-            slave_a, schedule.presence(ROLE_A))
+            slave_a, schedule.presence(ROLE_A), negotiated=negotiated)
         self.piconet(piconet_b).set_bridge_presence(
-            slave_b, schedule.presence(ROLE_B))
+            slave_b, schedule.presence(ROLE_B), negotiated=negotiated)
         self._bridges.append(bridge)
         return bridge
 

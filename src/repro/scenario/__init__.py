@@ -1,0 +1,85 @@
+"""Declarative scenario layer: typed, serializable simulation descriptions.
+
+``ScenarioSpec`` (with its nested ``PiconetSpec`` / ``FlowSpec`` /
+``ScoSpec`` / ``ChannelSpec`` / ``InterferenceSpec`` / ``BridgeSpec`` /
+``PollerSpec`` / ``ImprovementsSpec``) describes a complete simulation
+run as validated, frozen *data* that round-trips through plain dicts
+(``to_dict`` / ``from_dict``) and compiles into the existing runtime
+objects (``spec.compile(seed, env=None)`` -> ``CompiledScenario``).
+
+Sweep points and the CLI mutate specs declaratively via dotted paths
+(:func:`apply_overrides`, e.g. ``channel.ber=1e-4``); the spec factories
+(:func:`figure4_spec`, :func:`multi_sco_spec`, :func:`interfered_be_spec`,
+:func:`bridge_split_spec`) map the historical workload builders' keyword
+surfaces onto specs.
+"""
+
+from repro.scenario.compile import (
+    CompiledPiconet,
+    CompiledScenario,
+    baseline_poller_factories,
+    compile_channel,
+    compile_scenario,
+)
+from repro.scenario.factories import (
+    bridge_split_spec,
+    figure4_piconet_spec,
+    figure4_spec,
+    interfered_be_spec,
+    multi_sco_piconet_spec,
+    multi_sco_spec,
+)
+from repro.scenario.overrides import (
+    SCENARIO_PARAM,
+    apply_overrides,
+    forbid_overrides,
+    override_spec,
+    resolve_point_spec,
+    split_spec_overrides,
+)
+from repro.scenario.specs import (
+    BASELINE_POLLER_KINDS,
+    CHANNEL_MODELS,
+    POLLER_KINDS,
+    BridgeSpec,
+    ChannelSpec,
+    FlowSpec,
+    ImprovementsSpec,
+    InterferenceSpec,
+    PiconetSpec,
+    PollerSpec,
+    ScenarioSpec,
+    ScoSpec,
+)
+
+__all__ = [
+    "BASELINE_POLLER_KINDS",
+    "CHANNEL_MODELS",
+    "POLLER_KINDS",
+    "SCENARIO_PARAM",
+    "BridgeSpec",
+    "ChannelSpec",
+    "CompiledPiconet",
+    "CompiledScenario",
+    "FlowSpec",
+    "ImprovementsSpec",
+    "InterferenceSpec",
+    "PiconetSpec",
+    "PollerSpec",
+    "ScenarioSpec",
+    "ScoSpec",
+    "apply_overrides",
+    "baseline_poller_factories",
+    "bridge_split_spec",
+    "compile_channel",
+    "compile_scenario",
+    "figure4_piconet_spec",
+    "forbid_overrides",
+    "figure4_spec",
+    "interfered_be_spec",
+    "multi_sco_piconet_spec",
+    "multi_sco_spec",
+    "override_spec",
+    "resolve_point_spec",
+    "split_spec_overrides",
+]

@@ -1,0 +1,465 @@
+"""Compile a :class:`~repro.scenario.specs.ScenarioSpec` into runtime objects.
+
+``compile_scenario(spec, seed, env=None)`` is the single construction path
+behind every workload: it builds the piconets (slaves, flows, SCO
+reservations), the per-link channel maps, the Guaranteed Service manager
+and poller, the traffic sources, and — for multi-piconet scenarios — the
+shared-clock scatternet with its bridges, or the interference field
+coupling co-located piconets into the victim's links.
+
+Reproducibility contract: for a given ``(spec, seed)`` the compiled
+scenario is *byte-identical* to what the historical workload builders
+produced — the same RNG stream names (``gs-<id>``/``be-<id>``/
+``sco-<id>`` per source, ``channel-map``/``interference`` substream
+families), the same construction order, and the same source start order —
+so migrating a driver from a builder to a spec cannot perturb its golden
+rows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.baseband.channel import (
+    Channel,
+    ChannelMap,
+    GilbertElliottChannel,
+    LossyChannel,
+)
+from repro.baseband.constants import SLOT_SECONDS
+from repro.baseband.interference import (
+    InterferenceField,
+    interference_channel_map,
+)
+from repro.baseband.packets import max_transaction_slots
+from repro.core.gs_manager import GSFlowSetup, GuaranteedServiceManager
+from repro.core.pfp import PredictiveFairPoller
+from repro.core.token_bucket import cbr_tspec
+from repro.piconet.bridge import BridgeNode
+from repro.piconet.flows import FlowSpec as RuntimeFlowSpec
+from repro.piconet.piconet import Piconet, PiconetConfig
+from repro.piconet.scatternet import Scatternet
+from repro.scenario.specs import (
+    ChannelSpec,
+    InterferenceSpec,
+    PiconetSpec,
+    PollerSpec,
+    ScenarioSpec,
+)
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+from repro.traffic.sources import CBRSource, TrafficSource
+
+
+def baseline_poller_factories() -> Dict[str, Callable]:
+    """The surveyed baseline pollers, by :class:`PollerSpec` kind."""
+    from repro.schedulers import (
+        DemandBasedPoller,
+        EfficientDoubleCyclePoller,
+        ExhaustivePoller,
+        FairExhaustivePoller,
+        HolPriorityPoller,
+        LimitedRoundRobinPoller,
+        PureRoundRobinPoller,
+    )
+    return {
+        "pure-round-robin": PureRoundRobinPoller,
+        "limited-round-robin": lambda: LimitedRoundRobinPoller(limit=2),
+        "exhaustive": ExhaustivePoller,
+        "fep": FairExhaustivePoller,
+        "edc": EfficientDoubleCyclePoller,
+        "hol-priority": HolPriorityPoller,
+        "demand-based": DemandBasedPoller,
+    }
+
+
+# -------------------------------------------------------------- channels
+
+def _link_channel_maker(model: str, ber: float,
+                        p_bg: float, stationary_bad: float
+                        ) -> Callable[[random.Random], Channel]:
+    """One link's channel constructor for a non-ideal model at ``ber``."""
+    if model == "iid":
+        return lambda rng: LossyChannel(bit_error_rate=ber, rng=rng)
+    p_gb = p_bg * stationary_bad / (1.0 - stationary_bad)
+    ber_bad = min(1.0, ber / stationary_bad)
+    return lambda rng: GilbertElliottChannel(
+        p_gb=p_gb, p_bg=p_bg, ber_good=0.0, ber_bad=ber_bad, rng=rng)
+
+
+def compile_channel(spec: ChannelSpec, seed: int) -> Optional[ChannelMap]:
+    """Per-link channels of one piconet (``None`` for the ideal radio).
+
+    Links are seeded from ``RandomStreams(seed).child(spec.stream)``, so
+    the error processes are independent per link yet reproducible across
+    execution backends and unperturbed by the traffic sources' randomness.
+    """
+    if spec.model == "ideal" or spec.ber <= 0:
+        return None
+    streams = RandomStreams(seed).child(spec.stream)
+    if spec.slave_ber_scale:
+        makers = {
+            slave: _link_channel_maker(spec.model, spec.ber * scale,
+                                       spec.p_bg, spec.stationary_bad)
+            for slave, scale in spec.slave_ber_scale}
+        return ChannelMap.per_slave(makers, streams=streams)
+    return ChannelMap.uniform(
+        _link_channel_maker(spec.model, spec.ber, spec.p_bg,
+                            spec.stationary_bad),
+        streams=streams)
+
+
+def _compile_interference(spec: InterferenceSpec, base: ChannelSpec,
+                          seed: int):
+    """The interference field and the victim's composed channel map."""
+    streams = RandomStreams(seed)
+    field_kwargs = {} if spec.ber_per_collision is None else \
+        {"ber_per_collision": spec.ber_per_collision}
+    interference_field = InterferenceField(
+        streams=streams.child(spec.stream), **field_kwargs)
+    interference_field.register(spec.victim, duty_cycle=1.0)
+    interferers = []
+    for index, duty in enumerate(spec.interferer_duties, start=1):
+        name = f"interferer-{index}"
+        interference_field.register(name, duty_cycle=duty)
+        interferers.append(name)
+    base_factory = None
+    if base.model != "ideal" and base.ber > 0:
+        maker = _link_channel_maker(base.model, base.ber, base.p_bg,
+                                    base.stationary_bad)
+        base_factory = lambda link, rng: maker(rng)  # noqa: E731
+    channel = interference_channel_map(
+        interference_field, spec.victim, base_factory=base_factory,
+        streams=streams.child(spec.map_stream))
+    return interference_field, interferers, channel
+
+
+# -------------------------------------------------------------- piconets
+
+@dataclass
+class CompiledPiconet:
+    """One piconet's runtime objects plus the result helpers drivers use."""
+
+    spec: PiconetSpec
+    piconet: Piconet
+    poller: Optional[object]
+    manager: Optional[GuaranteedServiceManager]
+    sources: List[TrafficSource]
+    gs_setups: Dict[int, GSFlowSetup]
+    gs_flow_ids: List[int]
+    be_flow_ids: List[int]
+    sco_flow_ids: List[int]
+    #: slave -> flow ids, in flow declaration order
+    slave_flows: Dict[int, List[int]] = field(default_factory=dict)
+    #: the common requested delay bound of the GS flows (None when the
+    #: flows requested explicit rates or disagree on the bound)
+    delay_requirement: Optional[float] = None
+
+    @property
+    def all_gs_admitted(self) -> bool:
+        return all(setup.accepted for setup in self.gs_setups.values())
+
+    def start_sources(self) -> None:
+        for source in self.sources:
+            source.start()
+
+    def run(self, duration_seconds: float) -> None:
+        """Start this piconet's sources and run it on its own clock."""
+        self.start_sources()
+        self.piconet.run(duration_seconds)
+
+    # -- result helpers (mirroring the historical scenario classes) ---------
+    def slave_throughputs_kbps(self) -> Dict[int, float]:
+        """Per-slave delivered throughput in kbit/s (the Figure 5 y-axis)."""
+        return {slave: self.piconet.slave_throughput_bps(slave) / 1000.0
+                for slave in sorted(self.slave_flows)}
+
+    def gs_delay_summary(self) -> Dict[int, dict]:
+        """Per GS flow: delay statistics and the analytical bound."""
+        summary = {}
+        for flow_id in self.gs_flow_ids:
+            state = self.piconet.flow_state(flow_id)
+            setup = self.gs_setups[flow_id]
+            bound = (self.manager.delay_bound_for(flow_id)
+                     if setup.accepted else float("nan"))
+            summary[flow_id] = {
+                "requested_bound_s": self.delay_requirement,
+                "analytical_bound_s": bound,
+                "max_delay_s": state.delays.maximum,
+                "mean_delay_s": state.delays.mean,
+                "p99_delay_s": state.delays.percentile(99),
+                "packets": state.delivered_packets,
+            }
+        return summary
+
+    def voice_stats(self) -> Dict[int, dict]:
+        """Per SCO flow: delivered rate, worst delay and residual errors."""
+        stats = {}
+        for flow_id in self.sco_flow_ids:
+            state = self.piconet.flow_state(flow_id)
+            elapsed = self.piconet.elapsed_seconds
+            stats[flow_id] = {
+                "slave": state.spec.slave,
+                "throughput_kbps": (state.delivered_bytes * 8 / elapsed
+                                    / 1000.0 if elapsed > 0 else 0.0),
+                "max_delay_ms": state.delays.maximum * 1000.0
+                if state.delays.count else float("nan"),
+                "residual_errors": state.sco_residual_errors,
+            }
+        return stats
+
+    def acl_throughput_kbps(self) -> float:
+        """Aggregate delivered best-effort ACL throughput in kbit/s."""
+        elapsed = self.piconet.elapsed_seconds
+        if elapsed <= 0:
+            return 0.0
+        delivered = sum(self.piconet.flow_state(fid).delivered_bytes
+                        for fid in self.be_flow_ids)
+        return delivered * 8 / elapsed / 1000.0
+
+
+def _compile_poller(spec: PollerSpec, piconet: Piconet,
+                    manager: Optional[GuaranteedServiceManager]):
+    """Attach the spec'd poller; returns the attached instance (or None).
+
+    A piconet with admission-controlled flows always constructs and
+    attaches the PFP its manager drives; a baseline kind then replaces it
+    (keeping the admission decisions) — the ``baseline_comparison``
+    methodology, preserved byte-for-byte.
+    """
+    if spec.kind == "none":
+        if manager is not None:
+            raise ValueError(
+                "poller kind 'none' cannot serve admission-controlled "
+                "flows (delay_bound/rate set): use 'pfp', or drop the "
+                "bounds for an unscheduled piconet")
+        return None
+    poller = None
+    if manager is not None:
+        poller = PredictiveFairPoller(manager)
+        piconet.attach_poller(poller)
+    if spec.kind == "pfp":
+        if manager is None:
+            raise ValueError(
+                "the pfp poller needs Guaranteed Service flows: give at "
+                "least one flow a delay_bound or rate")
+        return poller
+    if spec.kind == "round_robin":
+        from repro.schedulers.round_robin import PureRoundRobinPoller
+        poller = PureRoundRobinPoller(only_slaves=spec.only_slaves)
+    else:
+        poller = baseline_poller_factories()[spec.kind]()
+    piconet.attach_poller(poller)
+    return poller
+
+
+def _compile_piconet(spec: PiconetSpec, seed: int,
+                     env: Optional[Environment],
+                     channel) -> CompiledPiconet:
+    streams = RandomStreams(seed)
+    if spec.rng_namespace:
+        streams = streams.child(spec.rng_namespace)
+    config = PiconetConfig(allowed_types=spec.allowed_types,
+                           name=spec.name,
+                           align_even_slots=spec.align_even_slots,
+                           adaptive_segmentation=spec.adaptive_segmentation,
+                           robust_types=spec.robust_types)
+    piconet = Piconet(env=env, channel=channel, config=config)
+    for name in spec.slaves:
+        piconet.add_slave(name)
+
+    runtime_specs: Dict[int, RuntimeFlowSpec] = {}
+    slave_flows: Dict[int, List[int]] = {}
+    for flow in spec.flows:
+        runtime = RuntimeFlowSpec(
+            flow.flow_id, slave=flow.slave, direction=flow.direction,
+            traffic_class=flow.traffic_class,
+            allowed_types=(flow.allowed_types if flow.allowed_types
+                           is not None else spec.allowed_types))
+        piconet.add_flow(runtime)
+        runtime_specs[flow.flow_id] = runtime
+        slave_flows.setdefault(flow.slave, []).append(flow.flow_id)
+    for sco in spec.sco_links:
+        piconet.add_sco_link(sco.slave, packet_type=sco.packet_type,
+                             dl_flow_id=sco.dl_flow_id,
+                             ul_flow_id=sco.ul_flow_id)
+
+    # -- Guaranteed Service admission ---------------------------------------
+    manager = None
+    gs_setups: Dict[int, GSFlowSetup] = {}
+    managed = [flow for flow in spec.flows if flow.gs_managed]
+    if managed:
+        # the admission control must budget the worst transaction the links
+        # can actually produce: with adaptive segmentation that includes
+        # the robust (DM) types a flow may fall back to under loss
+        admission_types = spec.allowed_types + spec.robust_types \
+            if spec.adaptive_segmentation else spec.allowed_types
+        improvements = spec.improvements
+        manager = GuaranteedServiceManager(
+            max_transaction_seconds=(max_transaction_slots(admission_types)
+                                     * SLOT_SECONDS),
+            piggyback_aware=improvements.piggyback_aware,
+            variable_interval=improvements.variable_interval,
+            postpone_by_packet_size=improvements.postpone_by_packet_size,
+            postpone_after_unsuccessful=(
+                improvements.postpone_after_unsuccessful),
+            skip_when_no_downlink_data=(
+                improvements.skip_when_no_downlink_data))
+        for flow in managed:
+            tspec = cbr_tspec(flow.interval_s, *flow.size_bounds)
+            if flow.delay_bound is not None:
+                setup = manager.add_flow(runtime_specs[flow.flow_id], tspec,
+                                         delay_bound=flow.delay_bound)
+            else:
+                setup = manager.add_flow(runtime_specs[flow.flow_id], tspec,
+                                         rate=flow.rate)
+            gs_setups[flow.flow_id] = setup
+
+    poller = _compile_poller(spec.poller, piconet, manager)
+
+    # -- traffic sources ----------------------------------------------------
+    sources: List[TrafficSource] = []
+    for flow in spec.flows:
+        if flow.interval_s is None:
+            continue
+        rng = (streams.stream(flow.rng_stream)
+               if flow.rng_stream is not None else None)
+        offset = rng.uniform(0, flow.interval_s) if flow.stagger else 0.0
+        sources.append(CBRSource(piconet, flow.flow_id, flow.interval_s,
+                                 flow.size, rng=rng, start_offset=offset))
+
+    bounds = {flow.delay_bound for flow in managed
+              if flow.delay_bound is not None}
+    sco_ids = set(spec.sco_flow_ids)
+    return CompiledPiconet(
+        spec=spec,
+        piconet=piconet,
+        poller=poller,
+        manager=manager,
+        sources=sources,
+        gs_setups=gs_setups,
+        gs_flow_ids=[flow.flow_id for flow in spec.flows
+                     if flow.traffic_class == "GS"
+                     and flow.flow_id not in sco_ids],
+        be_flow_ids=[flow.flow_id for flow in spec.flows
+                     if flow.traffic_class == "BE"],
+        sco_flow_ids=list(spec.sco_flow_ids),
+        slave_flows=slave_flows,
+        delay_requirement=bounds.pop() if len(bounds) == 1 else None,
+    )
+
+
+# -------------------------------------------------------------- scenarios
+
+@dataclass
+class CompiledScenario:
+    """The runtime objects of one compiled :class:`ScenarioSpec`."""
+
+    spec: ScenarioSpec
+    seed: int
+    piconets: Dict[str, CompiledPiconet]
+    env: Environment
+    scatternet: Optional[Scatternet] = None
+    interference_field: Optional[InterferenceField] = None
+    #: names of the interfering piconets registered in the field
+    interferers: List[str] = field(default_factory=list)
+    bridges: List[BridgeNode] = field(default_factory=list)
+
+    @property
+    def primary(self) -> CompiledPiconet:
+        """The first (for most scenarios: only) piconet."""
+        return next(iter(self.piconets.values()))
+
+    def piconet(self, name: str) -> CompiledPiconet:
+        try:
+            return self.piconets[name]
+        except KeyError:
+            known = ", ".join(self.piconets) or "<none>"
+            raise KeyError(
+                f"unknown piconet {name!r}; known: {known}") from None
+
+    def run(self, duration_seconds: float) -> None:
+        """Start every source, then co-advance the scenario's clock."""
+        for compiled in self.piconets.values():
+            compiled.start_sources()
+        if self.scatternet is not None:
+            self.scatternet.run(duration_seconds)
+        else:
+            self.primary.piconet.run(duration_seconds)
+
+    # -- interference helpers ------------------------------------------------
+    def interference_failures(self) -> int:
+        """Packets lost to collisions after surviving their base channel."""
+        channels = self.primary.piconet.channels
+        return sum(
+            getattr(channels.channel_for(*link), "interference_failures", 0)
+            for link in channels.links())
+
+    def collision_probability(self) -> float:
+        """Analytic per-slot co-channel collision probability (victim)."""
+        if self.interference_field is None or self.spec.interference is None:
+            return 0.0
+        return self.interference_field.expected_collision_probability(
+            self.spec.interference.victim)
+
+
+def compile_scenario(spec: ScenarioSpec, seed: int,
+                     env: Optional[Environment] = None,
+                     channel_overrides: Optional[Dict[str, object]] = None
+                     ) -> CompiledScenario:
+    """Build the runtime objects of ``spec`` under ``seed``.
+
+    ``env`` injects an existing simulation environment (single-piconet
+    scenarios only — multi-piconet scenarios build their own shared clock
+    from it).  ``channel_overrides`` maps piconet names to pre-built
+    :class:`Channel`/:class:`ChannelMap` objects, the programmatic escape
+    hatch for channel models a :class:`ChannelSpec` cannot describe; specs
+    carrying only declarative channels remain fully serializable.
+    """
+    channel_overrides = channel_overrides or {}
+    unknown = sorted(set(channel_overrides)
+                     - {piconet.name for piconet in spec.piconets})
+    if unknown:
+        raise ValueError(
+            f"channel_overrides for unknown piconet(s) {unknown}")
+
+    scatternet = None
+    build_env = env
+    if spec.bridges or len(spec.piconets) > 1:
+        scatternet = Scatternet(env)
+        build_env = scatternet.clock.env
+
+    interference_field = None
+    interferers: List[str] = []
+    compiled: Dict[str, CompiledPiconet] = {}
+    for piconet_spec in spec.piconets:
+        channel = channel_overrides.get(piconet_spec.name)
+        if channel is None:
+            if spec.interference is not None:
+                interference_field, interferers, channel = \
+                    _compile_interference(spec.interference,
+                                          piconet_spec.channel, seed)
+            else:
+                channel = compile_channel(piconet_spec.channel, seed)
+        compiled[piconet_spec.name] = _compile_piconet(
+            piconet_spec, seed, build_env, channel)
+        if scatternet is not None:
+            scatternet.adopt_piconet(piconet_spec.name,
+                                     compiled[piconet_spec.name].piconet)
+
+    bridges: List[BridgeNode] = []
+    for bridge_spec in spec.bridges:
+        bridges.append(scatternet.add_bridge(
+            bridge_spec.name, bridge_spec.schedule(),
+            bridge_spec.piconet_a, bridge_spec.slave_a,
+            bridge_spec.piconet_b, bridge_spec.slave_b,
+            negotiated=bridge_spec.negotiated))
+
+    environment = build_env if build_env is not None \
+        else next(iter(compiled.values())).piconet.env
+    return CompiledScenario(
+        spec=spec, seed=seed, piconets=compiled, env=environment,
+        scatternet=scatternet, interference_field=interference_field,
+        interferers=interferers, bridges=bridges)

@@ -1,0 +1,245 @@
+"""Declarative spec mutation: dotted-path overrides with type coercion.
+
+Sweep grids and the CLI's ``--set`` flag mutate scenario specs by *path*
+instead of threading new keyword arguments through every layer::
+
+    apply_overrides(spec, {"channel.ber": 1e-4})
+    apply_overrides(spec, {"piconets.0.flows.2.delay_bound": 0.03})
+    apply_overrides(spec, {"A.improvements.variable_interval": False})
+
+Paths anchor at the :class:`~repro.scenario.specs.ScenarioSpec`; as a
+convenience, a leading segment that names a piconet routes into it, and —
+for single-piconet scenarios — a leading segment that is a
+:class:`~repro.scenario.specs.PiconetSpec` field routes into the only
+piconet (so ``channel.ber`` means ``piconets.0.channel.ber``).  Tuple
+fields are indexed numerically (``flows.2``).  Values are coerced to the
+target's type where the intent is unambiguous (int -> float, JSON list ->
+tuple, integral float -> int); everything else — unknown paths, bad
+indices, impossible coercions — raises ``ValueError`` with the known
+field names, which the experiments CLI turns into a clean ``SystemExit``.
+
+Every mutation rebuilds the frozen dataclass chain via
+``dataclasses.replace``, so the specs' construction-time validation
+re-runs on the mutated result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Mapping
+
+from repro.scenario.specs import PiconetSpec, ScenarioSpec
+
+
+def _coerce(value: Any, current: Any, path: str) -> Any:
+    """Coerce ``value`` toward the type of the field's current value."""
+    if dataclasses.is_dataclass(current):
+        # a nested spec object is replaced wholesale by its serialized form
+        if isinstance(value, Mapping):
+            return type(current).from_dict(value)
+        raise ValueError(
+            f"cannot set {path!r}: expected a {type(current).__name__} "
+            f"mapping, got {value!r}")
+    if isinstance(current, tuple) and current \
+            and dataclasses.is_dataclass(current[0]):
+        # a tuple of spec objects (flows, sco_links, ...) accepts a list
+        # of serialized mappings of the same spec class
+        element_cls = type(current[0])
+        if not isinstance(value, (list, tuple)) or not all(
+                isinstance(item, Mapping) for item in value):
+            raise ValueError(
+                f"cannot set {path!r}: expected a list of "
+                f"{element_cls.__name__} mappings, got {value!r}")
+        return tuple(element_cls.from_dict(item) for item in value)
+    if isinstance(value, list):
+        value = tuple(_coerce_sequence_item(item) for item in value)
+    if current is None or value is None:
+        return value
+    if isinstance(current, bool):
+        if isinstance(value, bool):
+            return value
+        raise ValueError(
+            f"cannot set {path!r}: expected a bool, got {value!r}")
+    if isinstance(current, float):
+        if isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if not isinstance(value, float):
+            raise ValueError(
+                f"cannot set {path!r}: expected a number, got {value!r}")
+        return value
+    if isinstance(current, int) and not isinstance(current, bool) \
+            and isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        raise ValueError(
+            f"cannot set {path!r}: expected an integer, got {value!r}")
+    if isinstance(current, str) and not isinstance(value, str):
+        raise ValueError(
+            f"cannot set {path!r}: expected a string, got {value!r}")
+    if isinstance(current, tuple) and not isinstance(value, tuple):
+        raise ValueError(
+            f"cannot set {path!r}: expected a list, got {value!r}")
+    return value
+
+
+def _coerce_sequence_item(item: Any) -> Any:
+    return tuple(_coerce_sequence_item(inner) for inner in item) \
+        if isinstance(item, list) else item
+
+
+def _set_on(obj: Any, segments: list, value: Any, path: str) -> Any:
+    """Return a copy of ``obj`` with ``segments`` replaced by ``value``."""
+    head, rest = segments[0], segments[1:]
+    if dataclasses.is_dataclass(obj):
+        names = [spec_field.name for spec_field in dataclasses.fields(obj)]
+        if head not in names:
+            raise ValueError(
+                f"cannot set {path!r}: {type(obj).__name__} has no field "
+                f"{head!r}; known: {', '.join(names)}")
+        current = getattr(obj, head)
+        replacement = _set_on(current, rest, value, path) if rest \
+            else _coerce(value, current, path)
+        try:
+            return dataclasses.replace(obj, **{head: replacement})
+        except ValueError as error:
+            raise ValueError(f"cannot set {path!r}: {error}") from None
+        except (AttributeError, TypeError) as error:
+            # a replacement value the spec's own validation chokes on
+            # (wrong shape inside a container, unexpected type) must still
+            # surface as a clean one-line error, never a traceback
+            raise ValueError(
+                f"cannot set {path!r}: invalid value {value!r} "
+                f"({error})") from None
+    if isinstance(obj, tuple):
+        try:
+            index = int(head)
+        except ValueError:
+            raise ValueError(
+                f"cannot set {path!r}: {head!r} is not an index into a "
+                f"sequence of {len(obj)} element(s)") from None
+        if not 0 <= index < len(obj):
+            raise ValueError(
+                f"cannot set {path!r}: index {index} out of range for "
+                f"{len(obj)} element(s)")
+        element = obj[index]
+        replacement = _set_on(element, rest, value, path) if rest \
+            else _coerce(value, element, path)
+        return obj[:index] + (replacement,) + obj[index + 1:]
+    raise ValueError(
+        f"cannot set {path!r}: cannot descend into a "
+        f"{type(obj).__name__} value with segment {head!r}")
+
+
+def _anchor(spec: ScenarioSpec, path: str) -> str:
+    """Resolve the convenience anchors of a path's first segment."""
+    head = path.split(".", 1)[0]
+    scenario_fields = {f.name for f in dataclasses.fields(ScenarioSpec)}
+    if head in scenario_fields:
+        return path
+    names = [piconet.name for piconet in spec.piconets]
+    if head in names:
+        index = names.index(head)
+        rest = path.split(".", 1)
+        if len(rest) == 1:
+            raise ValueError(
+                f"cannot set {path!r}: a piconet name needs a field after "
+                f"it (e.g. {head}.channel.ber)")
+        return f"piconets.{index}.{rest[1]}"
+    piconet_fields = {f.name for f in dataclasses.fields(PiconetSpec)}
+    if head in piconet_fields and len(spec.piconets) == 1:
+        return f"piconets.0.{path}"
+    known = sorted(scenario_fields | set(names)
+                   | (piconet_fields if len(spec.piconets) == 1 else set()))
+    raise ValueError(
+        f"unknown scenario field {head!r} in override {path!r}; known "
+        f"anchors: {', '.join(known)}")
+
+
+def override_spec(spec: ScenarioSpec, path: str, value: Any) -> ScenarioSpec:
+    """One dotted-path override applied to ``spec`` (returns a new spec)."""
+    resolved = _anchor(spec, path)
+    return _set_on(spec, resolved.split("."), value, path)
+
+
+def apply_overrides(spec: ScenarioSpec,
+                    overrides: Mapping[str, Any]) -> ScenarioSpec:
+    """Apply every ``path -> value`` override, in sorted path order."""
+    for path in sorted(overrides):
+        spec = override_spec(spec, path, overrides[path])
+    return spec
+
+
+#: reserved sweep-parameter key carrying a serialized ScenarioSpec dict
+SCENARIO_PARAM = "scenario"
+
+
+def split_spec_overrides(params: Mapping[str, Any]):
+    """Separate a point's plain parameters from its dotted spec overrides."""
+    plain = {key: value for key, value in params.items() if "." not in key}
+    dotted = {key: value for key, value in params.items() if "." in key}
+    return plain, dotted
+
+
+def _path_matches(pattern: str, key: str) -> bool:
+    """Whether dotted ``key`` equals or refines ``pattern``.
+
+    Patterns are dotted prefixes whose ``*`` segments match any one
+    segment: ``flows.*.delay_bound`` matches ``flows.3.delay_bound`` and
+    anything deeper under it.
+    """
+    pattern_parts = pattern.split(".")
+    key_parts = key.split(".")
+    if len(key_parts) < len(pattern_parts):
+        return False
+    return all(expected in ("*", actual)
+               for expected, actual in zip(pattern_parts, key_parts))
+
+
+def forbid_overrides(params: Mapping[str, Any],
+                     forbidden: Mapping[str, str]) -> None:
+    """Reject dotted overrides of spec fields an experiment's own sweep
+    axis controls.
+
+    Drivers whose point parameters map onto spec fields (every driver's
+    swept axis does — ``figure5`` turns ``delay_requirement`` into the GS
+    flows' ``delay_bound``) call this so a dotted ``--set`` of that field
+    fails loudly instead of silently collapsing the contrast the rows are
+    labelled by.  ``forbidden`` maps a path pattern (``*`` matches one
+    segment; see :func:`_path_matches`) to the parameter that owns it.
+    """
+    for key in sorted(params):
+        if "." not in key:
+            continue
+        for pattern, owner in forbidden.items():
+            if _path_matches(pattern, key):
+                raise ValueError(
+                    f"override {key!r} clashes with this experiment's own "
+                    f"{owner}; set that parameter instead of the spec "
+                    f"field")
+
+
+def resolve_point_spec(params: Mapping[str, Any],
+                       factory: Callable[[Mapping[str, Any]], ScenarioSpec]
+                       ) -> ScenarioSpec:
+    """The :class:`ScenarioSpec` of one sweep point.
+
+    The spec comes from the point's serialized ``"scenario"`` payload when
+    present (plain dicts are what execution backends ship across process
+    boundaries), otherwise from ``factory(params)``; dotted-path keys in
+    ``params`` are then applied as declarative overrides.  This is the
+    single resolution path shared by every spec-backed experiment driver
+    and the CLI's ``--set`` machinery.
+    """
+    payload = params.get(SCENARIO_PARAM)
+    if payload is not None:
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"the {SCENARIO_PARAM!r} parameter must be a serialized "
+                f"ScenarioSpec dict, got {payload!r}")
+        spec = ScenarioSpec.from_dict(payload)
+    else:
+        spec = factory(params)
+    _plain, dotted = split_spec_overrides(params)
+    if dotted:
+        spec = apply_overrides(spec, dotted)
+    return spec

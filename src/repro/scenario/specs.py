@@ -1,0 +1,642 @@
+"""Typed, serializable scenario descriptions.
+
+A :class:`ScenarioSpec` is *data*: a frozen, validated, JSON-round-trippable
+description of everything a simulation run needs — piconets with their
+declarative flows and SCO reservations, per-link channel models, an
+inter-piconet interference field, scatternet bridges, the poller and the
+Section-3.2 improvement toggles.  Specs replace the keyword-soup workload
+builders: sweep points mutate them declaratively (see
+:mod:`repro.scenario.overrides`), execution backends ship them across
+process boundaries as plain dicts (:meth:`ScenarioSpec.to_dict` /
+:meth:`ScenarioSpec.from_dict`), and :meth:`ScenarioSpec.compile` turns
+them into the existing runtime objects (piconet, flows, sources, GS
+manager, poller, channel map, interference field, scatternet).
+
+Validation happens at construction: every spec class checks its fields in
+``__post_init__``, so an invalid spec cannot exist — a mutated sweep point
+fails at the mutation site with a clear message, not deep inside a worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.piconet.bridge import BridgeSchedule
+from repro.piconet.flows import BE, DOWNLINK, GS, UPLINK
+
+#: channel models a :class:`ChannelSpec` may name
+CHANNEL_MODELS = ("ideal", "iid", "gilbert")
+
+#: SCO packet types a :class:`ScoSpec` may reserve
+SCO_PACKET_TYPES = ("HV1", "HV2", "HV3")
+
+#: baseline poller kinds (the Section-3 survey; see
+#: :data:`repro.scenario.compile.BASELINE_POLLER_FACTORIES`)
+BASELINE_POLLER_KINDS = (
+    "pure-round-robin",
+    "limited-round-robin",
+    "exhaustive",
+    "fep",
+    "edc",
+    "hol-priority",
+    "demand-based",
+)
+
+#: every poller kind a :class:`PollerSpec` may name
+POLLER_KINDS = ("pfp", "round_robin", "none") + BASELINE_POLLER_KINDS
+
+#: declarative packet size: a fixed size or an inclusive ``(min, max)``
+#: range drawn uniformly per packet (the distinction matters: a range
+#: consumes one RNG draw per packet even when ``min == max``)
+SizeSpec = Union[int, Tuple[int, int]]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def _reject_unknown(cls, data: Mapping[str, Any]) -> None:
+    known = {spec_field.name for spec_field in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} field(s) {unknown}; "
+            f"known: {', '.join(sorted(known))}")
+
+
+def _plain(value: Any) -> Any:
+    """Render one field value as JSON-compatible plain data."""
+    if is_dataclass(value):
+        return value.to_dict()
+    if isinstance(value, tuple):
+        return [_plain(item) for item in value]
+    return value
+
+
+def _spec_dict(spec) -> Dict[str, Any]:
+    """The canonical plain-dict rendering of a spec dataclass."""
+    return {spec_field.name: _plain(getattr(spec, spec_field.name))
+            for spec_field in fields(spec)}
+
+
+def _tuple_of(values: Optional[Sequence], what: str) -> tuple:
+    if values is None:
+        return ()
+    if isinstance(values, (str, bytes)):
+        raise ValueError(f"{what} must be a sequence, got {values!r}")
+    return tuple(values)
+
+
+@dataclass(frozen=True)
+class ImprovementsSpec:
+    """The Section-3.2 poller improvements and admission options."""
+
+    variable_interval: bool = True
+    piggyback_aware: bool = True
+    postpone_by_packet_size: bool = True
+    postpone_after_unsuccessful: bool = True
+    skip_when_no_downlink_data: bool = True
+
+    def __post_init__(self) -> None:
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            _require(isinstance(value, bool),
+                     f"ImprovementsSpec.{spec_field.name} must be a bool, "
+                     f"got {value!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _spec_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ImprovementsSpec":
+        _reject_unknown(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class PollerSpec:
+    """Which intra-piconet scheduler serves the ACL traffic.
+
+    ``kind`` is ``"pfp"`` (the paper's Predictive Fair Poller over the
+    Guaranteed Service manager), ``"round_robin"`` (a plain
+    ``PureRoundRobinPoller``, optionally restricted to ``only_slaves``),
+    ``"none"`` (no ACL scheduling — SCO-only piconets), or one of the
+    surveyed baselines (:data:`BASELINE_POLLER_KINDS`).  A baseline kind on
+    a piconet with admission-controlled flows still runs the admission
+    control (and constructs the PFP it would drive) before the baseline
+    poller replaces it — exactly the ``baseline_comparison`` methodology.
+    """
+
+    kind: str = "pfp"
+    only_slaves: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        _require(self.kind in POLLER_KINDS,
+                 f"unknown poller kind {self.kind!r}; known: "
+                 f"{', '.join(POLLER_KINDS)}")
+        if self.only_slaves is not None:
+            object.__setattr__(self, "only_slaves",
+                               _tuple_of(self.only_slaves, "only_slaves"))
+            _require(self.kind == "round_robin",
+                     "only_slaves is only meaningful for the round_robin "
+                     f"poller, not {self.kind!r}")
+            _require(all(isinstance(s, int) and 1 <= s <= 7
+                         for s in self.only_slaves),
+                     f"only_slaves must be AM addresses in 1..7, got "
+                     f"{self.only_slaves!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _spec_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PollerSpec":
+        _reject_unknown(cls, data)
+        data = dict(data)
+        if data.get("only_slaves") is not None:
+            data["only_slaves"] = tuple(data["only_slaves"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """The radio environment of one piconet's links.
+
+    ``model`` selects the error process of every ``(slave, direction)``
+    link, each independently seeded from the compile seed's
+    ``RandomStreams(seed).child(stream)`` substream family:
+
+    * ``"ideal"`` — the paper's assumption: no transmission errors.
+    * ``"iid"`` — independent bit errors at ``ber``; with
+      ``slave_ber_scale``, per-slave multipliers on ``ber`` model
+      heterogeneous link quality (both directions of a slave share the
+      multiplier but keep independent error streams).
+    * ``"gilbert"`` — a per-link Gilbert-Elliott burst process whose
+      long-run mean BER equals ``ber``: the bad state holds
+      ``stationary_bad`` of the time with mean dwell ``1 / p_bg`` slots
+      and BER ``min(1, ber / stationary_bad)``; the good state is clean.
+
+    A non-ideal model with ``ber <= 0`` compiles to the ideal channel
+    (``None`` — no channel map is constructed at all), matching the
+    historical drivers' fast path for error-free sweep points.
+    """
+
+    model: str = "ideal"
+    ber: float = 0.0
+    p_bg: float = 0.02
+    stationary_bad: float = 0.1
+    slave_ber_scale: Tuple[Tuple[int, float], ...] = ()
+    stream: str = "channel-map"
+
+    def __post_init__(self) -> None:
+        _require(self.model in CHANNEL_MODELS,
+                 f"unknown channel model {self.model!r}; known: "
+                 f"{', '.join(CHANNEL_MODELS)}")
+        _require(0.0 <= self.ber <= 1.0,
+                 f"ber must lie within [0, 1], got {self.ber}")
+        _require(0.0 < self.p_bg <= 1.0,
+                 f"p_bg must lie within (0, 1], got {self.p_bg}")
+        _require(0.0 < self.stationary_bad < 1.0,
+                 f"stationary_bad must lie strictly within (0, 1), got "
+                 f"{self.stationary_bad}")
+        object.__setattr__(
+            self, "slave_ber_scale",
+            tuple((slave, scale)
+                  for slave, scale in _tuple_of(self.slave_ber_scale,
+                                                "slave_ber_scale")))
+        if self.slave_ber_scale:
+            _require(self.model == "iid",
+                     "slave_ber_scale only applies to the iid model, not "
+                     f"{self.model!r}")
+            slaves = [slave for slave, _scale in self.slave_ber_scale]
+            _require(all(isinstance(s, int) and 1 <= s <= 7 for s in slaves),
+                     f"slave_ber_scale slaves must lie in 1..7, got {slaves}")
+            _require(len(set(slaves)) == len(slaves),
+                     f"slave_ber_scale slaves must not repeat: {slaves}")
+            _require(all(scale >= 0 for _slave, scale in self.slave_ber_scale),
+                     "slave_ber_scale multipliers cannot be negative")
+        _require(bool(self.stream),
+                 "stream must name a RandomStreams substream")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _spec_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChannelSpec":
+        _reject_unknown(cls, data)
+        data = dict(data)
+        if "slave_ber_scale" in data:
+            data["slave_ber_scale"] = tuple(
+                (int(slave), float(scale))
+                for slave, scale in data["slave_ber_scale"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One unidirectional traffic flow and its (optional) CBR source.
+
+    ``interval_s``/``size`` describe the source: one packet of ``size``
+    bytes (or drawn uniformly from an inclusive ``(min, max)`` range) every
+    ``interval_s`` seconds.  ``interval_s=None`` registers the flow without
+    a source (e.g. a best-effort flow at offered load zero).  ``rng_stream``
+    names the source's ``RandomStreams`` stream; ``stagger`` draws a random
+    phase offset within one interval from that stream.  ``delay_bound`` or
+    ``rate`` (at most one) submits the flow to Guaranteed Service admission
+    with a token bucket derived from the source parameters
+    (``cbr_tspec(interval_s, min, max)``).
+    """
+
+    flow_id: int
+    slave: int
+    direction: str
+    traffic_class: str
+    interval_s: Optional[float] = None
+    size: Optional[SizeSpec] = None
+    allowed_types: Optional[Tuple[str, ...]] = None
+    rng_stream: Optional[str] = None
+    stagger: bool = False
+    delay_bound: Optional[float] = None
+    rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.flow_id, int) and self.flow_id > 0,
+                 f"flow_id must be a positive integer, got {self.flow_id!r}")
+        _require(self.direction in (UPLINK, DOWNLINK),
+                 f"direction must be {UPLINK!r} or {DOWNLINK!r}, got "
+                 f"{self.direction!r}")
+        _require(self.traffic_class in (GS, BE),
+                 f"traffic_class must be {GS!r} or {BE!r}, got "
+                 f"{self.traffic_class!r}")
+        _require(isinstance(self.slave, int) and 1 <= self.slave <= 7,
+                 f"slave AM address must lie in 1..7, got {self.slave!r}")
+        if self.allowed_types is not None:
+            object.__setattr__(self, "allowed_types",
+                               _tuple_of(self.allowed_types, "allowed_types"))
+            _require(bool(self.allowed_types),
+                     "allowed_types may not be empty (use None to inherit "
+                     "the piconet default)")
+        if isinstance(self.size, list):
+            object.__setattr__(self, "size", tuple(self.size))
+        if self.interval_s is None:
+            _require(self.size is None,
+                     "size without interval_s describes no source; set both "
+                     "or neither")
+            _require(not self.stagger,
+                     "stagger needs a source (set interval_s)")
+        else:
+            _require(self.interval_s > 0,
+                     f"interval_s must be positive, got {self.interval_s}")
+            _require(self.size is not None,
+                     "a source needs a packet size (set size)")
+            if isinstance(self.size, tuple):
+                _require(len(self.size) == 2
+                         and 0 < self.size[0] <= self.size[1],
+                         f"size range needs 0 < min <= max, got {self.size}")
+            else:
+                _require(isinstance(self.size, int) and self.size > 0,
+                         f"size must be a positive byte count or a "
+                         f"(min, max) range, got {self.size!r}")
+        _require(not (self.stagger and self.rng_stream is None),
+                 "stagger draws its phase offset from rng_stream; name one")
+        _require(self.delay_bound is None or self.rate is None,
+                 "specify at most one of delay_bound / rate")
+        if self.delay_bound is not None or self.rate is not None:
+            _require(self.traffic_class == GS,
+                     "only GS flows undergo Guaranteed Service admission")
+            _require(self.interval_s is not None,
+                     "admission derives the token bucket from the source; "
+                     "set interval_s and size")
+            if self.delay_bound is not None:
+                _require(self.delay_bound > 0,
+                         f"delay_bound must be positive, got "
+                         f"{self.delay_bound}")
+            if self.rate is not None:
+                _require(self.rate > 0,
+                         f"rate must be positive, got {self.rate}")
+
+    @property
+    def gs_managed(self) -> bool:
+        """Whether the flow undergoes Guaranteed Service admission."""
+        return self.delay_bound is not None or self.rate is not None
+
+    @property
+    def size_bounds(self) -> Tuple[int, int]:
+        """The source's (min, max) packet size in bytes."""
+        if isinstance(self.size, tuple):
+            return self.size
+        return (self.size, self.size)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = _spec_dict(self)
+        if isinstance(self.size, tuple):
+            data["size"] = list(self.size)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FlowSpec":
+        _reject_unknown(cls, data)
+        data = dict(data)
+        if isinstance(data.get("size"), (list, tuple)):
+            data["size"] = tuple(int(bound) for bound in data["size"])
+        if data.get("allowed_types") is not None:
+            data["allowed_types"] = tuple(data["allowed_types"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScoSpec:
+    """One reserved SCO voice link on a slave.
+
+    The bound uplink/downlink flows (by id) must live on the same slave and
+    use the SCO packet type as their only allowed type, so segmentation
+    matches the reserved packet size.
+    """
+
+    slave: int
+    packet_type: str = "HV3"
+    dl_flow_id: Optional[int] = None
+    ul_flow_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.slave, int) and 1 <= self.slave <= 7,
+                 f"slave AM address must lie in 1..7, got {self.slave!r}")
+        _require(self.packet_type in SCO_PACKET_TYPES,
+                 f"packet_type must be one of {', '.join(SCO_PACKET_TYPES)}, "
+                 f"got {self.packet_type!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _spec_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScoSpec":
+        _reject_unknown(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class PiconetSpec:
+    """One piconet: slaves, flows, SCO reservations, channel and poller.
+
+    ``rng_namespace`` scopes the piconet's source streams to a
+    ``RandomStreams(seed).child(namespace)`` family, so several piconets of
+    one scenario draw from disjoint stream families (the bridge scenario's
+    piconet B uses ``"piconet-b"``); ``None`` keeps the root family.
+    """
+
+    name: str = "piconet"
+    slaves: Tuple[str, ...] = ("S1", "S2", "S3", "S4", "S5", "S6", "S7")
+    flows: Tuple[FlowSpec, ...] = ()
+    sco_links: Tuple[ScoSpec, ...] = ()
+    allowed_types: Tuple[str, ...] = ("DH1", "DH3")
+    adaptive_segmentation: bool = False
+    robust_types: Tuple[str, ...] = ("DM1", "DM3")
+    align_even_slots: bool = True
+    channel: ChannelSpec = ChannelSpec()
+    poller: PollerSpec = PollerSpec()
+    improvements: ImprovementsSpec = ImprovementsSpec()
+    rng_namespace: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "a piconet needs a non-empty name")
+        for attribute in ("slaves", "flows", "sco_links", "allowed_types",
+                          "robust_types"):
+            object.__setattr__(self, attribute,
+                               _tuple_of(getattr(self, attribute), attribute))
+        _require(1 <= len(self.slaves) <= 7,
+                 f"a piconet holds 1..7 slaves, got {len(self.slaves)}")
+        _require(bool(self.allowed_types), "allowed_types may not be empty")
+        flow_ids = [flow.flow_id for flow in self.flows]
+        _require(len(set(flow_ids)) == len(flow_ids),
+                 f"flow ids must be unique, got {flow_ids}")
+        for flow in self.flows:
+            _require(flow.slave <= len(self.slaves),
+                     f"flow {flow.flow_id} addresses slave {flow.slave} but "
+                     f"the piconet has {len(self.slaves)} slave(s)")
+        by_id = {flow.flow_id: flow for flow in self.flows}
+        sco_slaves = [sco.slave for sco in self.sco_links]
+        _require(len(set(sco_slaves)) == len(sco_slaves),
+                 f"at most one SCO link per slave, got {sco_slaves}")
+        for sco in self.sco_links:
+            _require(sco.slave <= len(self.slaves),
+                     f"SCO link addresses slave {sco.slave} but the piconet "
+                     f"has {len(self.slaves)} slave(s)")
+            for flow_id in (sco.dl_flow_id, sco.ul_flow_id):
+                if flow_id is None:
+                    continue
+                _require(flow_id in by_id,
+                         f"SCO link on slave {sco.slave} binds unknown flow "
+                         f"id {flow_id}")
+                _require(by_id[flow_id].slave == sco.slave,
+                         f"SCO-bound flow {flow_id} lives on slave "
+                         f"{by_id[flow_id].slave}, not {sco.slave}")
+
+    @property
+    def sco_flow_ids(self) -> Tuple[int, ...]:
+        """Flow ids carried over SCO reservations, in flow order."""
+        bound = {flow_id for sco in self.sco_links
+                 for flow_id in (sco.dl_flow_id, sco.ul_flow_id)
+                 if flow_id is not None}
+        return tuple(flow.flow_id for flow in self.flows
+                     if flow.flow_id in bound)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _spec_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PiconetSpec":
+        _reject_unknown(cls, data)
+        data = dict(data)
+        for attribute in ("slaves", "allowed_types", "robust_types"):
+            if attribute in data:
+                data[attribute] = tuple(data[attribute])
+        if "flows" in data:
+            data["flows"] = tuple(FlowSpec.from_dict(flow)
+                                  for flow in data["flows"])
+        if "sco_links" in data:
+            data["sco_links"] = tuple(ScoSpec.from_dict(sco)
+                                      for sco in data["sco_links"])
+        if isinstance(data.get("channel"), Mapping):
+            data["channel"] = ChannelSpec.from_dict(data["channel"])
+        if isinstance(data.get("poller"), Mapping):
+            data["poller"] = PollerSpec.from_dict(data["poller"])
+        if isinstance(data.get("improvements"), Mapping):
+            data["improvements"] = ImprovementsSpec.from_dict(
+                data["improvements"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class InterferenceSpec:
+    """Co-located piconets modelled as an interference field.
+
+    The scenario's (single) simulated piconet registers as ``victim`` with
+    duty cycle 1.0; every entry of ``interferer_duties`` registers one
+    co-located piconet with that duty cycle.  The victim's links compose
+    their base channel (the piconet's :class:`ChannelSpec`) with the
+    field's hop-collision BER through ``InterferenceAwareChannel``.
+    """
+
+    victim: str = "victim"
+    interferer_duties: Tuple[float, ...] = ()
+    ber_per_collision: Optional[float] = None
+    stream: str = "interference"
+    map_stream: str = "channel-map"
+
+    def __post_init__(self) -> None:
+        _require(bool(self.victim), "the victim piconet needs a name")
+        object.__setattr__(self, "interferer_duties",
+                           _tuple_of(self.interferer_duties,
+                                     "interferer_duties"))
+        _require(all(0.0 <= duty <= 1.0 for duty in self.interferer_duties),
+                 f"interferer duty cycles must lie within [0, 1], got "
+                 f"{self.interferer_duties!r}")
+        if self.ber_per_collision is not None:
+            _require(0.0 < self.ber_per_collision <= 1.0,
+                     f"ber_per_collision must lie within (0, 1], got "
+                     f"{self.ber_per_collision}")
+        _require(bool(self.stream) and bool(self.map_stream),
+                 "stream and map_stream must name RandomStreams substreams")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _spec_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "InterferenceSpec":
+        _reject_unknown(cls, data)
+        data = dict(data)
+        if "interferer_duties" in data:
+            data["interferer_duties"] = tuple(data["interferer_duties"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class BridgeSpec:
+    """One scatternet bridge time-sharing two of the scenario's piconets.
+
+    ``negotiated`` models a hold agreement the masters know about: instead
+    of burning a transaction's slots on a guaranteed failure, a master
+    skips planned polls to the absent bridge (counted as
+    ``bridge_skipped_polls`` in the slot accounting) and retries once the
+    bridge is back.
+    """
+
+    piconet_a: str = "A"
+    slave_a: int = 3
+    piconet_b: str = "B"
+    slave_b: int = 1
+    share_a: float = 0.5
+    period_slots: int = 96
+    switch_slots: int = 2
+    negotiated: bool = False
+    name: str = "bridge"
+
+    def __post_init__(self) -> None:
+        for label, slave in (("slave_a", self.slave_a),
+                             ("slave_b", self.slave_b)):
+            _require(isinstance(slave, int) and 1 <= slave <= 7,
+                     f"{label} must be an AM address in 1..7, got {slave!r}")
+        _require(self.piconet_a != self.piconet_b,
+                 "a bridge links two distinct piconets")
+        _require(bool(self.name), "a bridge needs a non-empty name")
+        # delegate the time-division constraints (period, share, guards) to
+        # the schedule's own validation so the messages stay in one place
+        self.schedule()
+
+    def schedule(self) -> BridgeSchedule:
+        """The validated time-division policy of this bridge."""
+        return BridgeSchedule(period_slots=self.period_slots,
+                              share_a=self.share_a,
+                              switch_slots=self.switch_slots)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _spec_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BridgeSpec":
+        _reject_unknown(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, serializable scenario: piconets, interference, bridges.
+
+    ``compile(seed, env=None)`` produces the runtime objects (see
+    :mod:`repro.scenario.compile`); ``to_dict``/``from_dict`` round-trip
+    the spec through plain JSON-compatible data.
+    """
+
+    piconets: Tuple[PiconetSpec, ...] = (PiconetSpec(),)
+    interference: Optional[InterferenceSpec] = None
+    bridges: Tuple[BridgeSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "piconets",
+                           _tuple_of(self.piconets, "piconets"))
+        object.__setattr__(self, "bridges",
+                           _tuple_of(self.bridges, "bridges"))
+        _require(bool(self.piconets), "a scenario needs at least one piconet")
+        names = [piconet.name for piconet in self.piconets]
+        _require(len(set(names)) == len(names),
+                 f"piconet names must be unique, got {names}")
+        by_name = {piconet.name: piconet for piconet in self.piconets}
+        for bridge in self.bridges:
+            for role, name, slave in (("A", bridge.piconet_a, bridge.slave_a),
+                                      ("B", bridge.piconet_b,
+                                       bridge.slave_b)):
+                _require(name in by_name,
+                         f"bridge {bridge.name!r} residency {role} names "
+                         f"unknown piconet {name!r}; known: "
+                         f"{', '.join(sorted(by_name))}")
+                _require(slave <= len(by_name[name].slaves),
+                         f"bridge {bridge.name!r} residency {role} addresses "
+                         f"slave {slave} but piconet {name!r} has "
+                         f"{len(by_name[name].slaves)} slave(s)")
+        if self.interference is not None:
+            _require(len(self.piconets) == 1,
+                     "an interference field currently applies to a "
+                     "single-piconet scenario (the victim); model the other "
+                     "piconets as interferer duty cycles")
+            _require(self.interference.victim == self.piconets[0].name,
+                     f"interference.victim "
+                     f"{self.interference.victim!r} must name the "
+                     f"scenario's piconet {self.piconets[0].name!r} (so "
+                     f"dotted overrides can anchor at it)")
+
+    def piconet(self, name: str) -> PiconetSpec:
+        """The piconet spec called ``name``."""
+        for piconet in self.piconets:
+            if piconet.name == name:
+                return piconet
+        known = ", ".join(p.name for p in self.piconets)
+        raise KeyError(f"unknown piconet {name!r}; known: {known}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "piconets": [piconet.to_dict() for piconet in self.piconets],
+            "interference": (self.interference.to_dict()
+                             if self.interference is not None else None),
+            "bridges": [bridge.to_dict() for bridge in self.bridges],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        _reject_unknown(cls, data)
+        piconets = tuple(PiconetSpec.from_dict(piconet)
+                         for piconet in data.get("piconets", ()))
+        interference = data.get("interference")
+        if isinstance(interference, Mapping):
+            interference = InterferenceSpec.from_dict(interference)
+        bridges = tuple(BridgeSpec.from_dict(bridge)
+                        for bridge in data.get("bridges", ()))
+        return cls(piconets=piconets, interference=interference,
+                   bridges=bridges)
+
+    def compile(self, seed: int, env=None, channel_overrides=None):
+        """Build the runtime objects of this scenario (see
+        :func:`repro.scenario.compile.compile_scenario`)."""
+        from repro.scenario.compile import compile_scenario
+        return compile_scenario(self, seed, env=env,
+                                channel_overrides=channel_overrides)

@@ -1,4 +1,4 @@
-"""Multi-piconet workloads: interference victims and scatternet bridges.
+"""Multi-piconet workloads (deprecated builder shims).
 
 Two scenario families back the inter-piconet experiment packs:
 
@@ -20,32 +20,31 @@ Two scenario families back the inter-piconet experiment packs:
   the Guaranteed Service bound breaking exactly when the bridge's absence
   exceeds the slack the admission control negotiated.  Used by
   ``bridge_split``.
+
+.. deprecated::
+    Both builders are exact-behaviour shims over the declarative scenario
+    layer: prefer :func:`repro.scenario.interfered_be_spec` /
+    :func:`repro.scenario.bridge_split_spec` plus
+    :meth:`~repro.scenario.ScenarioSpec.compile`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.baseband.channel import ChannelFactory, LossyChannel
-from repro.baseband.interference import (
-    InterferenceField,
-    interference_channel_map,
-)
-from repro.piconet.bridge import BridgeNode, BridgeSchedule
-from repro.piconet.flows import BE, DOWNLINK, FlowSpec, UPLINK
-from repro.piconet.piconet import Piconet, PiconetConfig
+from repro.baseband.interference import InterferenceField
+from repro.piconet.bridge import BridgeNode
+from repro.piconet.piconet import Piconet
 from repro.piconet.scatternet import Scatternet
-from repro.sim.rng import RandomStreams
-from repro.traffic.sources import CBRSource, TrafficSource
-from repro.traffic.workloads import (
-    BE_PACKET_SIZE,
-    Figure4Scenario,
-    MultiScoScenario,
-    be_rate_bps,
-    build_figure4_scenario,
-    build_multi_sco_scenario,
+from repro.scenario.factories import (
+    BRIDGE_SLAVE_A,
+    BRIDGE_SLAVE_B,
+    bridge_split_spec,
+    interfered_be_spec,
 )
+from repro.traffic.sources import TrafficSource
+from repro.traffic.workloads import Figure4Scenario, MultiScoScenario
 
 #: name the victim piconet registers under in the interference field
 VICTIM = "victim"
@@ -95,31 +94,29 @@ def build_interfered_be_scenario(
     Each entry of ``interferer_duties`` registers one co-located piconet
     with that duty cycle; the victim's links combine an optional base BER
     with the field's hop-collision BER.
+
+    .. deprecated::
+        Exact-behaviour shim over
+        :func:`repro.scenario.interfered_be_spec`.
     """
-    streams = RandomStreams(seed)
-    field_kwargs = {} if ber_per_collision is None else \
-        {"ber_per_collision": ber_per_collision}
-    field = InterferenceField(streams=streams.child("interference"),
-                              **field_kwargs)
-    field.register(VICTIM, duty_cycle=1.0)
-    interferers = []
-    for index, duty in enumerate(interferer_duties, start=1):
-        name = f"interferer-{index}"
-        field.register(name, duty_cycle=duty)
-        interferers.append(name)
-    base_factory: Optional[ChannelFactory] = None
-    if base_bit_error_rate > 0:
-        base_factory = (lambda link, rng: LossyChannel(
-            bit_error_rate=base_bit_error_rate, rng=rng))
-    channel = interference_channel_map(
-        field, VICTIM, base_factory=base_factory,
-        streams=streams.child("channel-map"))
-    scenario = build_multi_sco_scenario(
-        acl_types=tuple(acl_types), sco_slaves=(),
-        acl_slaves=tuple(acl_slaves), acl_load_scale=acl_load_scale,
-        channel=channel, seed=seed)
-    return InterferedScenario(scenario=scenario, field=field,
-                              interferers=interferers)
+    spec = interfered_be_spec(
+        interferer_duties=interferer_duties,
+        acl_load_scale=acl_load_scale,
+        acl_types=acl_types,
+        acl_slaves=acl_slaves,
+        base_bit_error_rate=base_bit_error_rate,
+        ber_per_collision=ber_per_collision)
+    compiled = spec.compile(seed)
+    built = compiled.primary
+    return InterferedScenario(
+        scenario=MultiScoScenario(
+            piconet=built.piconet,
+            poller=built.poller,
+            be_flow_ids=built.be_flow_ids,
+            sco_flow_ids=built.sco_flow_ids,
+            sources=built.sources),
+        field=compiled.interference_field,
+        interferers=list(compiled.interferers))
 
 
 @dataclass
@@ -154,67 +151,54 @@ class BridgeSplitScenario:
         return delivered * 8 / elapsed / 1000.0
 
 
-#: AM address of the bridge inside piconet A (carries GS flow 4).
-BRIDGE_SLAVE_A = 3
-
-#: AM address of the bridge inside piconet B.
-BRIDGE_SLAVE_B = 1
-
-
 def build_bridge_split_scenario(
         bridge_share: float,
         period_slots: int = 96,
         switch_slots: int = 2,
         delay_requirement: float = 0.040,
         b_load_scale: float = 1.0,
-        seed: int = 1) -> BridgeSplitScenario:
+        seed: int = 1,
+        negotiated: bool = False) -> BridgeSplitScenario:
     """The Section-4.1 piconet with S3 bridging into a second piconet.
 
     ``bridge_share`` is the fraction of every ``period_slots``-slot cycle
     the bridge spends in piconet A (where it carries GS flow 4); the rest
     of the cycle it serves one downlink + one uplink best-effort flow as
-    the only slave of piconet B.  Neither master knows the schedule, so A's
-    admission control still negotiates flow 4's rate as if S3 were always
-    reachable — exactly the blind spot this scenario measures.
+    the only slave of piconet B.  By default neither master knows the
+    schedule, so A's admission control still negotiates flow 4's rate as
+    if S3 were always reachable — exactly the blind spot this scenario
+    measures; ``negotiated=True`` lets both masters skip planned polls to
+    the absent bridge instead of burning the slots.
+
+    .. deprecated::
+        Exact-behaviour shim over
+        :func:`repro.scenario.bridge_split_spec`.
     """
-    scatternet = Scatternet()
-    env = scatternet.clock.env
-    scenario_a = build_figure4_scenario(
-        delay_requirement=delay_requirement, seed=seed, env=env)
-    scatternet.adopt_piconet("A", scenario_a.piconet)
-
-    streams = RandomStreams(seed).child("piconet-b")
-    piconet_b = Piconet(env=env, config=PiconetConfig(name="B"))
-    scatternet.adopt_piconet("B", piconet_b)
-    piconet_b.add_slave("bridge")
-    b_specs = [
-        FlowSpec(1, slave=BRIDGE_SLAVE_B, direction=DOWNLINK,
-                 traffic_class=BE, allowed_types=("DH1", "DH3")),
-        FlowSpec(2, slave=BRIDGE_SLAVE_B, direction=UPLINK,
-                 traffic_class=BE, allowed_types=("DH1", "DH3")),
-    ]
-    for spec in b_specs:
-        piconet_b.add_flow(spec)
-    from repro.schedulers.round_robin import PureRoundRobinPoller
-    piconet_b.attach_poller(PureRoundRobinPoller())
-
-    sources_b: List[TrafficSource] = []
-    if b_load_scale > 0:
-        for spec in b_specs:
-            rate = be_rate_bps(4) * b_load_scale
-            rng = streams.stream(f"be-{spec.flow_id}")
-            interval = BE_PACKET_SIZE * 8 / rate
-            sources_b.append(CBRSource(
-                piconet_b, spec.flow_id, interval, BE_PACKET_SIZE, rng=rng,
-                start_offset=rng.uniform(0, interval)))
-
-    schedule = BridgeSchedule(period_slots=period_slots,
-                              share_a=bridge_share,
-                              switch_slots=switch_slots)
-    bridge = scatternet.add_bridge("bridge", schedule,
-                                   "A", BRIDGE_SLAVE_A,
-                                   "B", BRIDGE_SLAVE_B)
+    spec = bridge_split_spec(
+        bridge_share=bridge_share,
+        period_slots=period_slots,
+        switch_slots=switch_slots,
+        delay_requirement=delay_requirement,
+        b_load_scale=b_load_scale,
+        negotiated=negotiated)
+    compiled = spec.compile(seed)
+    built_a = compiled.piconets["A"]
+    built_b = compiled.piconets["B"]
+    scenario_a = Figure4Scenario(
+        piconet=built_a.piconet,
+        manager=built_a.manager,
+        poller=built_a.poller,
+        gs_flow_ids=built_a.gs_flow_ids,
+        be_flow_ids=built_a.be_flow_ids,
+        gs_setups=built_a.gs_setups,
+        sources=built_a.sources,
+        delay_requirement=delay_requirement,
+        slave_flows=built_a.slave_flows,
+        sco_flow_ids=built_a.sco_flow_ids)
     return BridgeSplitScenario(
-        scatternet=scatternet, scenario_a=scenario_a, piconet_b=piconet_b,
-        bridge=bridge, b_flow_ids=[spec.flow_id for spec in b_specs],
-        sources_b=sources_b)
+        scatternet=compiled.scatternet,
+        scenario_a=scenario_a,
+        piconet_b=built_b.piconet,
+        bridge=compiled.bridges[0],
+        b_flow_ids=built_b.be_flow_ids,
+        sources_b=built_b.sources)

@@ -1,4 +1,4 @@
-"""The paper's Figure-4 workload, parameterised.
+"""The paper's Figure-4 workload, parameterised (deprecated builder shims).
 
 Seven slaves and a master form a piconet.  Flows 1..4 are Guaranteed
 Service flows of 64 kbit/s each (one packet of 144..176 bytes, uniformly
@@ -12,6 +12,14 @@ uses the only assignment consistent with the reported aggregates (see
 DESIGN.md): flow 1 (slave S1) and flow 4 (slave S3) are uplink flows, flows
 2 and 3 form a downlink/uplink pair on slave S2 (so piggybacking applies),
 and every best-effort slave carries one downlink and one uplink flow.
+
+.. deprecated::
+    ``build_figure4_scenario`` and ``build_multi_sco_scenario`` are kept
+    for backward compatibility as exact-behaviour shims over the
+    declarative scenario layer: prefer
+    :func:`repro.scenario.figure4_spec` / :func:`repro.scenario.
+    multi_sco_spec` plus :meth:`~repro.scenario.ScenarioSpec.compile`,
+    which yield the same runtime objects from a typed, serializable spec.
 """
 
 from __future__ import annotations
@@ -21,44 +29,38 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.baseband.channel import Channel, ChannelMap
 from repro.baseband.constants import SLOT_SECONDS
-from repro.baseband.packets import max_transaction_slots
 from repro.core.gs_manager import GSFlowSetup, GuaranteedServiceManager
 from repro.core.pfp import PredictiveFairPoller
 from repro.core.token_bucket import TSpec, cbr_tspec
-from repro.piconet.flows import BE, DOWNLINK, FlowSpec, GS, UPLINK
-from repro.piconet.piconet import Piconet, PiconetConfig
+from repro.piconet.flows import DOWNLINK, UPLINK
+from repro.piconet.piconet import Piconet
+from repro.scenario.factories import (
+    ALLOWED_TYPES,
+    BE_PACKET_SIZE,
+    BE_RATES_BPS,
+    BE_RATE_CYCLE_BPS,
+    GS_MAX_PACKET,
+    GS_MIN_PACKET,
+    GS_PACKET_INTERVAL_S,
+    SCO_VOICE_INTERVAL_S,
+    SCO_VOICE_PACKET,
+    be_rate_bps,
+    figure4_spec,
+    multi_sco_spec,
+)
 from repro.sim.engine import Environment
-from repro.sim.rng import RandomStreams
-from repro.traffic.sources import CBRSource, TrafficSource
-
-#: GS source parameters of Section 4.1.
-GS_PACKET_INTERVAL_S = 0.020
-GS_MIN_PACKET = 144
-GS_MAX_PACKET = 176
-
-#: Best-effort source parameters of Section 4.1: rate per flow, by slave.
-BE_RATES_BPS = {4: 41_600, 5: 47_200, 6: 52_800, 7: 58_400}
-BE_PACKET_SIZE = 176
-
-#: The Section 4.1 best-effort rates as a cycle, so scenarios that put BE
-#: flows on other slaves (heavy piconets) reuse the paper's load mix.
-BE_RATE_CYCLE_BPS = (41_600, 47_200, 52_800, 58_400)
-
-#: SCO voice parameters for mixed SCO+GS workloads: 150-byte frames every
-#: 18.75 ms are exactly 64 kbit/s and map onto whole HV3 packets (5 x 30 B).
-SCO_VOICE_INTERVAL_S = 0.01875
-SCO_VOICE_PACKET = 150
-
-
-def be_rate_bps(slave: int) -> float:
-    """The Section-4.1 best-effort rate of ``slave`` (rates cycle 4..7)."""
-    return BE_RATES_BPS.get(slave, BE_RATE_CYCLE_BPS[(slave - 4) % 4])
-
-#: Packet types allowed in the Section 4.1 scenario.
-ALLOWED_TYPES = ("DH1", "DH3")
+from repro.traffic.sources import TrafficSource
 
 #: Longest transaction in the scenario: DH3 downlink + DH3 uplink.
 MAX_TRANSACTION_SECONDS = 6 * SLOT_SECONDS
+
+__all__ = [
+    "ALLOWED_TYPES", "BE_PACKET_SIZE", "BE_RATES_BPS", "BE_RATE_CYCLE_BPS",
+    "GS_MAX_PACKET", "GS_MIN_PACKET", "GS_PACKET_INTERVAL_S",
+    "MAX_TRANSACTION_SECONDS", "SCO_VOICE_INTERVAL_S", "SCO_VOICE_PACKET",
+    "Figure4Scenario", "MultiScoScenario", "be_rate_bps",
+    "build_figure4_scenario", "build_multi_sco_scenario", "figure4_gs_tspec",
+]
 
 
 def figure4_gs_tspec() -> TSpec:
@@ -139,185 +141,49 @@ def build_figure4_scenario(delay_requirement: Optional[float] = 0.040,
                            ) -> Figure4Scenario:
     """Build the Section 4.1 piconet, flows, sources, manager and poller.
 
-    Parameters
-    ----------
-    delay_requirement:
-        The delay bound (seconds) requested for every GS flow; the service
-        rate is negotiated from the exported error terms, exactly as a
-        Guaranteed Service receiver would.  Pass ``None`` and set
-        ``gs_rate`` to request an explicit rate instead.
-    gs_rate:
-        Explicit fluid-model rate (bytes/second) for every GS flow.
-    be_load_scale:
-        Multiplier on the best-effort offered load (1.0 = the paper's).
-    variable_interval / piggyback_aware / postpone_* / skip_*:
-        Poller configuration (see :class:`GuaranteedServiceManager`).
-    channel:
-        Radio environment: ideal when ``None`` (as in the paper), one
-        shared :class:`Channel` for every link, or a :class:`ChannelMap`
-        assigning an independent channel model per ``(slave, direction)``
-        link (heterogeneous link quality, per-link burst states).
-    stagger_sources:
-        Give each source a random phase offset within its period (the
-        worst-case analysis does not depend on phases; staggering avoids a
-        fully synchronised, atypical start).
-    be_slaves:
-        Slaves carrying one downlink + one uplink best-effort flow each
-        (default: the paper's slaves 4..7).  Heavy-piconet scenarios put
-        best-effort flows on all seven slaves — including the GS slaves
-        1..3 — with rates cycling through the paper's load mix.
-    sco_slaves:
-        Slaves carrying a reserved HV3 SCO voice link with a 64 kbit/s CBR
-        uplink voice source (mixed SCO+GS workloads).  Must be disjoint
-        from the GS slaves (1..3) and from ``be_slaves``.
-    gs_uplink_only:
-        Turn every GS flow into an uplink flow (mixed SCO+GS workloads:
-        next to an HV3 reservation only POLL+DH3 transactions fit the
-        4-slot gaps, so DH3 downlink GS flows would starve).
-    be_directions:
-        Directions of the best-effort flows per slave (default: one
-        downlink and one uplink flow each, as in the paper).
-    allowed_types:
-        ACL baseband packet types every GS/BE flow may use (default: the
-        paper's DH1+DH3).  The admission control's worst-case transaction
-        time follows the chosen set.
-    adaptive_segmentation:
-        Give every ACL flow a channel-adaptive segmentation policy that
-        falls back to DM (FEC) types when the observed per-link loss says
-        so (see :class:`~repro.baseband.segmentation.
-        ChannelAdaptiveSegmentationPolicy`).
-    env:
-        Simulation environment to build the piconet against.  Scatternet
-        scenarios pass a :class:`~repro.sim.coordination.SharedClock`'s
-        environment so several piconets co-advance on one clock; ``None``
-        keeps the historical private environment.
+    .. deprecated::
+        This is an exact-behaviour shim over
+        :func:`repro.scenario.figure4_spec` — it builds the declarative
+        spec and compiles it, so its results are byte-identical to the
+        spec path.  New code should construct the spec directly:
+        ``figure4_spec(delay_requirement=0.040).compile(seed)``.
+
+    ``channel`` accepts a pre-built :class:`Channel`/:class:`ChannelMap`
+    (the programmatic escape hatch); declarative channel models go through
+    :class:`repro.scenario.ChannelSpec` on the spec path.  ``env`` injects
+    a shared simulation environment (scatternet co-simulation).
     """
-    if (delay_requirement is None) == (gs_rate is None):
-        raise ValueError("specify exactly one of delay_requirement / gs_rate")
-    if be_load_scale < 0:
-        raise ValueError("be_load_scale cannot be negative")
-    be_slaves = tuple(be_slaves) if be_slaves is not None else (4, 5, 6, 7)
-    sco_slaves = tuple(sco_slaves)
-    if any(not 1 <= slave <= 7 for slave in (*be_slaves, *sco_slaves)):
-        raise ValueError("slaves must lie in 1..7")
-    if len(set(be_slaves)) != len(be_slaves):
-        raise ValueError("be_slaves must not repeat")
-    overlap = set(sco_slaves) & ({1, 2, 3} | set(be_slaves))
-    if overlap:
-        raise ValueError(
-            f"sco_slaves must not carry GS or BE flows: {sorted(overlap)}")
-    be_directions = tuple(be_directions)
-    if not be_directions or any(d not in (DOWNLINK, UPLINK)
-                                for d in be_directions):
-        raise ValueError(
-            f"be_directions must be a non-empty subset of "
-            f"({DOWNLINK!r}, {UPLINK!r}), got {be_directions!r}")
-
-    acl_types = tuple(allowed_types)
-    streams = RandomStreams(seed)
-    config = PiconetConfig(allowed_types=acl_types,
-                           adaptive_segmentation=adaptive_segmentation)
-    piconet = Piconet(env=env, channel=channel, config=config)
-    # the admission control must budget the worst transaction the links can
-    # actually produce: with adaptive segmentation that includes the robust
-    # (DM) types a flow may fall back to under loss
-    admission_types = acl_types + config.robust_types \
-        if adaptive_segmentation else acl_types
-    for index in range(1, 8):
-        piconet.add_slave(f"S{index}")
-
-    # -- flow specifications ----------------------------------------------------
-    gs_directions = (UPLINK, UPLINK, UPLINK, UPLINK) if gs_uplink_only \
-        else (UPLINK, DOWNLINK, UPLINK, UPLINK)
-    gs_specs = [
-        FlowSpec(1, slave=1, direction=gs_directions[0], traffic_class=GS,
-                 allowed_types=acl_types),
-        FlowSpec(2, slave=2, direction=gs_directions[1], traffic_class=GS,
-                 allowed_types=acl_types),
-        FlowSpec(3, slave=2, direction=gs_directions[2], traffic_class=GS,
-                 allowed_types=acl_types),
-        FlowSpec(4, slave=3, direction=gs_directions[3], traffic_class=GS,
-                 allowed_types=acl_types),
-    ]
-    be_specs = []
-    flow_id = 5
-    for slave in be_slaves:
-        for direction in be_directions:
-            be_specs.append(FlowSpec(flow_id, slave=slave, direction=direction,
-                                     traffic_class=BE,
-                                     allowed_types=acl_types))
-            flow_id += 1
-    sco_specs = []
-    for slave in sco_slaves:
-        sco_specs.append(FlowSpec(flow_id, slave=slave, direction=UPLINK,
-                                  traffic_class=GS, allowed_types=("HV3",)))
-        flow_id += 1
-
-    slave_flows: Dict[int, List[int]] = {}
-    for spec in gs_specs + be_specs + sco_specs:
-        piconet.add_flow(spec)
-        slave_flows.setdefault(spec.slave, []).append(spec.flow_id)
-    for spec in sco_specs:
-        piconet.add_sco_link(spec.slave, packet_type="HV3",
-                             ul_flow_id=spec.flow_id)
-
-    # -- Guaranteed Service setup -----------------------------------------------
-    manager = GuaranteedServiceManager(
-        max_transaction_seconds=(max_transaction_slots(admission_types)
-                                 * SLOT_SECONDS),
-        piggyback_aware=piggyback_aware,
+    spec = figure4_spec(
+        delay_requirement=delay_requirement,
+        gs_rate=gs_rate,
+        be_load_scale=be_load_scale,
         variable_interval=variable_interval,
+        piggyback_aware=piggyback_aware,
         postpone_by_packet_size=postpone_by_packet_size,
         postpone_after_unsuccessful=postpone_after_unsuccessful,
-        skip_when_no_downlink_data=skip_when_no_downlink_data)
-    tspec = figure4_gs_tspec()
-    gs_setups: Dict[int, GSFlowSetup] = {}
-    for spec in gs_specs:
-        if delay_requirement is not None:
-            setup = manager.add_flow(spec, tspec, delay_bound=delay_requirement)
-        else:
-            setup = manager.add_flow(spec, tspec, rate=gs_rate)
-        gs_setups[spec.flow_id] = setup
-
-    poller = PredictiveFairPoller(manager)
-    piconet.attach_poller(poller)
-
-    # -- traffic sources ----------------------------------------------------------
-    sources: List[TrafficSource] = []
-    for spec in gs_specs:
-        rng = streams.stream(f"gs-{spec.flow_id}")
-        offset = rng.uniform(0, GS_PACKET_INTERVAL_S) if stagger_sources else 0.0
-        sources.append(CBRSource(piconet, spec.flow_id, GS_PACKET_INTERVAL_S,
-                                 (GS_MIN_PACKET, GS_MAX_PACKET), rng=rng,
-                                 start_offset=offset))
-    if be_load_scale > 0:
-        for spec in be_specs:
-            rate = be_rate_bps(spec.slave) * be_load_scale
-            rng = streams.stream(f"be-{spec.flow_id}")
-            interval = BE_PACKET_SIZE * 8 / rate
-            offset = rng.uniform(0, interval) if stagger_sources else 0.0
-            sources.append(CBRSource(piconet, spec.flow_id, interval,
-                                     BE_PACKET_SIZE, rng=rng,
-                                     start_offset=offset))
-    for spec in sco_specs:
-        rng = streams.stream(f"sco-{spec.flow_id}")
-        offset = (rng.uniform(0, SCO_VOICE_INTERVAL_S)
-                  if stagger_sources else 0.0)
-        sources.append(CBRSource(piconet, spec.flow_id, SCO_VOICE_INTERVAL_S,
-                                 SCO_VOICE_PACKET, rng=rng,
-                                 start_offset=offset))
-
+        skip_when_no_downlink_data=skip_when_no_downlink_data,
+        stagger_sources=stagger_sources,
+        be_slaves=be_slaves,
+        sco_slaves=sco_slaves,
+        gs_uplink_only=gs_uplink_only,
+        be_directions=be_directions,
+        allowed_types=allowed_types,
+        adaptive_segmentation=adaptive_segmentation)
+    overrides = {spec.piconets[0].name: channel} if channel is not None \
+        else None
+    compiled = spec.compile(seed, env=env, channel_overrides=overrides)
+    built = compiled.primary
     return Figure4Scenario(
-        piconet=piconet,
-        manager=manager,
-        poller=poller,
-        gs_flow_ids=[spec.flow_id for spec in gs_specs],
-        be_flow_ids=[spec.flow_id for spec in be_specs],
-        gs_setups=gs_setups,
-        sources=sources,
+        piconet=built.piconet,
+        manager=built.manager,
+        poller=built.poller,
+        gs_flow_ids=built.gs_flow_ids,
+        be_flow_ids=built.be_flow_ids,
+        gs_setups=built.gs_setups,
+        sources=built.sources,
         delay_requirement=delay_requirement,
-        slave_flows=slave_flows,
-        sco_flow_ids=[spec.flow_id for spec in sco_specs],
+        slave_flows=built.slave_flows,
+        sco_flow_ids=built.sco_flow_ids,
     )
 
 
@@ -384,76 +250,28 @@ def build_multi_sco_scenario(acl_types: Sequence[str] = ("DH1",),
     gracefully instead.  The registered ``multi_sco`` experiment sweeps
     exactly this contrast.
 
-    Best-effort flows (one downlink + one uplink per ACL slave, paper rate
-    mix cycled, scaled by ``acl_load_scale``) are served round-robin; each
-    SCO slave carries a 64 kbit/s CBR voice uplink over its reservation.
-
     With ``sco_slaves=()`` this doubles as a plain round-robin best-effort
-    piconet — the ``dm_vs_dh`` pack uses it (optionally with
-    ``adaptive_segmentation``) to compare segmentation policies under a
-    BER sweep without the Guaranteed Service admission gate.
+    piconet — the ``dm_vs_dh`` pack uses it.
+
+    .. deprecated::
+        Exact-behaviour shim over :func:`repro.scenario.multi_sco_spec`;
+        new code should construct the spec and ``compile(seed)`` it.
     """
-    from repro.schedulers.round_robin import PureRoundRobinPoller
-
-    sco_slaves = tuple(sco_slaves)
-    acl_slaves = tuple(acl_slaves)
-    if set(sco_slaves) & set(acl_slaves):
-        raise ValueError("sco_slaves and acl_slaves must be disjoint")
-    if acl_load_scale < 0:
-        raise ValueError("acl_load_scale cannot be negative")
-
-    streams = RandomStreams(seed)
-    piconet = Piconet(env=env, channel=channel, config=PiconetConfig(
-        allowed_types=tuple(acl_types),
-        adaptive_segmentation=adaptive_segmentation))
-    for index in range(1, 8):
-        piconet.add_slave(f"S{index}")
-
-    be_specs = []
-    flow_id = 1
-    for slave in acl_slaves:
-        for direction in (DOWNLINK, UPLINK):
-            be_specs.append(FlowSpec(flow_id, slave=slave,
-                                     direction=direction, traffic_class=BE,
-                                     allowed_types=tuple(acl_types)))
-            flow_id += 1
-    sco_specs = []
-    for slave in sco_slaves:
-        sco_specs.append(FlowSpec(flow_id, slave=slave, direction=UPLINK,
-                                  traffic_class=GS, allowed_types=("HV3",)))
-        flow_id += 1
-
-    for spec in be_specs + sco_specs:
-        piconet.add_flow(spec)
-    for spec in sco_specs:
-        piconet.add_sco_link(spec.slave, packet_type="HV3",
-                             ul_flow_id=spec.flow_id)
-
-    poller = PureRoundRobinPoller(only_slaves=acl_slaves)
-    piconet.attach_poller(poller)
-
-    sources: List[TrafficSource] = []
-    if acl_load_scale > 0:
-        for spec in be_specs:
-            rate = be_rate_bps(4 + (spec.slave - 1) % 4) * acl_load_scale
-            rng = streams.stream(f"be-{spec.flow_id}")
-            interval = BE_PACKET_SIZE * 8 / rate
-            offset = rng.uniform(0, interval) if stagger_sources else 0.0
-            sources.append(CBRSource(piconet, spec.flow_id, interval,
-                                     BE_PACKET_SIZE, rng=rng,
-                                     start_offset=offset))
-    for spec in sco_specs:
-        rng = streams.stream(f"sco-{spec.flow_id}")
-        offset = (rng.uniform(0, SCO_VOICE_INTERVAL_S)
-                  if stagger_sources else 0.0)
-        sources.append(CBRSource(piconet, spec.flow_id, SCO_VOICE_INTERVAL_S,
-                                 SCO_VOICE_PACKET, rng=rng,
-                                 start_offset=offset))
-
+    spec = multi_sco_spec(
+        acl_types=acl_types,
+        sco_slaves=sco_slaves,
+        acl_slaves=acl_slaves,
+        acl_load_scale=acl_load_scale,
+        stagger_sources=stagger_sources,
+        adaptive_segmentation=adaptive_segmentation)
+    overrides = {spec.piconets[0].name: channel} if channel is not None \
+        else None
+    compiled = spec.compile(seed, env=env, channel_overrides=overrides)
+    built = compiled.primary
     return MultiScoScenario(
-        piconet=piconet,
-        poller=poller,
-        be_flow_ids=[spec.flow_id for spec in be_specs],
-        sco_flow_ids=[spec.flow_id for spec in sco_specs],
-        sources=sources,
+        piconet=built.piconet,
+        poller=built.poller,
+        be_flow_ids=built.be_flow_ids,
+        sco_flow_ids=built.sco_flow_ids,
+        sources=built.sources,
     )

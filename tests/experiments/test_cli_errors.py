@@ -69,6 +69,125 @@ def test_unknown_regen_golden_experiment_exits_with_known_names():
     assert "Traceback" not in result.stderr
 
 
+# ------------------------------------------------------------ describe
+
+def test_describe_unknown_experiment_exits_with_known_names():
+    result = run_cli("describe", "does_not_exist")
+    assert result.returncode != 0
+    assert "unknown experiment 'does_not_exist'" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_describe_prints_grid_defaults_and_resolved_spec(capsys):
+    from repro.experiments.__main__ import _cmd_describe
+    import argparse
+
+    assert _cmd_describe(argparse.Namespace(
+        experiment="figure5", set=["channel.ber=1e-4",
+                                   "channel.model=iid"])) == 0
+    out = capsys.readouterr().out
+    assert "figure5:" in out
+    assert "delay_requirement" in out       # the grid axis
+    assert "duration_seconds" in out        # a default
+    assert '"ber": 0.0001' in out           # the override reached the spec
+    assert '"model": "iid"' in out
+
+
+def test_describe_analytic_experiment_reports_no_scenario(capsys):
+    from repro.experiments.__main__ import _cmd_describe
+    import argparse
+
+    assert _cmd_describe(argparse.Namespace(
+        experiment="admission_capacity", set=[])) == 0
+    assert "analytic experiment" in capsys.readouterr().out
+
+
+# --------------------------------------------------- dotted --set overrides
+
+def test_dotted_set_on_analytic_experiment_exits_with_message():
+    result = run_cli("run", "admission_capacity", "--no-cache",
+                     "--set", "channel.ber=1e-4")
+    assert result.returncode != 0
+    assert "no scenario spec" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_dotted_set_unknown_spec_path_exits_with_message():
+    result = run_cli("run", "figure5", "--no-cache",
+                     "--set", "channel.nope=1")
+    assert result.returncode != 0
+    assert "has no field 'nope'" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_describe_dotted_set_bad_value_exits_with_message():
+    result = run_cli("describe", "figure5", "--set", "channel.ber=fast")
+    assert result.returncode != 0
+    assert "expected a number" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_describe_with_emptied_grid_axis_reports_cleanly():
+    result = run_cli("describe", "figure5", "--set", "delay_requirement=[]")
+    assert result.returncode == 0
+    assert "points: 0" in result.stdout
+    assert "emptied a grid axis" in result.stdout
+    assert "Traceback" not in result.stderr
+
+
+def test_axis_clobbering_overrides_are_rejected():
+    from repro.experiments.bandwidth_savings import run_point as bw_point
+    from repro.experiments.baseline_comparison import run_point as bl_point
+    from repro.experiments.improvement_ablation import run_point as abl_point
+
+    with pytest.raises(ValueError, match="fixed-vs-variable"):
+        bw_point({"delay_requirement": 0.04,
+                  "improvements.variable_interval": True}, 0)
+    with pytest.raises(ValueError, match="poller axis"):
+        bl_point({"poller": "fep", "poller.kind": "pfp"}, 0)
+    with pytest.raises(ValueError, match="configuration axis"):
+        abl_point({"configuration": "fixed interval",
+                   "improvements.skip_when_no_downlink_data": True}, 0)
+
+
+def test_programmatic_dotted_override_on_analytic_experiment_raises():
+    from repro.experiments.orchestrator import SweepRunner
+
+    with pytest.raises(ValueError, match="no scenario spec"):
+        SweepRunner(backend="serial").run(
+            "admission_capacity", overrides={"channel.ber": 1e-4})
+
+
+def test_axis_clobbering_guard_covers_channel_and_bridge_packs():
+    from repro.experiments.lossy_channel import scenario_spec as lossy
+    from repro.experiments.channel_packs import bridge_split_point_spec
+
+    with pytest.raises(ValueError, match="bit_error_rate axis"):
+        lossy({"bit_error_rate": 1e-4, "channel.ber": 1e-3})
+    with pytest.raises(ValueError, match="bridge_share axis"):
+        bridge_split_point_spec({"bridge_share": 0.5,
+                                 "bridges.0.share_a": 0.9})
+
+
+def test_malformed_structured_dotted_set_exits_without_traceback():
+    result = run_cli("run", "figure5", "--no-cache",
+                     "--set", "piconets.0.flows=[[1,2]]")
+    assert result.returncode != 0
+    assert "Traceback" not in result.stderr
+    assert "FlowSpec mappings" in result.stderr
+
+
+def test_dotted_set_list_value_becomes_extra_sweep_axis():
+    from repro.experiments.registry import get_experiment
+
+    points = get_experiment("figure5").points(
+        {"delay_requirement": [0.04], "channel.ber": [1e-4, 1e-3],
+         "channel.model": "iid"})
+    assert len(points) == 2
+    assert [p["channel.ber"] for p in points] == [1e-4, 1e-3]
+    assert all(p["channel.model"] == "iid" for p in points)
+
+
 # ----------------------------------------------------- in-process parsing
 
 def test_parse_overrides_accepts_json_and_strings():

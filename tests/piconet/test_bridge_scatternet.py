@@ -141,6 +141,56 @@ def test_absent_bridge_polls_are_guaranteed_failures():
     assert accounting["bridge_absent_polls"] == piconet.bridge_absent_polls
 
 
+def test_negotiated_absence_skips_polls_without_failures():
+    env = Environment()
+    piconet = build_single_slave_piconet(env)
+    piconet.set_bridge_presence(1, lambda slot: False, negotiated=True)
+    sources = [CBRSource(piconet, fid, 0.005, 176) for fid in (1, 2)]
+    for source in sources:
+        source.start()
+    piconet.run(0.5)
+    # the master knows the schedule: no transaction is ever burnt on the
+    # absent bridge, so no failures are booked — the slots idle instead
+    assert piconet.bridge_skipped_polls > 0
+    assert piconet.bridge_absent_polls == 0
+    states = piconet.flow_states()
+    assert sum(state.segments_not_received for state in states) == 0
+    assert sum(state.retransmissions for state in states) == 0
+    accounting = piconet.slot_accounting()
+    assert accounting["bridge_skipped_polls"] == piconet.bridge_skipped_polls
+    assert "bridge_absent_polls" in accounting  # presence is installed
+    assert accounting["gs"] + accounting["be"] == 0
+    assert accounting["idle"] > 0
+
+
+def test_negotiated_presence_can_be_revoked():
+    env = Environment()
+    piconet = build_single_slave_piconet(env)
+    piconet.set_bridge_presence(1, lambda slot: False, negotiated=True)
+    piconet.set_bridge_presence(1, lambda slot: False)  # back to blind
+    sources = [CBRSource(piconet, fid, 0.005, 176) for fid in (1, 2)]
+    for source in sources:
+        source.start()
+    piconet.run(0.2)
+    assert piconet.bridge_skipped_polls == 0
+    assert piconet.bridge_absent_polls > 0
+    assert "bridge_skipped_polls" not in piconet.slot_accounting()
+
+
+def test_negotiated_bridge_serves_while_present_skips_while_away():
+    env = Environment()
+    piconet = build_single_slave_piconet(env)
+    schedule = BridgeSchedule(period_slots=64, share_a=0.5, switch_slots=2)
+    piconet.set_bridge_presence(1, schedule.present_in_a, negotiated=True)
+    sources = [CBRSource(piconet, fid, 0.005, 176) for fid in (1, 2)]
+    for source in sources:
+        source.start()
+    piconet.run(1.0)
+    assert piconet.bridge_skipped_polls > 0
+    assert piconet.total_throughput_bps() > 0
+    assert piconet.bridge_absent_polls == 0
+
+
 def test_present_bridge_behaves_like_a_plain_slave():
     def throughput(presence):
         env = Environment()

@@ -1,0 +1,230 @@
+"""Validation and serialization of the declarative spec layer."""
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    BridgeSpec,
+    ChannelSpec,
+    FlowSpec,
+    ImprovementsSpec,
+    InterferenceSpec,
+    PiconetSpec,
+    PollerSpec,
+    ScenarioSpec,
+    ScoSpec,
+    bridge_split_spec,
+    figure4_spec,
+    interfered_be_spec,
+    multi_sco_spec,
+)
+
+
+def voice_flow(**overrides):
+    base = dict(flow_id=1, slave=1, direction="UL", traffic_class="GS",
+                interval_s=0.020, size=(144, 176))
+    base.update(overrides)
+    return FlowSpec(**base)
+
+
+# ----------------------------------------------------------- construction
+
+@pytest.mark.parametrize("factory", [
+    lambda: figure4_spec(delay_requirement=0.04),
+    lambda: figure4_spec(delay_requirement=None, gs_rate=9000.0),
+    lambda: multi_sco_spec(),
+    lambda: interfered_be_spec((1.0, 0.5), base_bit_error_rate=1e-4),
+    lambda: bridge_split_spec(0.5, negotiated=True),
+])
+def test_factories_produce_json_round_trippable_specs(factory):
+    spec = factory()
+    as_json = json.dumps(spec.to_dict())
+    assert ScenarioSpec.from_dict(json.loads(as_json)) == spec
+
+
+def test_figure4_spec_matches_paper_layout():
+    spec = figure4_spec(delay_requirement=0.04)
+    piconet = spec.piconets[0]
+    assert len(piconet.slaves) == 7
+    assert [f.flow_id for f in piconet.flows] == list(range(1, 13))
+    gs = [f for f in piconet.flows if f.gs_managed]
+    assert [f.flow_id for f in gs] == [1, 2, 3, 4]
+    assert all(f.delay_bound == 0.04 for f in gs)
+    assert {f.direction for f in gs} == {"UL", "DL"}
+    be = [f for f in piconet.flows if f.traffic_class == "BE"]
+    assert len(be) == 8 and all(f.size == 176 for f in be)
+
+
+def test_figure4_spec_zero_be_load_registers_sourceless_flows():
+    spec = figure4_spec(delay_requirement=0.04, be_load_scale=0.0)
+    be = [f for f in spec.piconets[0].flows if f.traffic_class == "BE"]
+    assert be and all(f.interval_s is None and f.size is None for f in be)
+
+
+@pytest.mark.parametrize("kwargs,message", [
+    (dict(delay_requirement=None), "exactly one of"),
+    (dict(delay_requirement=0.04, gs_rate=9000.0), "exactly one of"),
+    (dict(delay_requirement=0.04, be_load_scale=-1), "cannot be negative"),
+    (dict(delay_requirement=0.04, be_slaves=(4, 4)), "must not repeat"),
+    (dict(delay_requirement=0.04, sco_slaves=(3,)), "must not carry"),
+    (dict(delay_requirement=0.04, be_slaves=(9,)), "lie in 1..7"),
+    (dict(delay_requirement=0.04, be_directions=()), "non-empty subset"),
+])
+def test_figure4_spec_rejects_bad_arguments(kwargs, message):
+    with pytest.raises(ValueError, match=message):
+        figure4_spec(**kwargs)
+
+
+@pytest.mark.parametrize("mutation,message", [
+    (dict(direction="sideways"), "direction"),
+    (dict(traffic_class="XX"), "traffic_class"),
+    (dict(slave=0), "slave AM address"),
+    (dict(interval_s=-1.0), "interval_s must be positive"),
+    (dict(size=0), "size"),
+    (dict(size=(10, 5)), "min <= max"),
+    (dict(interval_s=None), "size without interval_s"),
+    (dict(delay_bound=0.03, rate=9000.0), "at most one"),
+    (dict(delay_bound=-0.1), "delay_bound must be positive"),
+    (dict(traffic_class="BE", delay_bound=0.03), "only GS flows"),
+    (dict(stagger=True), "rng_stream"),
+    (dict(allowed_types=()), "allowed_types may not be empty"),
+])
+def test_flow_spec_rejects_invalid_fields(mutation, message):
+    with pytest.raises(ValueError, match=message):
+        voice_flow(**mutation)
+
+
+def test_flow_spec_size_bounds_and_gs_managed():
+    ranged = voice_flow()
+    assert ranged.size_bounds == (144, 176)
+    assert not ranged.gs_managed
+    fixed = voice_flow(size=150, delay_bound=0.025)
+    assert fixed.size_bounds == (150, 150)
+    assert fixed.gs_managed
+
+
+@pytest.mark.parametrize("mutation,message", [
+    (dict(slaves=()), "1..7 slaves"),
+    (dict(name=""), "non-empty name"),
+    (dict(allowed_types=()), "allowed_types may not be empty"),
+    (dict(flows=(voice_flow(), voice_flow())), "unique"),
+    (dict(flows=(voice_flow(slave=5),), slaves=("a", "b")),
+     "addresses slave 5"),
+    (dict(sco_links=(ScoSpec(slave=6),), slaves=("a",)),
+     "SCO link addresses slave 6"),
+    (dict(sco_links=(ScoSpec(slave=1, ul_flow_id=9),)), "unknown flow id 9"),
+    (dict(flows=(voice_flow(slave=2),),
+          sco_links=(ScoSpec(slave=1, ul_flow_id=1),), slaves=("a", "b")),
+     "lives on slave 2"),
+    (dict(sco_links=(ScoSpec(slave=1), ScoSpec(slave=1))),
+     "at most one SCO link per slave"),
+])
+def test_piconet_spec_rejects_invalid_fields(mutation, message):
+    base = dict(slaves=("voice",), flows=(voice_flow(),))
+    base.update(mutation)
+    with pytest.raises(ValueError, match=message):
+        PiconetSpec(**base)
+
+
+@pytest.mark.parametrize("mutation,message", [
+    (dict(model="warp"), "unknown channel model"),
+    (dict(ber=1.5), "within \\[0, 1\\]"),
+    (dict(p_bg=0.0), "p_bg"),
+    (dict(stationary_bad=1.0), "stationary_bad"),
+    (dict(model="gilbert", slave_ber_scale=((1, 2.0),)),
+     "only applies to the iid model"),
+    (dict(model="iid", slave_ber_scale=((9, 1.0),)), "lie in 1..7"),
+    (dict(model="iid", slave_ber_scale=((1, 1.0), (1, 2.0))),
+     "must not repeat"),
+    (dict(model="iid", slave_ber_scale=((1, -1.0),)), "negative"),
+    (dict(stream=""), "substream"),
+])
+def test_channel_spec_rejects_invalid_fields(mutation, message):
+    base = dict(model="iid", ber=1e-4)
+    base.update(mutation)
+    with pytest.raises(ValueError, match=message):
+        ChannelSpec(**base)
+
+
+@pytest.mark.parametrize("mutation,message", [
+    (dict(kind="quantum"), "unknown poller kind"),
+    (dict(only_slaves=(1,)), "only meaningful for the round_robin"),
+    (dict(kind="round_robin", only_slaves=(0,)), "AM addresses in 1..7"),
+])
+def test_poller_spec_rejects_invalid_fields(mutation, message):
+    with pytest.raises(ValueError, match=message):
+        PollerSpec(**mutation)
+
+
+def test_improvements_spec_rejects_non_bool():
+    with pytest.raises(ValueError, match="must be a bool"):
+        ImprovementsSpec(variable_interval=1)
+
+
+@pytest.mark.parametrize("mutation,message", [
+    (dict(interferer_duties=(1.5,)), "within \\[0, 1\\]"),
+    (dict(ber_per_collision=0.0), "ber_per_collision"),
+    (dict(victim=""), "victim"),
+])
+def test_interference_spec_rejects_invalid_fields(mutation, message):
+    with pytest.raises(ValueError, match=message):
+        InterferenceSpec(**mutation)
+
+
+def test_bridge_spec_delegates_schedule_validation():
+    with pytest.raises(ValueError, match="share_a must be within"):
+        BridgeSpec(share_a=1.5)
+    with pytest.raises(ValueError, match="two distinct piconets"):
+        BridgeSpec(piconet_a="A", piconet_b="A")
+    with pytest.raises(ValueError, match="period_slots"):
+        BridgeSpec(period_slots=1)
+
+
+def test_scenario_spec_cross_validation():
+    piconet = PiconetSpec(name="A")
+    with pytest.raises(ValueError, match="at least one piconet"):
+        ScenarioSpec(piconets=())
+    with pytest.raises(ValueError, match="unique"):
+        ScenarioSpec(piconets=(piconet, PiconetSpec(name="A")))
+    with pytest.raises(ValueError, match="unknown piconet 'B'"):
+        ScenarioSpec(piconets=(piconet,),
+                     bridges=(BridgeSpec(piconet_a="A", piconet_b="B"),))
+    with pytest.raises(ValueError, match="single-piconet"):
+        ScenarioSpec(piconets=(piconet, PiconetSpec(name="B")),
+                     interference=InterferenceSpec())
+    with pytest.raises(ValueError, match="has 1 slave"):
+        ScenarioSpec(
+            piconets=(piconet, PiconetSpec(name="B", slaves=("only",))),
+            bridges=(BridgeSpec(piconet_a="A", piconet_b="B", slave_b=3),))
+
+
+def test_interference_victim_must_name_the_piconet():
+    with pytest.raises(ValueError, match="must name the scenario's piconet"):
+        ScenarioSpec(piconets=(PiconetSpec(name="piconet"),),
+                     interference=InterferenceSpec(victim="other"))
+    spec = interfered_be_spec((1.0,))
+    assert spec.interference.victim == spec.piconets[0].name == "victim"
+
+
+def test_scenario_spec_piconet_lookup():
+    spec = bridge_split_spec(0.5)
+    assert spec.piconet("A").name == "A"
+    with pytest.raises(KeyError, match="unknown piconet"):
+        spec.piconet("C")
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown ChannelSpec field"):
+        ChannelSpec.from_dict({"model": "iid", "bogus": 1})
+    with pytest.raises(ValueError, match="unknown ScenarioSpec field"):
+        ScenarioSpec.from_dict({"piconets": [], "extra": True})
+
+
+def test_sco_flow_ids_follow_flow_order():
+    spec = figure4_spec(delay_requirement=0.046, be_slaves=(4, 5, 6),
+                        sco_slaves=(7,), gs_uplink_only=True,
+                        be_directions=("UL",))
+    piconet = spec.piconets[0]
+    assert piconet.sco_flow_ids == (8,)
+    assert piconet.sco_links[0].ul_flow_id == 8
