@@ -1,0 +1,110 @@
+"""Shared helper that persists benchmark results as ``BENCH_*.json``.
+
+Every benchmark that wants its numbers to survive the run (so the perf
+trajectory is recorded across PRs, not just printed to a terminal that
+scrolls away) calls :func:`record` with a scenario name, a variant label
+and the measured slots/wall pair.  Results merge read-modify-write into a
+single JSON artifact per benchmark family at the repository root (override
+the directory with ``REPRO_BENCH_DIR``), alongside a machine fingerprint
+so numbers from different hosts are never compared as if they were one
+series.
+
+Artifact shape::
+
+    {
+      "benchmark": "master_loop",
+      "machine": {"python": ..., "platform": ..., "cpu_count": ...},
+      "scenarios": {
+        "steady_state_poll": {
+          "event_loop":   {"slots": ..., "wall_seconds": ..., "slots_per_second": ...},
+          "batch_kernel": {...},
+          "speedup": 3.8
+        }
+      }
+    }
+
+``speedup`` is (re)derived whenever both the ``event_loop`` and
+``batch_kernel`` variants of a scenario are present.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Dict
+
+#: directory override for the artifact (default: the repository root)
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+#: variant labels the speedup is derived from
+REFERENCE_VARIANT = "event_loop"
+FAST_VARIANT = "batch_kernel"
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """Coarse host description so artifacts from different machines are
+    never read as one series."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def artifact_path(benchmark: str) -> Path:
+    """Where the ``BENCH_<benchmark>.json`` artifact lives."""
+    directory = os.environ.get(BENCH_DIR_ENV)
+    root = Path(directory) if directory else Path(__file__).resolve().parents[1]
+    return root / f"BENCH_{benchmark}.json"
+
+
+def _load(path: Path, benchmark: str) -> Dict[str, object]:
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(payload, dict) and payload.get("benchmark") == benchmark:
+                return payload
+        except ValueError:
+            pass  # corrupt artifact: start over rather than crash the bench
+    return {"benchmark": benchmark, "scenarios": {}}
+
+
+def record(benchmark: str, scenario: str, variant: str,
+           slots: int, wall_seconds: float) -> Dict[str, object]:
+    """Merge one measurement into the benchmark's artifact and return it.
+
+    The artifact always reflects the *latest* run of each
+    (scenario, variant) pair on the current machine; the machine
+    fingerprint is refreshed on every write.
+    """
+    path = artifact_path(benchmark)
+    payload = _load(path, benchmark)
+    payload["machine"] = machine_fingerprint()
+    scenarios = payload.setdefault("scenarios", {})
+    entry = scenarios.setdefault(scenario, {})
+    rate = slots / wall_seconds if wall_seconds > 0 else float("inf")
+    entry[variant] = {
+        "slots": slots,
+        "wall_seconds": round(wall_seconds, 6),
+        "slots_per_second": round(rate),
+    }
+    reference = entry.get(REFERENCE_VARIANT)
+    fast = entry.get(FAST_VARIANT)
+    if reference and fast and reference["slots_per_second"]:
+        entry["speedup"] = round(
+            fast["slots_per_second"] / reference["slots_per_second"], 2)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return payload
+
+
+def recorded_speedup(benchmark: str, scenario: str) -> float:
+    """The artifact's current speedup for ``scenario`` (0.0 if absent)."""
+    payload = _load(artifact_path(benchmark), benchmark)
+    entry = payload.get("scenarios", {}).get(scenario, {})
+    return float(entry.get("speedup", 0.0))

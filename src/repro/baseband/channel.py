@@ -155,7 +155,9 @@ class LossyChannel(_StochasticChannel):
         self.rng = rng if rng is not None else random.Random(0)
         # the decomposition is a pure function of (type, payload) at a
         # fixed rate, and a run only ever sees a handful of shapes — memo
-        # it off the per-transmission hot path
+        # it off the per-transmission hot path.  Misses fall through to
+        # the process-wide lru table in repro.baseband.fec, so per-link
+        # instances share one decomposition per shape.
         self._memo: Dict[Tuple[str, int], PacketErrorProbabilities] = {}
 
     def error_probabilities(self, packet: BasebandPacket
@@ -232,7 +234,9 @@ class GilbertElliottChannel(_StochasticChannel):
         self.state_good = True
         self._last_update_us: Optional[int] = None
         # per-state decomposition memo (see LossyChannel): keyed by the
-        # state and the packet shape, both error parameters are fixed
+        # state and the packet shape, both error parameters are fixed;
+        # misses share the process-wide (type, payload, ber) table in
+        # repro.baseband.fec across all links
         self._memo: Dict[Tuple[bool, str, int], PacketErrorProbabilities] = {}
 
     # -- state evolution -----------------------------------------------------

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict
 
 from repro.baseband.packets import BasebandPacket, PacketType
 
@@ -51,6 +53,7 @@ HAMMING_INFO_BITS = 10
 HAMMING_BLOCK_BITS = 15
 
 
+@lru_cache(maxsize=None)
 def repetition_bit_error(ber: float) -> float:
     """Probability a majority-decoded 1/3-repetition bit is wrong.
 
@@ -60,6 +63,7 @@ def repetition_bit_error(ber: float) -> float:
     return ber * ber * (3.0 - 2.0 * ber)
 
 
+@lru_cache(maxsize=None)
 def hamming_block_error(ber: float, block_bits: int = HAMMING_BLOCK_BITS
                         ) -> float:
     """Probability a single-error-correcting block of ``block_bits`` fails.
@@ -74,6 +78,7 @@ def hamming_block_error(ber: float, block_bits: int = HAMMING_BLOCK_BITS
     return 1.0 - min(1.0, ok)
 
 
+@lru_cache(maxsize=None)
 def access_code_error(ber: float,
                       sync_bits: int = SYNC_WORD_BITS,
                       threshold: int = SYNC_ERROR_THRESHOLD) -> float:
@@ -92,6 +97,7 @@ def access_code_error(ber: float,
     return max(0.0, 1.0 - ok)
 
 
+@lru_cache(maxsize=None)
 def header_error(ber: float, header_bits: int = HEADER_BITS) -> float:
     """Probability the 1/3-FEC-protected packet header is undecodable."""
     bit_fail = repetition_bit_error(ber)
@@ -105,6 +111,7 @@ def payload_header_bytes(ptype: PacketType) -> int:
     return 1 if ptype.slots == 1 else 2
 
 
+@lru_cache(maxsize=None)
 def payload_error(ptype: PacketType, payload_bytes: int, ber: float) -> float:
     """Probability the payload (including CRC where present) is corrupted.
 
@@ -174,13 +181,62 @@ class PacketErrorProbabilities:
                       * (1.0 - self.payload))
 
 
+@lru_cache(maxsize=None)
+def _packet_error_probabilities(ptype: PacketType, payload_bytes: int,
+                                ber: float) -> PacketErrorProbabilities:
+    """The process-wide packet error table, keyed ``(type, payload, ber)``.
+
+    Every section function is a pure function of the bit error rate and the
+    packet shape, so the full decomposition is memoizable once per shape —
+    shared across all per-link channel instances (which each keep a small
+    per-instance dict in front of this table for the cheapest possible hit
+    path) and across sweep points that revisit the same BER.
+    """
+    return PacketErrorProbabilities(
+        access=access_code_error(ber),
+        header=header_error(ber),
+        payload=payload_error(ptype, payload_bytes, ber),
+    )
+
+
 def packet_error_probabilities(packet: BasebandPacket,
                                ber: float) -> PacketErrorProbabilities:
     """Decompose a packet's error probability at bit error rate ``ber``."""
     if not 0.0 <= ber <= 1.0:
         raise ValueError(f"bit error rate must be within [0, 1], got {ber}")
-    return PacketErrorProbabilities(
-        access=access_code_error(ber),
-        header=header_error(ber),
-        payload=payload_error(packet.ptype, packet.payload, ber),
-    )
+    return _packet_error_probabilities(packet.ptype, packet.payload, ber)
+
+
+#: the memoized pure functions of this module, by public stat name
+_CACHED_FUNCTIONS = {
+    "repetition_bit_error": repetition_bit_error,
+    "hamming_block_error": hamming_block_error,
+    "access_code_error": access_code_error,
+    "header_error": header_error,
+    "payload_error": payload_error,
+    "packet_error_probabilities": _packet_error_probabilities,
+}
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss counters of every memoized FEC function.
+
+    Returns ``{function: {"hits": ..., "misses": ..., "size": ...}}`` —
+    the observability hook for the fast path's claim that the error
+    decomposition is computed once per packet shape, not once per
+    transmission.
+    """
+    return {
+        name: {
+            "hits": function.cache_info().hits,
+            "misses": function.cache_info().misses,
+            "size": function.cache_info().currsize,
+        }
+        for name, function in _CACHED_FUNCTIONS.items()
+    }
+
+
+def clear_caches() -> None:
+    """Reset every memoized FEC table (tests isolating cache statistics)."""
+    for function in _CACHED_FUNCTIONS.values():
+        function.cache_clear()

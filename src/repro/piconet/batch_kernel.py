@@ -1,0 +1,295 @@
+"""The slot-batch fast path: plan / execute / commit without the heapq.
+
+Every experiment in the repo funnels through the per-slot generator/heapq
+event loop — yet in steady state (no SCO reservation boundary, no bridge
+presence change, no pending adaptive-segmentation flip) a poll transaction
+is fully determined the moment the poller plans it: the packets come from
+idempotent queue peeks, the channel outcome from the per-link RNG streams,
+and nothing else in the simulation can interleave before the transaction
+ends.  The :class:`BatchKernel` exploits exactly that window:
+
+* **plan** — the poller's :class:`~repro.schedulers.base.TransactionPlan`
+  plus the steady-state detector below decide whether the next transaction
+  may run inline;
+* **execute** — the kernel drives the *same* commit helpers the event loop
+  uses (:meth:`Piconet._begin_transaction` / ``_apply_downlink`` /
+  ``_finish_transaction``), so both paths perform literally the same
+  Python operations in the same order, consuming the same RNG draws from
+  the same :class:`~repro.sim.rng.RandomStreams` substreams — results are
+  byte-identical by construction, only the generator suspensions, timeout
+  events and heap traffic are elided.  The memoized FEC tables
+  (:mod:`repro.baseband.fec`) and the Gilbert-Elliott closed-form n-step
+  advance (:meth:`GilbertElliottChannel._advance_to`) keep the per-packet
+  channel work constant-time inside the window;
+* **commit** — deliveries, ARQ failures, EWMA link-quality updates and
+  slot accounting land on :class:`FlowState` through those same helpers,
+  and the clock is resynchronized via :meth:`Environment.advance_to`.
+
+Steady-state / bailout conditions (the kernel hands the step back to the
+event loop the moment any of them trips):
+
+* the piconet has SCO reservations (``sco``) — reservation boundaries
+  pre-empt ACL mid-window;
+* any slave has a bridge presence schedule (``bridge``) — presence can
+  change between the two directions of one transaction;
+* the transaction (its exact peeked packets, both directions) would not
+  end *strictly before* the next scheduled event (``horizon``) — an event
+  at the exact end time must fire before the master resumes (it was pushed
+  earlier, so it wins the heap's insertion-order tie-break);
+* a channel-adaptive segmentation policy flipped its type set during an
+  inline transaction (``adaptive_flip``) — the next step runs on the
+  reference path.
+
+``PiconetConfig.fast_path`` (default on) selects the kernel; the
+``REPRO_NO_FAST_PATH`` environment variable — set by the experiments
+CLI's ``--no-fast-path`` flag — forces the reference event loop in this
+process *and* in any worker processes it spawns.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.baseband.constants import SLOT_US
+from repro.schedulers.base import TransactionPlan
+
+#: environment variable forcing the reference event loop everywhere
+NO_FAST_PATH_ENV = "REPRO_NO_FAST_PATH"
+
+_INFINITY = float("inf")
+
+
+def fast_path_disabled() -> bool:
+    """Whether the process-wide escape hatch is set (CLI ``--no-fast-path``)."""
+    return bool(os.environ.get(NO_FAST_PATH_ENV))
+
+
+class _IdleSentinel:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<BatchKernel.IDLE>"
+
+
+class BatchKernel:
+    """Advances windows of poll rounds inline, off the event queue.
+
+    One instance serves one :class:`~repro.piconet.piconet.Piconet`; the
+    master loop offers it every planned transaction and every idle step,
+    and falls back to the per-slot generator path whenever the kernel
+    declines.  All counters are observable via :meth:`stats` (surfaced as
+    ``Piconet.fast_path_stats()``; deliberately *not* part of
+    ``slot_accounting()``, whose keys golden fixtures pin).
+    """
+
+    #: returned by :meth:`run` when the poller ran out of plans and the
+    #: idle step itself must run on the event loop
+    IDLE = _IdleSentinel()
+
+    __slots__ = ("piconet", "windows", "transactions", "idle_advances",
+                 "bailouts", "_in_window", "_force_slow")
+
+    def __init__(self, piconet):
+        self.piconet = piconet
+        #: maximal contiguous runs of inline steps
+        self.windows = 0
+        #: transactions executed inline
+        self.transactions = 0
+        #: idle steps taken inline
+        self.idle_advances = 0
+        #: why windows ended / steps were declined, by reason
+        self.bailouts = {"sco": 0, "bridge": 0, "horizon": 0,
+                         "adaptive_flip": 0}
+        self._in_window = False
+        self._force_slow = False
+
+    # -- plan: the steady-state detector -------------------------------------
+    def _bail(self, reason: str) -> None:
+        self.bailouts[reason] += 1
+        self._in_window = False
+
+    def _steady(self) -> bool:
+        piconet = self.piconet
+        if len(piconet.sco_table):
+            self._bail("sco")
+            return False
+        if piconet._bridge_presence:
+            self._bail("bridge")
+            return False
+        return True
+
+    @staticmethod
+    def _plan_duration_us(states, plan: TransactionPlan) -> int:
+        """Exact air time of the transaction ``plan`` would start *now*.
+
+        The packets are fully determined by the same (idempotent) queue
+        peeks :meth:`Piconet._begin_transaction` performs — a missing
+        segment means a 1-slot POLL/NULL — so this is the precise duration,
+        not a bound: channel outcomes never change a transaction's length,
+        only whether the segments stay queued for ARQ.
+        """
+        dl_state = (states.get(plan.dl_flow_id)
+                    if plan.dl_flow_id is not None else None)
+        ul_state = (states.get(plan.ul_flow_id)
+                    if plan.ul_flow_id is not None else None)
+        dl_segment = (dl_state.queue.peek_segment()
+                      if dl_state is not None else None)
+        ul_segment = (ul_state.queue.peek_segment()
+                      if ul_state is not None else None)
+        slots = ((dl_segment.ptype.slots if dl_segment is not None else 1)
+                 + (ul_segment.ptype.slots if ul_segment is not None else 1))
+        return slots * SLOT_US
+
+    # -- execute / commit ------------------------------------------------------
+    def try_idle(self) -> bool:
+        """Take the master's idle step inline if the horizon allows it."""
+        if self._force_slow:
+            self._force_slow = False
+            return False
+        if not self._steady():
+            return False
+        piconet = self.piconet
+        env = piconet.env
+        now = env.now
+        if piconet.config.align_even_slots:
+            advance = 2 if (now // SLOT_US) % 2 == 0 else 1
+        else:
+            advance = 1
+        end = now + advance * SLOT_US
+        horizon = env.peek()
+        if horizon == _INFINITY or end >= horizon:
+            self._bail("horizon")
+            return False
+        piconet.slots_idle += advance
+        env.advance_to(end)
+        self.idle_advances += 1
+        if not self._in_window:
+            self._in_window = True
+            self.windows += 1
+        return True
+
+    def run(self, plan: TransactionPlan):
+        """Consume ``plan`` and as many follow-up steps as possible inline.
+
+        Returns ``None`` when every step up to the horizon was executed
+        inline (the master just continues its loop), :data:`IDLE` when the
+        poller ran out of plans and the idle step itself cannot be taken
+        inline, or the unconsumed :class:`TransactionPlan` the master must
+        execute on the reference event-loop path.  A plan is never
+        select-ed speculatively and discarded: pollers mutate state in
+        ``select`` (fairness indices, uplink rotation), so whatever the
+        kernel cannot execute is handed back for the event loop to run.
+
+        The hot loop writes ``env._now`` directly instead of calling
+        :meth:`Environment.advance_to`: the per-step horizon check proves
+        every jump lands strictly before the next scheduled event, which is
+        exactly the validation ``advance_to`` would repeat (twice per
+        transaction, with a queue peek each) — the check here, against the
+        exact transaction duration, is even stricter.  Nothing inside the
+        window schedules events, so the
+        horizon captured on entry stays exact for the whole window.
+        """
+        if self._force_slow:
+            self._force_slow = False
+            return plan
+        piconet = self.piconet
+        # cheap decline prelude: event-dense scenarios bail here on almost
+        # every transaction, so nothing below may loop or allocate
+        if piconet.sco_table._links:
+            self._bail("sco")
+            return plan
+        if piconet._bridge_presence:
+            self._bail("bridge")
+            return plan
+        env = piconet.env
+        horizon = env.peek()
+        states = piconet._states
+        if (horizon == _INFINITY
+                or env._now + self._plan_duration_us(states, plan) >= horizon):
+            self._bail("horizon")
+            return plan
+        poller = piconet.poller
+        adaptive = piconet.config.adaptive_segmentation
+        align = piconet.config.align_even_slots
+        # the table's backing list: mutations (impossible mid-window, but
+        # checked anyway) are visible through the reference, sans __len__
+        sco_links = piconet.sco_table._links
+        bridge_presence = piconet._bridge_presence
+        plan_duration = self._plan_duration_us
+        begin = piconet._begin_transaction
+        apply_downlink = piconet._apply_downlink
+        finish = piconet._finish_transaction
+        select = poller.select
+        transactions = 0
+        idles = 0
+        bail_reason = "horizon"
+        before = None
+        while True:
+            if sco_links or bridge_presence:
+                bail_reason = "sco" if sco_links else "bridge"
+                if plan is None:
+                    plan = self.IDLE
+                break
+            now = env._now
+            if plan is None:
+                # the poller idles: mirror Piconet._idle inline
+                if align:
+                    advance = 2 if (now // SLOT_US) % 2 == 0 else 1
+                else:
+                    advance = 1
+                end = now + advance * SLOT_US
+                if end >= horizon:
+                    plan = self.IDLE
+                    break
+                piconet.slots_idle += advance
+                env._now = end
+                idles += 1
+                plan = select(end)
+                continue
+            if now + plan_duration(states, plan) >= horizon:
+                break
+            if adaptive:
+                before = self._adaptive_snapshot(states, plan)
+            # .ptype.slots * SLOT_US == .duration_us, minus two property hops
+            txn = begin(plan)
+            env._now = now + txn.dl_packet.ptype.slots * SLOT_US
+            apply_downlink(txn)
+            env._now = txn.ul_start + txn.ul_packet.ptype.slots * SLOT_US
+            finish(txn)
+            transactions += 1
+            if adaptive and self._adaptive_snapshot(states, plan) != before:
+                # steady state broke mid-window: the next step runs on
+                # the per-slot reference path
+                bail_reason = "adaptive_flip"
+                self._force_slow = True
+                plan = None
+                break
+            plan = select(env._now)
+        self.transactions += transactions
+        self.idle_advances += idles
+        if (transactions or idles) and not self._in_window:
+            self.windows += 1
+            self._in_window = True
+        self._bail(bail_reason)
+        return plan
+
+    @staticmethod
+    def _adaptive_snapshot(states, plan: TransactionPlan):
+        """The robust/fast mode of the policies a plan touches."""
+        modes = []
+        for flow_id in (plan.dl_flow_id, plan.ul_flow_id):
+            state = states.get(flow_id) if flow_id is not None else None
+            if state is not None:
+                modes.append(getattr(state.queue.policy, "robust_active",
+                                     None))
+            else:
+                modes.append(None)
+        return modes
+
+    # -- observability ---------------------------------------------------------
+    def stats(self) -> dict:
+        """Window / bailout counters of this kernel."""
+        return {
+            "windows": self.windows,
+            "transactions": self.transactions,
+            "idle_advances": self.idle_advances,
+            "bailouts": dict(self.bailouts),
+        }

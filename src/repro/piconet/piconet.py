@@ -42,6 +42,7 @@ from repro.baseband.segmentation import (
     ChannelAdaptiveSegmentationPolicy,
     Reassembler,
 )
+from repro.piconet.batch_kernel import BatchKernel, fast_path_disabled
 from repro.piconet.device import DeviceRegistry, Slave
 from repro.piconet.flows import DOWNLINK, FlowSpec, GS, HLPacket, UPLINK
 from repro.piconet.queues import FlowQueue
@@ -50,12 +51,19 @@ from repro.schedulers.base import (
     KIND_BE,
     KIND_GS,
     KIND_SCO,
+    Poller,
     PollOutcome,
     SegmentDelivery,
     TransactionPlan,
 )
 from repro.sim.engine import Environment
 from repro.sim.monitor import Monitor
+
+#: control packets reused across all transactions: POLL and NULL carry no
+#: payload, are never mutated and never traverse a channel (control packets
+#: are assumed error-free), so one instance each serves every poll round
+_POLL_PACKET = poll_packet()
+_NULL_PACKET = null_packet()
 
 
 @dataclass
@@ -74,6 +82,12 @@ class PiconetConfig:
     adaptive_segmentation: bool = False
     #: the FEC type set the adaptive policy falls back to under loss
     robust_types: tuple = ("DM1", "DM3")
+    #: execute steady-state stretches through the batch kernel
+    #: (:mod:`repro.piconet.batch_kernel`) instead of per-slot event-loop
+    #: steps; results are byte-identical, only wall-clock speed differs.
+    #: The ``REPRO_NO_FAST_PATH`` environment variable (set by the CLI's
+    #: ``--no-fast-path`` flag) forces the reference loop regardless.
+    fast_path: bool = True
 
 
 @dataclass
@@ -110,6 +124,23 @@ class FlowState:
             self.crc_failures += 1
 
 
+class _Transaction:
+    """In-flight state of one planned master/slave exchange.
+
+    The plan layer (:meth:`Piconet._begin_transaction`) snapshots the
+    queues, packets and bridge presence; the execute layer is either the
+    event-loop generator (:meth:`Piconet._execute_transaction`) or the
+    batch kernel, and both drive the same commit helpers
+    (:meth:`Piconet._apply_downlink` / :meth:`Piconet._finish_transaction`)
+    so the two paths perform literally the same operations in the same
+    order — byte-identical results by construction.
+    """
+
+    __slots__ = ("plan", "start", "dl_state", "ul_state", "dl_segment",
+                 "ul_segment", "dl_packet", "ul_packet", "deliveries",
+                 "bridge_absent", "dl_result", "dl_error", "ul_start")
+
+
 class Piconet:
     """A Bluetooth piconet: one master, up to seven slaves, one poller."""
 
@@ -135,6 +166,17 @@ class Piconet:
         self._started = False
         self._run_started_at: Optional[int] = None
         self._run_ended_at: Optional[int] = None
+        #: sorted flow-state list, rebuilt lazily after add_flow
+        self._flow_states_cache: Optional[List[FlowState]] = None
+        #: slave -> flow specs (flow-id order), rebuilt lazily after add_flow
+        self._specs_by_slave_cache: Optional[Dict[int, List[FlowSpec]]] = None
+        #: whether the attached poller overrides Poller.notify (pollers
+        #: that keep the base no-op never look at outcomes, so the hot
+        #: path skips building PollOutcome/SegmentDelivery entirely)
+        self._poller_wants_outcome = False
+        self._batch_kernel = (BatchKernel(self)
+                              if self.config.fast_path
+                              and not fast_path_disabled() else None)
 
         # slot / transaction accounting
         self.slots_idle = 0
@@ -162,6 +204,8 @@ class Piconet:
         policy = self._segmentation_policy(spec)
         state = FlowState(spec=spec, queue=FlowQueue(spec, policy))
         self._states[spec.flow_id] = state
+        self._flow_states_cache = None
+        self._specs_by_slave_cache = None
         slave = self.devices.slave(spec.slave)
         if spec.is_downlink:
             self.devices.master.tx_flow_ids.append(spec.flow_id)
@@ -236,6 +280,7 @@ class Piconet:
     def attach_poller(self, poller) -> None:
         """Attach the intra-piconet scheduler."""
         self.poller = poller
+        self._poller_wants_outcome = type(poller).notify is not Poller.notify
         poller.attach(self)
 
     # -------------------------------------------------------------- inspection
@@ -249,10 +294,30 @@ class Piconet:
         return self.flow_state(flow_id).queue
 
     def flow_states(self) -> List[FlowState]:
-        return [self._states[fid] for fid in sorted(self._states)]
+        # pollers walk this every selection, so the sorted list is cached
+        # until the next add_flow; callers treat it as read-only
+        states = self._flow_states_cache
+        if states is None:
+            states = [self._states[fid] for fid in sorted(self._states)]
+            self._flow_states_cache = states
+        return states
 
     def flow_specs(self) -> List[FlowSpec]:
         return [state.spec for state in self.flow_states()]
+
+    def flow_specs_of_slave(self, slave: int) -> List[FlowSpec]:
+        """Flow specs terminating at ``slave``, in flow-id order.
+
+        Pollers consult this on every selection; the grouping is cached
+        until the next :meth:`add_flow` and callers treat it as read-only.
+        """
+        cache = self._specs_by_slave_cache
+        if cache is None:
+            cache = {}
+            for state in self.flow_states():
+                cache.setdefault(state.spec.slave, []).append(state.spec)
+            self._specs_by_slave_cache = cache
+        return cache.get(slave, [])
 
     def gs_flow_specs(self) -> List[FlowSpec]:
         return [spec for spec in self.flow_specs() if spec.is_gs]
@@ -370,8 +435,20 @@ class Piconet:
             accounting["bridge_skipped_polls"] = self.bridge_skipped_polls
         return accounting
 
+    def fast_path_stats(self) -> dict:
+        """Batch-kernel window/bailout counters.
+
+        Kept separate from :meth:`slot_accounting` on purpose: golden
+        fixtures byte-compare the accounting keys, and these counters
+        describe the executor, not the simulated system.
+        """
+        if self._batch_kernel is None:
+            return {"enabled": False}
+        return {"enabled": True, **self._batch_kernel.stats()}
+
     # ------------------------------------------------------------ master loop
     def _master_process(self):
+        kernel = self._batch_kernel
         while True:
             slot_index = self.env.now // SLOT_US
 
@@ -425,9 +502,23 @@ class Piconet:
                     if slot_index + dl_slots + ul_slots > next_reservation:
                         plan = None
 
+            # 4. steady-state stretches run through the batch kernel; it
+            #    executes the very same plan/commit helpers inline and
+            #    hands back whatever it could not consume (a plan is never
+            #    select-ed twice — pollers mutate state in select)
             if plan is None:
+                if kernel is not None and kernel.try_idle():
+                    continue
                 yield from self._idle()
                 continue
+
+            if kernel is not None:
+                plan = kernel.run(plan)
+                if plan is None:
+                    continue
+                if plan is BatchKernel.IDLE:
+                    yield from self._idle()
+                    continue
 
             yield from self._execute_transaction(plan)
 
@@ -441,24 +532,44 @@ class Piconet:
         self.slots_idle += advance
         yield self.env.timeout(advance * SLOT_US)
 
+    # The transaction is split into plan (_begin_transaction), execute
+    # (either the generator below or the batch kernel) and commit
+    # (_apply_downlink / _finish_transaction).  The generator is the
+    # semantic reference: it only adds event-loop suspensions between the
+    # very same helper calls the kernel makes inline, so the two paths are
+    # byte-identical by construction.
     def _execute_transaction(self, plan: TransactionPlan):
-        start = self.env.now
-        dl_link = (plan.slave, DOWNLINK)
-        ul_link = (plan.slave, UPLINK)
+        txn = self._begin_transaction(plan)
+        # -- downlink ------------------------------------------------------
+        yield self.env.timeout(txn.dl_packet.duration_us)
+        self._apply_downlink(txn)
+        # -- uplink ---------------------------------------------------------
+        yield self.env.timeout(txn.ul_packet.duration_us)
+        self._finish_transaction(txn)
+
+    def _begin_transaction(self, plan: TransactionPlan) -> _Transaction:
+        """Plan step: snapshot queues, packets and bridge presence."""
+        txn = _Transaction()
+        txn.plan = plan
+        txn.start = self.env._now
 
         dl_state = (self._states.get(plan.dl_flow_id)
                     if plan.dl_flow_id is not None else None)
         ul_state = (self._states.get(plan.ul_flow_id)
                     if plan.ul_flow_id is not None else None)
+        txn.dl_state = dl_state
+        txn.ul_state = ul_state
 
         dl_segment = dl_state.queue.peek_segment() if dl_state is not None else None
         # Snapshot the uplink queue at master transmission start (paper rule).
         ul_segment = ul_state.queue.peek_segment() if ul_state is not None else None
+        txn.dl_segment = dl_segment
+        txn.ul_segment = ul_segment
 
-        dl_packet = dl_segment if dl_segment is not None else poll_packet()
-        ul_packet = ul_segment if ul_segment is not None else null_packet()
+        txn.dl_packet = dl_segment if dl_segment is not None else _POLL_PACKET
+        txn.ul_packet = ul_segment if ul_segment is not None else _NULL_PACKET
 
-        deliveries: List[SegmentDelivery] = []
+        txn.deliveries = []
 
         # A scatternet bridge that is currently residing in its other
         # piconet hears nothing: the transaction still burns its slots, but
@@ -466,52 +577,76 @@ class Piconet:
         # never received, the uplink answer never sent).  Presence is
         # evaluated per direction, so a handover mid-transaction loses
         # exactly the directions transmitted while away.
-        bridge_absent = not self._slave_present(plan.slave, start)
+        presence = self._bridge_presence.get(plan.slave)
+        bridge_absent = (presence is not None
+                         and not presence(txn.start // SLOT_US))
+        txn.bridge_absent = bridge_absent
         if bridge_absent:
             self.bridge_absent_polls += 1
+        return txn
 
-        # Each direction traverses its own link channel, with the channel
-        # state advanced to the slot the packet starts in; losses in the two
-        # directions are sampled independently (control POLL/NULL packets
-        # are assumed to always get through, as before).
-        # -- downlink ------------------------------------------------------
-        yield self.env.timeout(dl_packet.duration_us)
+    def _apply_downlink(self, txn: _Transaction) -> None:
+        """Commit the downlink direction (clock sits at downlink end).
+
+        Each direction traverses its own link channel, with the channel
+        state advanced to the slot the packet starts in; losses in the two
+        directions are sampled independently (control POLL/NULL packets
+        are assumed to always get through, as before).
+        """
+        dl_segment = txn.dl_segment
         if dl_segment is None:
             dl_result = TX_OK
-        elif bridge_absent:  # presence at `start`, computed above
+        elif txn.bridge_absent:  # presence at transaction start
             dl_result = TX_NOT_RECEIVED
         else:
-            dl_result = self.channels.transmit(plan.slave, DOWNLINK,
-                                               dl_packet, now_us=start)
-        dl_error = dl_segment is not None and not dl_result.ok
+            dl_result = self.channels.transmit(txn.plan.slave, DOWNLINK,
+                                               txn.dl_packet, now_us=txn.start)
+        txn.dl_result = dl_result
+        txn.dl_error = dl_segment is not None and not dl_result.ok
         if dl_segment is not None:
+            dl_state = txn.dl_state
             if dl_result.ok:
                 dl_state.queue.confirm_segment()
-                deliveries.append(self._deliver(dl_state, dl_segment))
+                delivery = self._deliver(
+                    dl_state, dl_segment,
+                    build_delivery=self._poller_wants_outcome)
+                if delivery is not None:
+                    txn.deliveries.append(delivery)
             else:
                 dl_state.record_failure(dl_result)
-            self._observe_transmission(dl_state, dl_error)
+            self._observe_transmission(dl_state, txn.dl_error)
+        txn.ul_start = self.env._now
 
-        # -- uplink ---------------------------------------------------------
-        ul_start = self.env.now
-        yield self.env.timeout(ul_packet.duration_us)
+    def _finish_transaction(self, txn: _Transaction) -> None:
+        """Commit the uplink direction and the transaction's accounting
+        (clock sits at transaction end)."""
+        plan = txn.plan
+        ul_segment = txn.ul_segment
         if ul_segment is None:
             ul_result = TX_OK
-        elif not self._slave_present(plan.slave, ul_start):
+        elif not self._slave_present(plan.slave, txn.ul_start):
             ul_result = TX_NOT_RECEIVED
         else:
             ul_result = self.channels.transmit(plan.slave, UPLINK,
-                                               ul_packet, now_us=ul_start)
+                                               txn.ul_packet,
+                                               now_us=txn.ul_start)
         ul_error = ul_segment is not None and not ul_result.ok
         if ul_segment is not None:
+            ul_state = txn.ul_state
             if ul_result.ok:
                 ul_state.queue.confirm_segment()
-                deliveries.append(self._deliver(ul_state, ul_segment))
+                delivery = self._deliver(
+                    ul_state, ul_segment,
+                    build_delivery=self._poller_wants_outcome)
+                if delivery is not None:
+                    txn.deliveries.append(delivery)
             else:
                 ul_state.record_failure(ul_result)
             self._observe_transmission(ul_state, ul_error)
 
-        slots = dl_packet.slots + ul_packet.slots
+        dl_segment = txn.dl_segment
+        dl_result = txn.dl_result
+        slots = txn.dl_packet.ptype.slots + txn.ul_packet.ptype.slots
         carried = (dl_segment is not None and dl_result.ok) \
             or (ul_segment is not None and ul_result.ok)
         if plan.kind == KIND_GS:
@@ -525,24 +660,27 @@ class Piconet:
             if not carried:
                 self.be_polls_without_data += 1
 
+        # pollers that keep the base no-op notify never inspect outcomes,
+        # so the objects are only built when someone will read them
+        if not self._poller_wants_outcome:
+            return
         outcome = PollOutcome(
             plan=plan,
-            start=start,
+            start=txn.start,
             end=self.env.now,
             slots=slots,
             dl_carried_data=dl_segment is not None and dl_result.ok,
             ul_carried_data=ul_segment is not None and ul_result.ok,
-            dl_error=dl_error,
+            dl_error=txn.dl_error,
             ul_error=ul_error,
             dl_not_received=dl_segment is not None and not dl_result.received,
             ul_not_received=ul_segment is not None and not ul_result.received,
-            dl_link=dl_link,
-            ul_link=ul_link,
-            bridge_absent=bridge_absent,
-            deliveries=deliveries,
+            dl_link=(plan.slave, DOWNLINK),
+            ul_link=(plan.slave, UPLINK),
+            bridge_absent=txn.bridge_absent,
+            deliveries=txn.deliveries,
         )
-        if self.poller is not None:
-            self.poller.notify(outcome)
+        self.poller.notify(outcome)
 
     def _skipped_outcome(self, plan: TransactionPlan) -> PollOutcome:
         """The zero-slot outcome of a negotiated skip (nothing on the air).
@@ -598,19 +736,30 @@ class Piconet:
                 # counted — a missed access code erases the whole frame,
                 # an uncorrected payload error garbles it.
                 state.sco_residual_errors += 1
-            self._deliver(state, segment)
+            self._deliver(state, segment, build_delivery=False)
 
-    def _deliver(self, state: FlowState, segment: BasebandPacket) -> SegmentDelivery:
+    def _deliver(self, state: FlowState, segment: BasebandPacket,
+                 build_delivery: bool = True) -> Optional[SegmentDelivery]:
+        """Book one delivered segment; the receipt object is optional.
+
+        The :class:`SegmentDelivery` receipt exists solely for
+        ``PollOutcome.deliveries``; callers whose poller never reads
+        outcomes pass ``build_delivery=False`` and get ``None`` back while
+        every statistic is updated identically.
+        """
         state.segments_delivered += 1
         state.delivered_segment_bytes += segment.payload
-        delivery = SegmentDelivery(
-            flow_id=state.spec.flow_id,
-            payload=segment.payload,
-            is_last_segment=segment.is_last_segment,
-            hl_packet_id=segment.hl_packet_id,
-            hl_packet_size=segment.hl_packet_size,
-            hl_arrival_time=segment.hl_arrival_time,
-        )
+        if build_delivery:
+            delivery = SegmentDelivery(
+                flow_id=state.spec.flow_id,
+                payload=segment.payload,
+                is_last_segment=segment.is_last_segment,
+                hl_packet_id=segment.hl_packet_id,
+                hl_packet_size=segment.hl_packet_size,
+                hl_arrival_time=segment.hl_arrival_time,
+            )
+        else:
+            delivery = None
         result = state.reassembler.push(segment)
         if result is not None:
             arrival = result["arrival_time"]
@@ -618,5 +767,6 @@ class Piconet:
             state.delays.record(delay_seconds)
             state.delivered_bytes += result["size"]
             state.delivered_packets += 1
-            delivery.completed_at = self.env.now
+            if delivery is not None:
+                delivery.completed_at = self.env.now
         return delivery

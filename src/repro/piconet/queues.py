@@ -70,10 +70,12 @@ class FlowQueue:
     # -- consumer side (peek / confirm for ARQ) ------------------------------
     def peek_segment(self) -> Optional[BasebandPacket]:
         """Next baseband segment to transmit, without consuming it."""
-        self._fill_segments()
-        if not self._segments:
-            return None
-        return self._segments[0]
+        segments = self._segments
+        if not segments:
+            if not self._packets:
+                return None
+            self._fill_segments()
+        return segments[0] if segments else None
 
     def confirm_segment(self) -> BasebandPacket:
         """Consume the segment returned by the last :meth:`peek_segment`."""

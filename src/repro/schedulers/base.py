@@ -47,7 +47,9 @@ class TransactionPlan:
         data).
     info:
         Free-form metadata a poller may attach for its own use in
-        :meth:`Poller.notify`.
+        :meth:`Poller.notify` (``None`` unless the poller set any — plans
+        are built once per transaction, so the common case allocates no
+        dict).
     """
 
     slave: int
@@ -55,7 +57,7 @@ class TransactionPlan:
     ul_flow_id: Optional[int] = None
     kind: str = KIND_BE
     gs_flow_id: Optional[int] = None
-    info: Dict[str, Any] = field(default_factory=dict)
+    info: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_GS, KIND_BE, KIND_SCO):
@@ -165,12 +167,17 @@ class Poller:
         return self.piconet.queue(flow_id).has_data()
 
     def flows_of_slave(self, slave: int, traffic_class: Optional[str] = None):
-        """Flow specs terminating at ``slave`` (optionally filtered by class)."""
+        """Flow specs terminating at ``slave`` (optionally filtered by class).
+
+        The unfiltered variant returns the piconet's cached per-slave
+        grouping (read-only) — pollers call this on every selection.
+        """
         self._require_attached()
-        return [state.spec for state in self.piconet.flow_states()
-                if state.spec.slave == slave
-                and (traffic_class is None
-                     or state.spec.traffic_class == traffic_class)]
+        specs = self.piconet.flow_specs_of_slave(slave)
+        if traffic_class is None:
+            return specs
+        return [spec for spec in specs
+                if spec.traffic_class == traffic_class]
 
     def build_plan_for_slave(self, slave: int, kind: str = KIND_BE,
                              traffic_class: Optional[str] = None,

@@ -51,7 +51,9 @@ class PureRoundRobinPoller(Poller):
     def _plan_for(self, slave: int) -> TransactionPlan:
         dl_flow = None
         ul_flow = None
-        for spec in self.flows_of_slave(slave):
+        # the piconet's cached per-slave grouping, read-only (select runs
+        # once per transaction — this is the poller's hot path)
+        for spec in self.piconet.flow_specs_of_slave(slave):
             if spec.is_downlink:
                 if dl_flow is None or self.downlink_has_data(spec.flow_id):
                     if dl_flow is None or not self.downlink_has_data(dl_flow):

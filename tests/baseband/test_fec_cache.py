@@ -1,0 +1,77 @@
+"""Tests of the memoized FEC tables and their observability hooks.
+
+The slot-batch fast path leans on :mod:`repro.baseband.fec` computing each
+packet-shape error decomposition exactly once per ``(type, payload, ber)``
+key; ``cache_stats()`` / ``clear_caches()`` make that claim checkable.
+"""
+
+import pytest
+
+from repro.baseband.fec import (
+    cache_stats,
+    clear_caches,
+    packet_error_probabilities,
+)
+from repro.baseband.packets import BasebandPacket, get_packet_type
+
+
+def _packet(name="DH3", payload=100):
+    return BasebandPacket(ptype=get_packet_type(name), payload=payload,
+                          flow_id=1)
+
+
+def test_cache_stats_reports_every_memoized_function():
+    stats = cache_stats()
+    assert set(stats) == {
+        "repetition_bit_error", "hamming_block_error", "access_code_error",
+        "header_error", "payload_error", "packet_error_probabilities"}
+    for counters in stats.values():
+        assert set(counters) == {"hits", "misses", "size"}
+
+
+def test_repeated_decomposition_hits_the_cache():
+    clear_caches()
+    first = packet_error_probabilities(_packet(), 1e-4)
+    baseline = cache_stats()["packet_error_probabilities"]
+    assert baseline["misses"] == 1 and baseline["size"] == 1
+
+    second = packet_error_probabilities(_packet(), 1e-4)
+    after = cache_stats()["packet_error_probabilities"]
+    assert second == first
+    assert after["hits"] == baseline["hits"] + 1
+    assert after["misses"] == baseline["misses"]  # no recomputation
+    assert after["size"] == 1
+
+
+def test_distinct_shapes_and_bers_miss_separately():
+    clear_caches()
+    packet_error_probabilities(_packet("DH3", 100), 1e-4)
+    packet_error_probabilities(_packet("DH3", 100), 2e-4)  # new ber
+    packet_error_probabilities(_packet("DH1", 17), 1e-4)   # new shape
+    packet_error_probabilities(_packet("DM3", 100), 1e-4)  # new type
+    stats = cache_stats()["packet_error_probabilities"]
+    assert stats["misses"] == 4
+    assert stats["size"] == 4
+
+
+def test_clear_caches_resets_all_counters():
+    packet_error_probabilities(_packet(), 1e-4)
+    clear_caches()
+    for counters in cache_stats().values():
+        assert counters == {"hits": 0, "misses": 0, "size": 0}
+
+
+def test_validation_stays_in_front_of_the_cache():
+    with pytest.raises(ValueError, match="bit error rate"):
+        packet_error_probabilities(_packet(), 1.5)
+    with pytest.raises(ValueError, match="bit error rate"):
+        packet_error_probabilities(_packet(), -0.1)
+
+
+def test_cached_values_match_direct_recomputation():
+    clear_caches()
+    cached = packet_error_probabilities(_packet("DM1", 17), 3e-4)
+    clear_caches()
+    fresh = packet_error_probabilities(_packet("DM1", 17), 3e-4)
+    assert cached == fresh
+    assert 0.0 < fresh.any < 1.0

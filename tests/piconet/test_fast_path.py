@@ -1,0 +1,206 @@
+"""Unit tests of the slot-batch fast path (plan / execute / commit kernel).
+
+The byte-identity of the kernel against the reference event loop is
+covered property-based in ``tests/properties/test_fast_path_equivalence``
+and fixture-based in ``tests/experiments/test_golden``; here the kernel's
+mechanics are pinned directly: the clock-resync primitive, the bailout
+counters, and every way of switching the fast path off (config field,
+spec field, environment variable, CLI flag).
+"""
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.piconet.batch_kernel import NO_FAST_PATH_ENV, BatchKernel
+from repro.piconet.flows import BE, DOWNLINK
+from repro.piconet.piconet import Piconet, PiconetConfig
+from repro.scenario import compile_scenario
+from repro.scenario.factories import figure4_piconet_spec
+from repro.scenario.specs import (
+    FlowSpec,
+    PiconetSpec,
+    PollerSpec,
+    ScenarioSpec,
+)
+from repro.sim.engine import Environment
+
+STEADY_TYPES = ("DH1", "DH3", "DH5")
+
+
+@pytest.fixture(autouse=True)
+def _fast_path_enabled(monkeypatch):
+    # these tests pin kernel mechanics, so they must not inherit an outer
+    # REPRO_NO_FAST_PATH (e.g. a full-suite run under the kill switch)
+    monkeypatch.delenv(NO_FAST_PATH_ENV, raising=False)
+
+
+def _steady_spec(fast_path=True):
+    """One slave, one sourceless BE downlink, round-robin poller."""
+    piconet = PiconetSpec(
+        name="steady", slaves=("S1",),
+        flows=(FlowSpec(1, slave=1, direction=DOWNLINK, traffic_class=BE,
+                        allowed_types=STEADY_TYPES),),
+        allowed_types=STEADY_TYPES,
+        poller=PollerSpec(kind="round_robin"),
+        fast_path=fast_path)
+    return ScenarioSpec(piconets=(piconet,))
+
+
+# -- the clock-resync primitive -----------------------------------------------
+
+def test_advance_to_jumps_without_processing_events():
+    env = Environment()
+    env.timeout(100)
+    env.advance_to(50)
+    assert env.now == 50
+    env.advance_to(100)  # exactly the event time is still legal
+    assert env.now == 100
+
+
+def test_advance_to_rejects_moving_backwards():
+    env = Environment()
+    env.timeout(100)
+    env.advance_to(50)
+    with pytest.raises(ValueError, match="past"):
+        env.advance_to(30)
+
+
+def test_advance_to_rejects_passing_the_next_event():
+    env = Environment()
+    env.timeout(100)
+    with pytest.raises(ValueError, match="passes the next scheduled"):
+        env.advance_to(200)
+
+
+# -- kernel engagement and bailout counters -----------------------------------
+
+def test_kernel_runs_steady_state_inline():
+    compiled = compile_scenario(_steady_spec(), seed=1)
+    compiled.run(1.0)
+    stats = compiled.primary.piconet.fast_path_stats()
+    assert stats["enabled"]
+    assert stats["windows"] >= 1
+    assert stats["transactions"] > 0
+    # the run's stop event eventually falls within one transaction bound
+    assert stats["bailouts"]["horizon"] >= 1
+    assert stats["bailouts"]["sco"] == 0
+    assert stats["bailouts"]["bridge"] == 0
+
+
+def test_kernel_bails_on_sco_reservations():
+    spec = ScenarioSpec(piconets=(
+        figure4_piconet_spec(delay_requirement=0.040, sco_slaves=(4,),
+                             be_slaves=(5, 6, 7)),))
+    compiled = compile_scenario(spec, seed=1)
+    compiled.run(0.5)
+    stats = compiled.primary.piconet.fast_path_stats()
+    assert stats["enabled"]
+    assert stats["bailouts"]["sco"] > 0
+    assert stats["transactions"] == 0  # never inline while SCO is reserved
+
+
+def test_stats_shape_matches_kernel_counters():
+    compiled = compile_scenario(_steady_spec(), seed=1)
+    compiled.run(0.2)
+    kernel = compiled.primary.piconet._batch_kernel
+    assert compiled.primary.piconet.fast_path_stats() == {
+        "enabled": True,
+        "windows": kernel.windows,
+        "transactions": kernel.transactions,
+        "idle_advances": kernel.idle_advances,
+        "bailouts": kernel.bailouts,
+    }
+
+
+# -- the off switches ----------------------------------------------------------
+
+def test_spec_fast_path_false_disables_the_kernel():
+    compiled = compile_scenario(_steady_spec(fast_path=False), seed=1)
+    piconet = compiled.primary.piconet
+    assert piconet._batch_kernel is None
+    assert piconet.fast_path_stats() == {"enabled": False}
+    compiled.run(0.2)  # the reference path still runs the scenario
+    assert piconet.slot_accounting()["accounted"] >= 0.2 * 1600 * 0.95
+
+
+def test_config_fast_path_false_disables_the_kernel():
+    piconet = Piconet(config=PiconetConfig(fast_path=False))
+    assert piconet._batch_kernel is None
+    assert Piconet().fast_path_stats() == {
+        "enabled": True, "windows": 0, "transactions": 0,
+        "idle_advances": 0,
+        "bailouts": {"sco": 0, "bridge": 0, "horizon": 0,
+                     "adaptive_flip": 0}}
+
+
+def test_env_var_disables_the_kernel(monkeypatch):
+    monkeypatch.setenv(NO_FAST_PATH_ENV, "1")
+    piconet = Piconet()  # fast_path defaults to True in the config
+    assert piconet._batch_kernel is None
+    assert piconet.fast_path_stats() == {"enabled": False}
+
+
+def test_cli_no_fast_path_sets_the_env_var(monkeypatch, capsys):
+    captured = {}
+
+    class _StubResult:
+        def to_json(self):
+            return "{}"
+
+    class _StubRunner:
+        def __init__(self, **kwargs):
+            pass
+
+        def run(self, *args, **kwargs):
+            captured["env"] = os.environ.get(NO_FAST_PATH_ENV)
+            return _StubResult()
+
+    monkeypatch.delenv(NO_FAST_PATH_ENV, raising=False)
+    monkeypatch.setattr("repro.experiments.__main__.SweepRunner", _StubRunner)
+    # setenv then delenv registers the restore, so the flag's os.environ
+    # write inside main() does not leak into other tests
+    monkeypatch.setenv(NO_FAST_PATH_ENV, "x")
+    monkeypatch.delenv(NO_FAST_PATH_ENV)
+
+    assert main(["run", "figure5", "--json", "-"]) == 0
+    assert captured["env"] is None  # without the flag: fast path stays on
+
+    assert main(["run", "figure5", "--no-fast-path", "--json", "-"]) == 0
+    assert captured["env"] == "1"
+    capsys.readouterr()
+
+
+# -- equivalence smoke test (the property test draws random scenarios) ---------
+
+def test_backlogged_run_is_identical_on_both_paths():
+    results = {}
+    for fast in (True, False):
+        spec = _steady_spec(fast_path=fast)
+        compiled = compile_scenario(spec, seed=3)
+        for _ in range(40):
+            compiled.primary.piconet.offer_packet(1, 16000)
+        compiled.run(2.0)
+        piconet = compiled.primary.piconet
+        results[fast] = (piconet.slot_accounting(), piconet.flow_stats(1))
+    assert results[True] == results[False]
+    assert results[True][1]["delivered_packets"] > 0
+
+
+def test_idle_kernel_window_on_pollerless_piconet():
+    # a piconet whose poller never plans falls back to pure idling, which
+    # the kernel also takes inline (try_idle)
+    spec = replace(
+        _steady_spec().piconets[0],
+        poller=PollerSpec(kind="round_robin", only_slaves=()))
+    compiled = compile_scenario(ScenarioSpec(piconets=(spec,)), seed=1)
+    compiled.run(0.5)
+    stats = compiled.primary.piconet.fast_path_stats()
+    assert stats["enabled"]
+    assert stats["idle_advances"] > 0
+
+
+def test_idle_sentinel_repr():
+    assert repr(BatchKernel.IDLE) == "<BatchKernel.IDLE>"
