@@ -1,0 +1,107 @@
+"""Admission-pipeline cost benchmark: oblivious vs. budget-aware.
+
+PR 7 threads per-link :class:`~repro.core.link_budget.LinkBudget` objects
+through the whole GS pipeline (request -> wait bound -> priorities ->
+error terms -> planners).  The budget-aware path must stay cheap — it runs
+inside every ``add_flow`` of every compiled scenario — so this benchmark
+times the full Section-4.1 admission sequence under both modes plus the
+analytic budget derivation itself, and lands the rates in
+``BENCH_admission.json`` via :mod:`record` so the cost trajectory
+survives across PRs.
+
+"Slots" here are admission operations (one ``add_flow`` each), not TDD
+slots; rates are therefore admissions per wall-second.
+"""
+
+import time
+
+from record import record
+
+from repro.core import GuaranteedServiceManager, cbr_tspec
+from repro.core.link_budget import LinkBudget
+from repro.piconet.flows import DOWNLINK, UPLINK, FlowSpec, GS
+from repro.scenario import link_budgets_for
+from repro.experiments.admission_budget import (
+    admission_vs_ber_spec,
+    bridge_residency_admission_spec,
+)
+
+M_T = 6 * 625e-6
+
+#: the Section-4.1 GS flow set (flow id, slave, direction)
+FLOWS = ((1, 1, UPLINK), (2, 2, DOWNLINK), (3, 2, UPLINK), (4, 3, UPLINK))
+
+#: admission sequences per measurement — enough that per-call overhead
+#: dominates interpreter warm-up
+ROUNDS = 300
+
+#: a representative lossy budget (iid BER 3e-4 over the paper's types)
+LOSSY_BUDGET = LinkBudget(loss_probability=0.362)
+
+
+def _admission_churn(budgets):
+    """Admit the Fig. 4 flow set ``ROUNDS`` times; returns (ops, wall)."""
+    tspec = cbr_tspec(0.020, 144, 176)
+    ops = 0
+    started = time.perf_counter()
+    for _ in range(ROUNDS):
+        manager = GuaranteedServiceManager(M_T, link_budgets=budgets)
+        for flow_id, slave, direction in FLOWS:
+            spec = FlowSpec(flow_id, slave=slave, direction=direction,
+                            traffic_class=GS)
+            setup = manager.add_flow(spec, tspec, delay_bound=0.040)
+            assert setup.accepted
+            ops += 1
+    return ops, time.perf_counter() - started
+
+
+def _bench_modes():
+    budgets = {(slave, direction): LOSSY_BUDGET
+               for _, slave, direction in FLOWS}
+    return {
+        "oblivious": _admission_churn(None),
+        "budget_aware": _admission_churn(budgets),
+    }
+
+
+def test_bench_figure4_admission(benchmark):
+    results = benchmark.pedantic(_bench_modes, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    for variant, (ops, wall) in results.items():
+        record("admission", "figure4_admission", variant, ops, wall)
+        rate = ops / wall if wall > 0 else float("inf")
+        benchmark.extra_info[f"{variant}_admissions_per_second"] = round(rate)
+        print(f"\nfigure4_admission [{variant}]: {ops} admissions in "
+              f"{wall:.3f}s wall ({rate:,.0f}/s)")
+    slow = results["budget_aware"][1]
+    fast = results["oblivious"][1]
+    # threading budgets through the pipeline must not blow up its cost
+    assert slow < fast * 5
+
+
+def _bench_derivation():
+    ops = 0
+    started = time.perf_counter()
+    for _ in range(ROUNDS):
+        for spec in (
+                admission_vs_ber_spec({"bit_error_rate": 3e-4,
+                                       "admission_mode": "budget-aware",
+                                       "interferer_duty": 0.8}),
+                bridge_residency_admission_spec(
+                    {"bridge_share": 0.5,
+                     "admission_mode": "budget-aware"})):
+            for piconet in spec.piconets:
+                budgets = link_budgets_for(spec, piconet)
+                ops += len(budgets)
+    return ops, time.perf_counter() - started
+
+
+def test_bench_budget_derivation(benchmark):
+    ops, wall = benchmark.pedantic(_bench_derivation, rounds=1,
+                                   iterations=1, warmup_rounds=0)
+    record("admission", "budget_derivation", "analytic", ops, wall)
+    rate = ops / wall if wall > 0 else float("inf")
+    benchmark.extra_info["budgets_per_second"] = round(rate)
+    print(f"\nbudget_derivation [analytic]: {ops} link budgets in "
+          f"{wall:.3f}s wall ({rate:,.0f}/s)")
+    assert ops == ROUNDS * 2 * 4  # 4 GS links in each scenario's piconet A

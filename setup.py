@@ -20,7 +20,7 @@ setup(
     extras_require={
         # the canonical coverage-enforcing test invocation:
         #   pip install -e .[test]
-        #   pytest --cov=repro --cov-fail-under=93.8
+        #   pytest --cov=repro --cov-fail-under=93.5
         # (floor mirrored in .coveragerc; offline environments without
         # pytest-cov run tools/coverage_floor.py instead)
         "test": ["pytest", "pytest-cov"],

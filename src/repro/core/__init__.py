@@ -13,6 +13,11 @@ wait_bound
     poll caused by ongoing transmissions and higher-priority polls.
 error_terms
     The exported C and D error terms (Eq. 6/7) and their composition.
+link_budget
+    Effective per-link capacity: channel loss, interference, and bridge
+    residency composed into a ``LinkBudget`` the admission pipeline can
+    consume (expected retransmissions, deflated usable rate, absence
+    windows).
 admission
     The Fig. 3 admission-control routine with piggybacking-aware priority
     reassignment, and the poll-stream abstraction.
@@ -41,6 +46,14 @@ from repro.core.poll_efficiency import (
 )
 from repro.core.wait_bound import WaitBoundResult, compute_wait_bound
 from repro.core.error_terms import ErrorTerms, accumulate_error_terms, export_error_terms
+from repro.core.link_budget import (
+    IDEAL_LINK_BUDGET,
+    MAX_LOSS,
+    LinkBudget,
+    bridge_residency,
+    worst_case_budget,
+    worst_data_loss,
+)
 from repro.core.admission import (
     AdmissionController,
     AdmissionResult,
@@ -66,6 +79,9 @@ __all__ = [
     "GSFlowRequest",
     "GSFlowSetup",
     "GuaranteedServiceManager",
+    "IDEAL_LINK_BUDGET",
+    "LinkBudget",
+    "MAX_LOSS",
     "PlannerConfig",
     "PollStream",
     "PredictiveFairPoller",
@@ -75,6 +91,7 @@ __all__ = [
     "VariableIntervalPlanner",
     "WaitBoundResult",
     "accumulate_error_terms",
+    "bridge_residency",
     "cbr_tspec",
     "compute_wait_bound",
     "delay_bound",
@@ -83,4 +100,6 @@ __all__ = [
     "poll_efficiency",
     "rate_for_delay_bound",
     "segments_needed",
+    "worst_case_budget",
+    "worst_data_loss",
 ]

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baseband.constants import SLOT_SECONDS
+from repro.core.link_budget import LinkBudget, worst_case_budget
 from repro.core.token_bucket import TSpec
 from repro.core.wait_bound import HigherPriorityStream, WaitBoundResult, compute_wait_bound
 from repro.piconet.flows import DOWNLINK, UPLINK
@@ -45,6 +46,11 @@ class GSFlowRequest:
     max_segment_slots:
         Slots of the largest baseband packet the flow's segments may use
         (3 for DH3).
+    budget:
+        Optional :class:`~repro.core.link_budget.LinkBudget` describing
+        the link's effective capacity (expected loss, bridge residency).
+        ``None`` — the default, and the paper's assumption — makes every
+        budget-aware quantity degenerate to its oblivious value.
     """
 
     flow_id: int
@@ -54,6 +60,7 @@ class GSFlowRequest:
     rate: float
     eta_min: float
     max_segment_slots: int = 3
+    budget: Optional[LinkBudget] = None
 
     def __post_init__(self) -> None:
         if self.direction not in (UPLINK, DOWNLINK):
@@ -65,11 +72,26 @@ class GSFlowRequest:
             raise ValueError("eta_min must be positive")
         if self.max_segment_slots not in (1, 3, 5):
             raise ValueError("max_segment_slots must be 1, 3 or 5")
+        if self.budget is not None and not isinstance(self.budget, LinkBudget):
+            raise ValueError(
+                f"budget must be a LinkBudget or None, got {self.budget!r}")
 
     @property
     def interval(self) -> float:
         """The poll interval ``t_i = eta_min_i / R_i`` in seconds (Eq. 5)."""
         return self.eta_min / self.rate
+
+    @property
+    def effective_interval(self) -> float:
+        """``t_i`` deflated by the link's residency share.
+
+        A peer reachable only part of the time must be polled more often
+        while it *is* reachable for the admitted rate to hold overall;
+        without a budget this is exactly :attr:`interval`.
+        """
+        if self.budget is None:
+            return self.interval
+        return self.budget.effective_interval(self.interval)
 
     def solo_transaction_seconds(self) -> float:
         """Transaction time when this flow is polled alone.
@@ -78,6 +100,18 @@ class GSFlowRequest:
         a one-slot POLL or NULL packet in the other direction.
         """
         return (self.max_segment_slots + 1) * SLOT_SECONDS
+
+    def effective_transaction_seconds(self) -> float:
+        """Expected solo transaction time including retransmissions.
+
+        A lossy link repeats a transaction ``1 / (1 - loss)`` times on
+        average before the segment gets through; the admission control
+        budgets that whole expected cost, not just the first attempt.
+        """
+        if self.budget is None:
+            return self.solo_transaction_seconds()
+        return self.solo_transaction_seconds() \
+            * self.budget.retransmission_factor()
 
 
 @dataclass
@@ -115,6 +149,27 @@ class PollStream:
             return (self.primary.flow_id,)
         return (self.primary.flow_id, self.secondary.flow_id)
 
+    @property
+    def combined_budget(self) -> Optional[LinkBudget]:
+        """Worst-case budget over the stream's flows (``None``: oblivious).
+
+        A piggybacked transaction touches both directions of the slave, so
+        the stream must survive the lossier one and wait out the longer
+        absence.
+        """
+        if self.secondary is None:
+            return self.primary.budget
+        return worst_case_budget((self.primary.budget,
+                                  self.secondary.budget))
+
+    @property
+    def effective_interval(self) -> float:
+        """The stream's poll interval deflated by the link's residency."""
+        budget = self.combined_budget
+        if budget is None:
+            return self.interval
+        return budget.effective_interval(self.interval)
+
     def max_transaction_seconds(self) -> float:
         """Longest transaction of this stream (both directions with data)."""
         if self.secondary is None:
@@ -122,15 +177,39 @@ class PollStream:
         return (self.primary.max_segment_slots
                 + self.secondary.max_segment_slots) * SLOT_SECONDS
 
+    def effective_transaction_seconds(self) -> float:
+        """Expected transaction time including the link's retransmissions."""
+        budget = self.combined_budget
+        if budget is None:
+            return self.max_transaction_seconds()
+        return self.max_transaction_seconds() \
+            * budget.retransmission_factor()
+
+    @property
+    def absence_seconds(self) -> float:
+        """Longest window the stream's slave is unreachable (0: always there)."""
+        budget = self.combined_budget
+        return budget.absence_seconds if budget is not None else 0.0
+
     def as_higher_priority(self) -> HigherPriorityStream:
-        """View of this stream as seen by a lower-priority flow (Fig. 2 input)."""
+        """View of this stream as seen by a lower-priority flow (Fig. 2 input).
+
+        Budget-aware on both axes: the stream's polls recur at the
+        *effective* interval (more often, on a part-time link) and each
+        occupies the *expected* transaction time (longer, with
+        retransmissions) — so lower priorities budget the real load.
+        """
         return HigherPriorityStream(
-            interval=self.interval,
-            max_transaction_time=self.max_transaction_seconds())
+            interval=self.effective_interval,
+            max_transaction_time=self.effective_transaction_seconds())
 
     def complies(self) -> bool:
-        """Eq. 9: the stream's wait bound does not exceed its poll interval."""
-        return self.wait_bound <= self.interval + 1e-12
+        """Eq. 9: the stream's wait bound does not exceed its poll interval.
+
+        With a budget, against the residency-deflated interval — the
+        stricter test a part-time link must pass.
+        """
+        return self.wait_bound <= self.effective_interval + 1e-12
 
 
 @dataclass
@@ -219,12 +298,13 @@ class AdmissionController:
     def _admit(self, request: GSFlowRequest, commit: bool) -> AdmissionResult:
         if any(r.flow_id == request.flow_id for r in self._accepted):
             return AdmissionResult(False, reason=f"flow {request.flow_id} already admitted")
-        if request.interval < self.max_transaction_seconds - 1e-12:
-            # Even the highest priority cannot help: u_i >= M_t > t_i.
+        if request.effective_interval < self.max_transaction_seconds - 1e-12:
+            # Even the highest priority cannot help: u_i >= M_t > t_i
+            # (with a budget, against the residency-deflated interval).
             return AdmissionResult(
                 False, reason=(
                     f"requested rate {request.rate:.1f} B/s needs polls every "
-                    f"{request.interval * 1000:.2f} ms, shorter than the longest "
+                    f"{request.effective_interval * 1000:.2f} ms, shorter than the longest "
                     f"transaction {self.max_transaction_seconds * 1000:.2f} ms"))
 
         # step a/b: candidate set F = accepted flows + the new one
@@ -296,8 +376,9 @@ class AdmissionController:
                 streams.append(PollStream(primary=req))
                 continue
             partner = remaining.pop(partner_index)
-            # the flow with the smaller interval (larger rate) leads the stream
-            primary, secondary = (req, partner) if req.interval <= partner.interval \
+            # the flow with the smaller (effective) interval leads the stream
+            primary, secondary = (req, partner) \
+                if req.effective_interval <= partner.effective_interval \
                 else (partner, req)
             streams.append(PollStream(primary=primary, secondary=secondary))
         return streams
@@ -321,8 +402,10 @@ class AdmissionController:
                           if j != index]
                 result = compute_wait_bound(
                     self.max_transaction_seconds, higher,
-                    own_interval=candidate.interval)
-                if result.converged and result.wait_bound <= candidate.interval + 1e-12:
+                    own_interval=candidate.effective_interval,
+                    absence_seconds=candidate.absence_seconds)
+                if result.converged and \
+                        result.wait_bound <= candidate.effective_interval + 1e-12:
                     chosen_index = index
                     chosen_result = result
                     break

@@ -14,7 +14,9 @@ so the exported terms are ``C_i = eta_min_i`` (bytes) and ``D_i = u_i``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional
+
+from repro.core.link_budget import LinkBudget
 
 
 @dataclass(frozen=True)
@@ -48,7 +50,8 @@ class ErrorTerms:
 ZERO_ERROR_TERMS = ErrorTerms(0.0, 0.0)
 
 
-def export_error_terms(eta_min: float, wait_bound: float) -> ErrorTerms:
+def export_error_terms(eta_min: float, wait_bound: float,
+                       budget: Optional[LinkBudget] = None) -> ErrorTerms:
     """The terms the Bluetooth poller exports for one flow (Eq. 7).
 
     Parameters
@@ -57,8 +60,21 @@ def export_error_terms(eta_min: float, wait_bound: float) -> ErrorTerms:
         Minimum poll efficiency of the flow, bytes (becomes ``C``).
     wait_bound:
         ``u_i`` of the flow in seconds (becomes ``D``).
+    budget:
+        Optional effective-capacity knowledge about the flow's link.  A
+        lossy link delivers only one poll in ``1 - loss`` attempts, so the
+        rate-dependent term inflates to ``eta_min`` *expected
+        transmissions per success* — the service rate negotiated against
+        these terms then covers the retransmissions; a bridge's absence
+        window joins the rate-independent term, because a planned poll may
+        additionally wait for the peer to return.  ``None`` (the default,
+        and the paper's ideal channel) exports Eq. 7 unchanged.
     """
-    return ErrorTerms(c_bytes=float(eta_min), d_seconds=float(wait_bound))
+    if budget is None:
+        return ErrorTerms(c_bytes=float(eta_min), d_seconds=float(wait_bound))
+    return ErrorTerms(
+        c_bytes=float(eta_min) * budget.retransmission_factor(),
+        d_seconds=float(wait_bound) + budget.absence_seconds)
 
 
 def accumulate_error_terms(elements: Iterable[ErrorTerms]) -> ErrorTerms:

@@ -15,10 +15,14 @@ worlds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.baseband.constants import SLOT_SECONDS
-from repro.baseband.segmentation import BestFitSegmentationPolicy, SegmentationPolicy
+from repro.baseband.segmentation import (
+    BestFitSegmentationPolicy,
+    LinkQualityEstimator,
+    SegmentationPolicy,
+)
 from repro.core.admission import (
     AdmissionController,
     AdmissionResult,
@@ -27,6 +31,7 @@ from repro.core.admission import (
 )
 from repro.core.error_terms import ErrorTerms, export_error_terms
 from repro.core.gs_math import delay_bound, rate_for_delay_bound
+from repro.core.link_budget import LinkBudget
 from repro.core.planning import (
     BasePlanner,
     FixedIntervalPlanner,
@@ -85,6 +90,16 @@ class GuaranteedServiceManager:
         Individual toggles for the three Section 3.2 improvements (only
         relevant when ``variable_interval`` is true); used by the ablation
         benchmark.
+    link_budgets:
+        Optional ``(slave, direction) -> LinkBudget`` map: the
+        effective-capacity knowledge (expected loss, interference, bridge
+        residency) admission should budget per link.  ``None`` (the
+        default) keeps the manager oblivious — the paper's ideal-channel
+        assumption, bit-identical to the historical behaviour.
+    estimator_alpha / estimator_initial_loss:
+        EWMA parameters of the per-link loss estimators fed through
+        :meth:`observe_link`; the initial loss seeds every estimator (an
+        operator's prior for links without observations yet).
     """
 
     def __init__(self, max_transaction_seconds: float = 6 * SLOT_SECONDS,
@@ -93,7 +108,11 @@ class GuaranteedServiceManager:
                  postpone_by_packet_size: bool = True,
                  postpone_after_unsuccessful: bool = True,
                  skip_when_no_downlink_data: bool = True,
-                 policy_cls=BestFitSegmentationPolicy):
+                 policy_cls=BestFitSegmentationPolicy,
+                 link_budgets: Optional[Mapping[Tuple[int, str],
+                                               LinkBudget]] = None,
+                 estimator_alpha: float = 0.05,
+                 estimator_initial_loss: float = 0.0):
         self.admission = AdmissionController(
             max_transaction_seconds=max_transaction_seconds,
             piggyback_aware=piggyback_aware)
@@ -103,6 +122,11 @@ class GuaranteedServiceManager:
         self.postpone_after_unsuccessful = postpone_after_unsuccessful
         self.skip_when_no_downlink_data = skip_when_no_downlink_data
         self.policy_cls = policy_cls
+        self._link_budgets: Dict[Tuple[int, str], LinkBudget] = \
+            dict(link_budgets) if link_budgets is not None else {}
+        self.estimator_alpha = estimator_alpha
+        self.estimator_initial_loss = estimator_initial_loss
+        self._estimators: Dict[Tuple[int, str], LinkQualityEstimator] = {}
         self._setups: Dict[int, GSFlowSetup] = {}
         self._planners: Dict[int, BasePlanner] = {}
         self._streams: List[PollStream] = []
@@ -153,7 +177,8 @@ class GuaranteedServiceManager:
         return GSFlowRequest(
             flow_id=spec.flow_id, slave=spec.slave, direction=spec.direction,
             tspec=tspec, rate=rate, eta_min=eta_min,
-            max_segment_slots=max_segment_slots)
+            max_segment_slots=max_segment_slots,
+            budget=self.budget_for(spec.slave, spec.direction))
 
     def _negotiate_rate(self, spec: FlowSpec, tspec: TSpec, target: float,
                         eta_min: float, max_segment_slots: int
@@ -168,7 +193,8 @@ class GuaranteedServiceManager:
             if not result.accepted:
                 return request, result
             stream = result.stream_for(spec.flow_id)
-            terms = export_error_terms(eta_min, stream.wait_bound)
+            terms = export_error_terms(eta_min, stream.wait_bound,
+                                       budget=stream.combined_budget)
             needed = rate_for_delay_bound(tspec, target, terms.c_bytes,
                                           terms.d_seconds)
             if needed is None:
@@ -189,14 +215,19 @@ class GuaranteedServiceManager:
         planners: Dict[int, BasePlanner] = {}
         for stream in self._streams:
             primary_id = stream.primary.flow_id
+            # polls are planned at the *effective* interval: on a part-time
+            # (bridged) link the admitted rate only holds if the polls come
+            # proportionally faster while the peer is present; without a
+            # budget this is exactly stream.interval
+            interval = stream.effective_interval
             existing = self._planners.get(primary_id)
             if existing is not None and \
-                    abs(existing.config.interval - stream.interval) < 1e-12:
+                    abs(existing.config.interval - interval) < 1e-12:
                 planners[primary_id] = existing
                 continue
             direction = "BOTH" if stream.secondary is not None \
                 else stream.primary.direction
-            config = PlannerConfig(flow_id=primary_id, interval=stream.interval,
+            config = PlannerConfig(flow_id=primary_id, interval=interval,
                                    rate=stream.rate, direction=direction)
             if self.variable_interval:
                 planners[primary_id] = VariableIntervalPlanner(
@@ -248,13 +279,108 @@ class GuaranteedServiceManager:
             raise KeyError(f"flow {flow_id} is not admitted")
         setup = self._setups.get(flow_id)
         eta_min = setup.eta_min if setup is not None else stream.primary.eta_min
-        return export_error_terms(eta_min, stream.wait_bound)
+        return export_error_terms(eta_min, stream.wait_bound,
+                                  budget=stream.combined_budget)
 
     def delay_bound_for(self, flow_id: int) -> float:
         """The Eq. (1) delay bound for the flow at its admitted rate."""
         setup = self._setups[flow_id]
         terms = self.error_terms_for(flow_id)
         return delay_bound(setup.tspec, setup.rate, terms.c_bytes, terms.d_seconds)
+
+    # ------------------------------------------------------- effective capacity
+    @property
+    def budget_aware(self) -> bool:
+        """Whether admission consumes per-link effective-capacity budgets."""
+        return bool(self._link_budgets)
+
+    def budget_for(self, slave: int, direction: str) -> Optional[LinkBudget]:
+        """The admitted budget of one link (``None``: oblivious)."""
+        return self._link_budgets.get((slave, direction))
+
+    def observe_link(self, slave: int, direction: str, error: bool) -> None:
+        """Feed one observed data transmission outcome back per link.
+
+        The piconet calls this for every data segment put on the air (see
+        ``Piconet.add_link_observer``); the per-link EWMA estimators it
+        feeds are what :meth:`flagged_flows` compares against the admitted
+        budgets.
+        """
+        key = (slave, direction)
+        estimator = self._estimators.get(key)
+        if estimator is None:
+            estimator = LinkQualityEstimator(
+                alpha=self.estimator_alpha,
+                initial_loss=self.estimator_initial_loss)
+            self._estimators[key] = estimator
+        estimator.observe(error)
+
+    def measured_loss(self, slave: int, direction: str) -> Optional[float]:
+        """Smoothed observed loss of one link (``None``: no observations)."""
+        estimator = self._estimators.get((slave, direction))
+        if estimator is None or estimator.observations == 0:
+            return None
+        return estimator.loss_estimate
+
+    def link_observations(self, slave: int, direction: str) -> int:
+        estimator = self._estimators.get((slave, direction))
+        return estimator.observations if estimator is not None else 0
+
+    def flagged_flows(self, min_observations: int = 25,
+                      tolerance: float = 0.05) -> List[int]:
+        """Admitted flows whose measured loss exceeds their admitted budget.
+
+        A flow is flagged once its link has at least ``min_observations``
+        outcomes and the smoothed loss exceeds the budgeted
+        ``loss_probability`` by more than ``tolerance`` — the signal that
+        the admitted rate no longer covers the real retransmission cost
+        and the flow should renegotiate (:meth:`renegotiate_flow`).
+        """
+        flagged: List[int] = []
+        for flow_id in sorted(self._setups):
+            setup = self._setups[flow_id]
+            key = (setup.spec.slave, setup.spec.direction)
+            estimator = self._estimators.get(key)
+            if estimator is None or estimator.observations < min_observations:
+                continue
+            budgeted = setup.request.budget.loss_probability \
+                if setup.request.budget is not None else 0.0
+            if estimator.loss_estimate > budgeted + tolerance:
+                flagged.append(flow_id)
+        return flagged
+
+    def renegotiate_flow(self, flow_id: int, now: float = 0.0) -> GSFlowSetup:
+        """Re-admit a flow with its budget raised to the measured loss.
+
+        The flow is torn down and re-run through admission carrying
+        ``budget.with_estimated_loss(measured)`` — the negotiated rate then
+        covers the retransmissions actually observed.  On rejection the
+        flow *stays removed* (its reserved capacity was fiction) and the
+        returned setup says why; the raised budget sticks for any later
+        re-request of the link.
+        """
+        setup = self._setups.pop(flow_id, None)
+        if setup is None:
+            raise KeyError(f"flow {flow_id} is not admitted")
+        self.admission.remove_flow(flow_id)
+        self._streams = self.admission.streams
+        key = (setup.spec.slave, setup.spec.direction)
+        measured = self.measured_loss(*key)
+        budget = setup.request.budget \
+            if setup.request.budget is not None else LinkBudget()
+        if measured is not None:
+            budget = budget.with_estimated_loss(measured)
+        self._link_budgets[key] = budget
+        if setup.requested_delay_bound is not None:
+            renewed = self.add_flow(setup.spec, setup.tspec,
+                                    delay_bound=setup.requested_delay_bound,
+                                    start_time=now)
+        else:
+            renewed = self.add_flow(setup.spec, setup.tspec,
+                                    rate=setup.request.rate, start_time=now)
+        if not renewed.accepted:
+            self._rebuild_planners(now)
+        return renewed
 
     # ------------------------------------------------------------------ runtime
     def due_streams(self, now: float,

@@ -64,7 +64,8 @@ class WaitBoundResult:
 def compute_wait_bound(max_transaction_time: float,
                        higher_priority: Sequence[HigherPriorityStream],
                        own_interval: Optional[float] = None,
-                       max_iterations: int = 1000) -> WaitBoundResult:
+                       max_iterations: int = 1000,
+                       absence_seconds: float = 0.0) -> WaitBoundResult:
     """Run the Fig. 2 algorithm.
 
     Parameters
@@ -80,11 +81,21 @@ def compute_wait_bound(max_transaction_time: float,
         aborts as soon as ``u_i`` exceeds it (paper step f: "avoid infinite
         loop"); the admission test ``u_i <= t_i`` then fails.  When ``None``
         the iteration runs until convergence or ``max_iterations``.
+    absence_seconds:
+        Budget-aware extension (zero in the paper's ideal piconet): the
+        longest contiguous window the flow's peer is unreachable — a
+        scatternet bridge away in its other piconet.  A planned poll may
+        additionally wait out that whole window, so it joins ``M_t`` in
+        the iteration's base term.  The default adds exactly ``0.0``,
+        leaving the oblivious path bit-identical.
     """
     if max_transaction_time <= 0:
         raise ValueError("max_transaction_time must be positive")
     if own_interval is not None and own_interval <= 0:
         raise ValueError("own_interval must be positive")
+    if absence_seconds < 0:
+        raise ValueError("absence_seconds cannot be negative")
+    base_wait = max_transaction_time + absence_seconds
 
     # When the higher-priority set alone saturates the channel
     # (sum s_max_j / t_j >= 1) the recursion has no finite fixed point:
@@ -98,11 +109,11 @@ def compute_wait_bound(max_transaction_time: float,
         return WaitBoundResult(wait_bound=UNBOUNDED_WAIT,
                                converged=False, iterations=0)
 
-    u = max_transaction_time
+    u = base_wait
     iterations = 0
     while True:
         iterations += 1
-        accumulated = max_transaction_time + sum(
+        accumulated = base_wait + sum(
             stream.max_transaction_time * math.ceil(u / stream.interval - 1e-12)
             for stream in higher_priority)
         if not math.isfinite(accumulated) or accumulated > UNBOUNDED_WAIT:

@@ -28,7 +28,10 @@ registers the ``heavy_piconet``, ``mixed_sco_gs`` and ``be_load_scale``
 workloads, and :mod:`repro.experiments.channel_packs` the per-link channel
 workloads ``link_quality_mix``, ``bursty_channel``, ``dm_vs_dh`` and
 ``multi_sco`` plus the inter-piconet packs ``two_piconet_interference``,
-``bridge_split`` and ``crowded_room``.  Every registered experiment's
+``bridge_split`` and ``crowded_room``;
+:mod:`repro.experiments.admission_budget` contrasts oblivious and
+budget-aware admission with ``admission_vs_ber`` and
+``bridge_residency_admission``.  Every registered experiment's
 golden rows are pinned as fixtures under ``tests/golden/``
 (:mod:`repro.experiments.golden`, refreshed via ``python -m
 repro.experiments regen-golden``).  See ``src/repro/experiments/README.md``
@@ -66,6 +69,10 @@ from repro.experiments.scenario_packs import (
     run_be_load_scale_point,
     run_heavy_piconet_point,
     run_mixed_sco_gs_point,
+)
+from repro.experiments.admission_budget import (
+    run_admission_vs_ber_point,
+    run_bridge_residency_admission_point,
 )
 from repro.experiments.channel_packs import (
     run_bridge_split_point,
@@ -120,7 +127,9 @@ __all__ = [
     "log_progress",
     "make_backend",
     "register",
+    "run_admission_vs_ber_point",
     "run_be_load_scale_point",
+    "run_bridge_residency_admission_point",
     "run_bridge_split_point",
     "run_bursty_channel_point",
     "run_crowded_room_point",

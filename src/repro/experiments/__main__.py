@@ -120,7 +120,34 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     rendered = json.dumps(resolved.to_dict(), indent=2)
     for line in rendered.splitlines():
         print(f"    {line}")
+    _print_link_budgets(resolved)
     return 0
+
+
+def _print_link_budgets(resolved) -> None:
+    """The resolved per-link budget table of a spec-backed experiment.
+
+    Shown for oblivious scenarios too — the table is what budget-aware
+    admission *would* see, which is exactly what an author flipping
+    ``admission.mode`` via ``--set`` wants to preview.
+    """
+    from repro.scenario import describe_link_budgets
+
+    rows = describe_link_budgets(resolved)
+    if not rows:
+        print("  link budgets: (no GS-managed flows)")
+        return
+    print("  link budgets (effective capacity per GS link):")
+    header = (f"    {'piconet':<10} {'slave':>5} {'dir':<4} {'mode':<12} "
+              f"{'loss':>8} {'retx':>6} {'residency':>9} {'absence':>10}")
+    print(header)
+    for row in rows:
+        print(f"    {row['piconet']:<10} {row['slave']:>5} "
+              f"{row['direction']:<4} {row['mode']:<12} "
+              f"{row['loss_probability']:>8.4f} "
+              f"{row['retransmission_factor']:>6.2f} "
+              f"{row['residency']:>9.4f} "
+              f"{row['absence_ms']:>7.2f} ms")
 
 
 def _cmd_list() -> int:

@@ -77,6 +77,13 @@ GOLDEN_OVERRIDES: Dict[str, Dict[str, object]] = {
                                  "duration_seconds": 1.0},
     "bridge_split": {"bridge_share": [0.5], "duration_seconds": 1.0},
     "crowded_room": {"piconets": [1, 4], "duration_seconds": 1.0},
+    # budget-aware admission: both modes stay in the fixture so the
+    # oblivious/aware contrast itself is pinned
+    "admission_vs_ber": {"bit_error_rate": [0.0, 1e-3],
+                         "interferer_duty": [0.0],
+                         "duration_seconds": 1.0},
+    "bridge_residency_admission": {"bridge_share": [0.5, 0.9],
+                                   "duration_seconds": 1.0},
 }
 
 

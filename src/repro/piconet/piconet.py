@@ -174,6 +174,11 @@ class Piconet:
         #: that keep the base no-op never look at outcomes, so the hot
         #: path skips building PollOutcome/SegmentDelivery entirely)
         self._poller_wants_outcome = False
+        #: link observers: ``fn(slave, direction, error)`` called for every
+        #: observed data transmission (both executors share the commit
+        #: helpers, so the batch kernel feeds them identically); empty for
+        #: every scenario that does not ask for budget-aware admission
+        self._link_observers: List[Callable[[int, str, bool], None]] = []
         self._batch_kernel = (BatchKernel(self)
                               if self.config.fast_path
                               and not fast_path_disabled() else None)
@@ -282,6 +287,13 @@ class Piconet:
         self.poller = poller
         self._poller_wants_outcome = type(poller).notify is not Poller.notify
         poller.attach(self)
+
+    def add_link_observer(self,
+                          observer: Callable[[int, str, bool], None]) -> None:
+        """Register ``observer(slave, direction, error)`` for every observed
+        data transmission — the feedback path budget-aware admission uses to
+        compare measured loss against admitted budgets."""
+        self._link_observers.append(observer)
 
     # -------------------------------------------------------------- inspection
     def flow_state(self, flow_id: int) -> FlowState:
@@ -702,6 +714,8 @@ class Piconet:
         observe = getattr(state.queue.policy, "observe_transmission", None)
         if observe is not None:
             observe(error)
+        for observer in self._link_observers:
+            observer(state.spec.slave, state.spec.direction, error)
 
     def _execute_sco(self, link: ScoLink):
         """Run one reserved SCO exchange (one slot each way, no ARQ)."""

@@ -20,6 +20,8 @@ from repro.scenario.compile import (
     baseline_poller_factories,
     compile_channel,
     compile_scenario,
+    describe_link_budgets,
+    link_budgets_for,
 )
 from repro.scenario.factories import (
     bridge_split_spec,
@@ -38,9 +40,11 @@ from repro.scenario.overrides import (
     split_spec_overrides,
 )
 from repro.scenario.specs import (
+    ADMISSION_MODES,
     BASELINE_POLLER_KINDS,
     CHANNEL_MODELS,
     POLLER_KINDS,
+    AdmissionSpec,
     BridgeSpec,
     ChannelSpec,
     FlowSpec,
@@ -53,10 +57,12 @@ from repro.scenario.specs import (
 )
 
 __all__ = [
+    "ADMISSION_MODES",
     "BASELINE_POLLER_KINDS",
     "CHANNEL_MODELS",
     "POLLER_KINDS",
     "SCENARIO_PARAM",
+    "AdmissionSpec",
     "BridgeSpec",
     "ChannelSpec",
     "CompiledPiconet",
@@ -73,10 +79,12 @@ __all__ = [
     "bridge_split_spec",
     "compile_channel",
     "compile_scenario",
+    "describe_link_budgets",
     "figure4_piconet_spec",
     "forbid_overrides",
     "figure4_spec",
     "interfered_be_spec",
+    "link_budgets_for",
     "multi_sco_piconet_spec",
     "multi_sco_spec",
     "override_spec",

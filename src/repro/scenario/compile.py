@@ -30,14 +30,18 @@ from repro.baseband.channel import (
 )
 from repro.baseband.constants import SLOT_SECONDS
 from repro.baseband.interference import (
+    DEFAULT_COLLISION_BER,
+    HOP_CHANNELS,
+    MAX_COLLISION_BER,
     InterferenceField,
     interference_channel_map,
 )
 from repro.baseband.packets import max_transaction_slots
 from repro.core.gs_manager import GSFlowSetup, GuaranteedServiceManager
+from repro.core.link_budget import LinkBudget, bridge_residency
 from repro.core.pfp import PredictiveFairPoller
 from repro.core.token_bucket import cbr_tspec
-from repro.piconet.bridge import BridgeNode
+from repro.piconet.bridge import ROLE_A, ROLE_B, BridgeNode
 from repro.piconet.flows import FlowSpec as RuntimeFlowSpec
 from repro.piconet.piconet import Piconet, PiconetConfig
 from repro.piconet.scatternet import Scatternet
@@ -134,6 +138,98 @@ def _compile_interference(spec: InterferenceSpec, base: ChannelSpec,
         interference_field, spec.victim, base_factory=base_factory,
         streams=streams.child(spec.map_stream))
     return interference_field, interferers, channel
+
+
+# ---------------------------------------------------------- link budgets
+
+def _interference_ber(spec: ScenarioSpec, piconet: PiconetSpec) -> float:
+    """The analytic hop-collision BER the interference field inflicts."""
+    interference = spec.interference
+    if interference is None or interference.victim != piconet.name:
+        return 0.0
+    miss = 1.0
+    for duty in interference.interferer_duties:
+        miss *= 1.0 - duty / HOP_CHANNELS
+    per_collision = interference.ber_per_collision \
+        if interference.ber_per_collision is not None \
+        else DEFAULT_COLLISION_BER
+    return min((1.0 - miss) * per_collision, MAX_COLLISION_BER)
+
+
+def _link_residency(spec: ScenarioSpec, piconet: PiconetSpec,
+                    slave: int):
+    """``(residency, absence_seconds)`` of one slave, from the bridges."""
+    for bridge in spec.bridges:
+        if bridge.piconet_a == piconet.name and bridge.slave_a == slave:
+            return bridge_residency(bridge.schedule(), ROLE_A)
+        if bridge.piconet_b == piconet.name and bridge.slave_b == slave:
+            return bridge_residency(bridge.schedule(), ROLE_B)
+    return 1.0, 0.0
+
+
+def link_budgets_for(spec: ScenarioSpec, piconet: PiconetSpec
+                     ) -> Dict[tuple, LinkBudget]:
+    """Per-link effective-capacity budgets of one piconet's GS links.
+
+    For every admission-managed ``(slave, direction)`` link the budget
+    composes the piconet's static channel BER (per-slave scaled; a
+    Gilbert-Elliott link contributes its long-run mean), the interference
+    field's analytic collision BER, the bridge's residency share and the
+    :class:`~repro.scenario.specs.AdmissionSpec` margins — the knowledge a
+    ``"budget-aware"`` piconet hands its
+    :class:`~repro.core.gs_manager.GuaranteedServiceManager`.
+    """
+    admission = piconet.admission
+    channel = piconet.channel
+    base_ber = channel.ber if channel.model != "ideal" else 0.0
+    scale = dict(channel.slave_ber_scale)
+    interference_ber = _interference_ber(spec, piconet)
+    budgets: Dict[tuple, LinkBudget] = {}
+    for flow in piconet.flows:
+        if not flow.gs_managed:
+            continue
+        key = (flow.slave, flow.direction)
+        if key in budgets:
+            continue
+        types = flow.allowed_types if flow.allowed_types is not None \
+            else piconet.allowed_types
+        if piconet.adaptive_segmentation:
+            types = tuple(types) + tuple(piconet.robust_types)
+        residency, absence = _link_residency(spec, piconet, flow.slave)
+        budgets[key] = LinkBudget.compose(
+            ber=base_ber * scale.get(flow.slave, 1.0),
+            packet_types=types,
+            interference_ber=interference_ber,
+            estimated_loss=admission.estimator_seed_loss,
+            residency=residency,
+            absence_seconds=absence,
+            loss_margin=admission.loss_margin,
+            residency_margin=admission.residency_margin)
+    return budgets
+
+
+def describe_link_budgets(spec: ScenarioSpec) -> List[Dict[str, object]]:
+    """Budget table rows for every GS link of every piconet of ``spec``.
+
+    Computed for oblivious piconets too (showing what budget-aware
+    admission *would* budget) — the ``python -m repro.experiments
+    describe`` table.
+    """
+    rows: List[Dict[str, object]] = []
+    for piconet in spec.piconets:
+        budgets = link_budgets_for(spec, piconet)
+        for (slave, direction), budget in sorted(budgets.items()):
+            rows.append({
+                "piconet": piconet.name,
+                "slave": slave,
+                "direction": direction,
+                "mode": piconet.admission.mode,
+                "loss_probability": budget.loss_probability,
+                "retransmission_factor": budget.retransmission_factor(),
+                "residency": budget.residency,
+                "absence_ms": budget.absence_seconds * 1000.0,
+            })
+    return rows
 
 
 # -------------------------------------------------------------- piconets
@@ -257,7 +353,9 @@ def _compile_poller(spec: PollerSpec, piconet: Piconet,
 
 def _compile_piconet(spec: PiconetSpec, seed: int,
                      env: Optional[Environment],
-                     channel) -> CompiledPiconet:
+                     channel,
+                     link_budgets: Optional[Dict[tuple, LinkBudget]] = None
+                     ) -> CompiledPiconet:
     streams = RandomStreams(seed)
     if spec.rng_namespace:
         streams = streams.child(spec.rng_namespace)
@@ -307,7 +405,15 @@ def _compile_piconet(spec: PiconetSpec, seed: int,
             postpone_after_unsuccessful=(
                 improvements.postpone_after_unsuccessful),
             skip_when_no_downlink_data=(
-                improvements.skip_when_no_downlink_data))
+                improvements.skip_when_no_downlink_data),
+            link_budgets=link_budgets,
+            estimator_alpha=spec.admission.estimator_alpha,
+            estimator_initial_loss=spec.admission.estimator_seed_loss)
+        if link_budgets:
+            # budget-aware feedback: every observed data transmission
+            # updates the manager's per-link loss estimators, so measured
+            # loss can be compared against the admitted budgets
+            piconet.add_link_observer(manager.observe_link)
         for flow in managed:
             tspec = cbr_tspec(flow.interval_s, *flow.size_bounds)
             if flow.delay_bound is not None:
@@ -444,8 +550,10 @@ def compile_scenario(spec: ScenarioSpec, seed: int,
                                           piconet_spec.channel, seed)
             else:
                 channel = compile_channel(piconet_spec.channel, seed)
+        budgets = link_budgets_for(spec, piconet_spec) \
+            if piconet_spec.admission.aware else None
         compiled[piconet_spec.name] = _compile_piconet(
-            piconet_spec, seed, build_env, channel)
+            piconet_spec, seed, build_env, channel, link_budgets=budgets)
         if scatternet is not None:
             scatternet.adopt_piconet(piconet_spec.name,
                                      compiled[piconet_spec.name].piconet)

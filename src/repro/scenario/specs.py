@@ -28,6 +28,9 @@ from repro.piconet.flows import BE, DOWNLINK, GS, UPLINK
 #: channel models a :class:`ChannelSpec` may name
 CHANNEL_MODELS = ("ideal", "iid", "gilbert")
 
+#: admission-control modes an :class:`AdmissionSpec` may name
+ADMISSION_MODES = ("oblivious", "budget-aware")
+
 #: SCO packet types a :class:`ScoSpec` may reserve
 SCO_PACKET_TYPES = ("HV1", "HV2", "HV3")
 
@@ -234,6 +237,63 @@ class ChannelSpec:
 
 
 @dataclass(frozen=True)
+class AdmissionSpec:
+    """How Guaranteed Service admission treats the link realities.
+
+    ``"oblivious"`` (the default) is the paper's algorithm on the ideal
+    channel — bit-identical to the historical behaviour.  ``"budget-aware"``
+    compiles a per-link :class:`~repro.core.link_budget.LinkBudget` from
+    the scenario's channel model, interference field and bridge schedules:
+    expected retransmissions inflate the error terms and transaction
+    times, bridge absence deflates the usable poll interval, and the
+    piconet feeds observed poll outcomes back so the manager can flag
+    flows whose measured loss exceeds the admitted budget.
+
+    ``loss_margin`` adds to every composed loss probability and
+    ``residency_margin`` subtracts from every residency share — operator
+    safety margins on top of the analytic budget.  ``estimator_alpha`` /
+    ``estimator_seed_loss`` parameterize the runtime loss estimators (the
+    seed doubles as a floor on every composed loss, an operator's prior
+    for links the analytic model calls clean).
+    """
+
+    mode: str = "oblivious"
+    loss_margin: float = 0.0
+    residency_margin: float = 0.0
+    estimator_alpha: float = 0.05
+    estimator_seed_loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.mode in ADMISSION_MODES,
+                 f"unknown admission mode {self.mode!r}; known: "
+                 f"{', '.join(ADMISSION_MODES)}")
+        _require(0.0 <= self.loss_margin < 1.0,
+                 f"loss_margin must lie within [0, 1), got "
+                 f"{self.loss_margin}")
+        _require(0.0 <= self.residency_margin < 1.0,
+                 f"residency_margin must lie within [0, 1), got "
+                 f"{self.residency_margin}")
+        _require(0.0 < self.estimator_alpha <= 1.0,
+                 f"estimator_alpha must lie within (0, 1], got "
+                 f"{self.estimator_alpha}")
+        _require(0.0 <= self.estimator_seed_loss <= 1.0,
+                 f"estimator_seed_loss must lie within [0, 1], got "
+                 f"{self.estimator_seed_loss}")
+
+    @property
+    def aware(self) -> bool:
+        return self.mode == "budget-aware"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _spec_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdmissionSpec":
+        _reject_unknown(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class FlowSpec:
     """One unidirectional traffic flow and its (optional) CBR source.
 
@@ -399,6 +459,7 @@ class PiconetSpec:
     channel: ChannelSpec = ChannelSpec()
     poller: PollerSpec = PollerSpec()
     improvements: ImprovementsSpec = ImprovementsSpec()
+    admission: AdmissionSpec = AdmissionSpec()
     rng_namespace: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -469,6 +530,8 @@ class PiconetSpec:
         if isinstance(data.get("improvements"), Mapping):
             data["improvements"] = ImprovementsSpec.from_dict(
                 data["improvements"])
+        if isinstance(data.get("admission"), Mapping):
+            data["admission"] = AdmissionSpec.from_dict(data["admission"])
         return cls(**data)
 
 

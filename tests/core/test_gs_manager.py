@@ -135,3 +135,102 @@ def test_next_planned_poll(tspec):
     assert manager.next_planned_poll() is None
     manager.add_flow(gs_spec(1, 1), tspec, rate=9000.0, start_time=2.0)
     assert manager.next_planned_poll() == pytest.approx(2.0)
+
+
+# ------------------------------------------------- budget-aware admission
+
+from repro.core.link_budget import LinkBudget  # noqa: E402
+
+
+def budgeted_manager(budgets):
+    return GuaranteedServiceManager(M_T, link_budgets=budgets)
+
+
+def test_lossy_budget_raises_negotiated_rate(tspec):
+    oblivious = GuaranteedServiceManager(M_T)
+    lossy = budgeted_manager(
+        {(1, UPLINK): LinkBudget(loss_probability=0.5)})
+    plain = oblivious.add_flow(gs_spec(1, 1), tspec, delay_bound=0.040)
+    aware = lossy.add_flow(gs_spec(1, 1), tspec, delay_bound=0.040)
+    assert plain.accepted and aware.accepted
+    # the inflated C term (expected retransmissions) demands a higher rate
+    assert aware.rate > plain.rate
+    plain_terms = oblivious.error_terms_for(1)
+    aware_terms = lossy.error_terms_for(1)
+    assert aware_terms.c_bytes == pytest.approx(plain_terms.c_bytes * 2.0)
+
+
+def test_absence_enters_wait_bound_and_d_term(tspec):
+    absence = 0.004
+    manager = budgeted_manager(
+        {(1, UPLINK): LinkBudget(absence_seconds=absence)})
+    setup = manager.add_flow(gs_spec(1, 1), tspec, rate=9000.0)
+    assert setup.accepted
+    assert manager.wait_bound_of(1) == pytest.approx(M_T + absence)
+    terms = manager.error_terms_for(1)
+    assert terms.d_seconds == pytest.approx(M_T + absence + absence)
+
+
+def test_residency_deflates_planner_interval(tspec):
+    manager = budgeted_manager({(1, UPLINK): LinkBudget(residency=0.5)})
+    setup = manager.add_flow(gs_spec(1, 1), tspec, rate=9000.0)
+    assert setup.accepted
+    planner = manager.planner_for(1)
+    assert planner.config.interval == pytest.approx(setup.interval * 0.5)
+
+
+def test_observe_link_feeds_flagging(tspec):
+    manager = budgeted_manager(
+        {(1, UPLINK): LinkBudget(loss_probability=0.1)})
+    manager.add_flow(gs_spec(1, 1), tspec, rate=9000.0)
+    assert manager.measured_loss(1, UPLINK) is None
+    assert manager.flagged_flows() == []
+    for _ in range(100):
+        manager.observe_link(1, UPLINK, error=True)
+    assert manager.link_observations(1, UPLINK) == 100
+    assert manager.measured_loss(1, UPLINK) > 0.5
+    assert manager.flagged_flows() == [1]
+    # a link tracking its budget is never flagged
+    manager.add_flow(gs_spec(2, 2), tspec, rate=9000.0)
+    for _ in range(100):
+        manager.observe_link(2, UPLINK, error=False)
+    assert manager.flagged_flows() == [1]
+
+
+def test_renegotiate_flow_raises_budget_and_rate(tspec):
+    manager = budgeted_manager(
+        {(1, UPLINK): LinkBudget(loss_probability=0.0)})
+    first = manager.add_flow(gs_spec(1, 1), tspec, delay_bound=0.040)
+    assert first.accepted
+    for _ in range(200):
+        manager.observe_link(1, UPLINK, error=True)
+        manager.observe_link(1, UPLINK, error=False)
+    assert manager.flagged_flows() == [1]
+    renewed = manager.renegotiate_flow(1, now=1.0)
+    assert renewed.accepted
+    assert renewed.rate > first.rate
+    # the raised budget sticks on the link
+    raised = manager.budget_for(1, UPLINK)
+    assert raised.loss_probability == pytest.approx(
+        manager.measured_loss(1, UPLINK))
+
+
+def test_renegotiate_rejection_leaves_flow_removed(tspec):
+    manager = budgeted_manager({(1, UPLINK): LinkBudget()})
+    setup = manager.add_flow(gs_spec(1, 1), tspec, delay_bound=0.040)
+    assert setup.accepted
+    # a link measuring near-total loss cannot be re-admitted at any rate
+    for _ in range(400):
+        manager.observe_link(1, UPLINK, error=True)
+    renewed = manager.renegotiate_flow(1, now=1.0)
+    assert not renewed.accepted
+    assert manager.streams == []
+    assert manager.next_planned_poll() is None
+    with pytest.raises(KeyError):
+        manager.renegotiate_flow(1)
+
+
+def test_unknown_renegotiation_raises(tspec):
+    manager = GuaranteedServiceManager(M_T)
+    with pytest.raises(KeyError):
+        manager.renegotiate_flow(9)

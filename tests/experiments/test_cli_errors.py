@@ -99,7 +99,41 @@ def test_describe_analytic_experiment_reports_no_scenario(capsys):
 
     assert _cmd_describe(argparse.Namespace(
         experiment="admission_capacity", set=[])) == 0
-    assert "analytic experiment" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "analytic experiment" in out
+    assert "link budgets" not in out  # no spec, no budget table
+
+
+def test_describe_prints_link_budget_table_respecting_set(capsys):
+    from repro.experiments.__main__ import _cmd_describe
+    import argparse
+
+    assert _cmd_describe(argparse.Namespace(
+        experiment="bridge_residency_admission",
+        set=["bridge_share=[0.3]"])) == 0
+    out = capsys.readouterr().out
+    assert "link budgets (effective capacity per GS link)" in out
+    # the bridge slave's residency share and absence window resolved
+    # from the --set share (0.3 of a 48-slot period, 2 guard slots)
+    assert "0.2500" in out
+    assert "22.50 ms" in out
+
+
+def test_describe_without_gs_flows_reports_empty_budget_table(capsys):
+    from repro.experiments.__main__ import _cmd_describe
+    import argparse
+
+    assert _cmd_describe(argparse.Namespace(
+        experiment="crowded_room", set=["piconets=[2]"])) == 0
+    assert "(no GS-managed flows)" in capsys.readouterr().out
+
+
+def test_describe_dotted_set_on_analytic_experiment_exits_with_message():
+    result = run_cli("describe", "admission_capacity",
+                     "--set", "admission.mode=budget-aware")
+    assert result.returncode != 0
+    assert "no scenario spec" in result.stderr
+    assert "Traceback" not in result.stderr
 
 
 # --------------------------------------------------- dotted --set overrides

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.baseband.segmentation import BestFitSegmentationPolicy
 from repro.core import TSpec, TokenBucket, cbr_tspec, compute_wait_bound, delay_bound, min_poll_efficiency, rate_for_delay_bound
 from repro.core.admission import AdmissionController, GSFlowRequest
+from repro.core.link_budget import LinkBudget
 from repro.core.planning import PlannerConfig, ServedSegment, VariableIntervalPlanner
 from repro.core.wait_bound import HigherPriorityStream
 from repro.piconet.flows import DOWNLINK, UPLINK
@@ -197,6 +198,41 @@ def test_admission_satisfies_eq9_and_piggyback_dominates_per_decision(flows):
             assert aware.request_admission(
                 request(index, slave, direction, rate)).accepted
             admitted.append((index, slave, direction, rate))
+
+
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=7),
+                          st.sampled_from([UPLINK, DOWNLINK]),
+                          st.floats(min_value=8800.0, max_value=30_000.0)),
+                min_size=1, max_size=10))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_ideal_budget_admission_equals_oblivious(flows):
+    # an ideal LinkBudget (no loss, full residency, no absence) must be
+    # indistinguishable from carrying no budget at all: same decisions,
+    # same priorities, same intervals and wait bounds — bit for bit
+    tspec = cbr_tspec(0.020, 144, 176)
+
+    def request(index, slave, direction, rate, budget):
+        return GSFlowRequest(flow_id=index, slave=slave, direction=direction,
+                             tspec=tspec, rate=rate, eta_min=144.0,
+                             budget=budget)
+
+    oblivious = AdmissionController(6 * 625e-6, piggyback_aware=True)
+    budgeted = AdmissionController(6 * 625e-6, piggyback_aware=True)
+    for index, (slave, direction, rate) in enumerate(flows, start=1):
+        plain = oblivious.request_admission(
+            request(index, slave, direction, rate, None))
+        ideal = budgeted.request_admission(
+            request(index, slave, direction, rate, LinkBudget()))
+        assert plain.accepted == ideal.accepted
+        assert plain.reason == ideal.reason
+        plain_streams = sorted(
+            (s.flow_ids, s.priority, s.interval, s.wait_bound)
+            for s in oblivious.streams)
+        ideal_streams = sorted(
+            (s.flow_ids, s.priority, s.interval, s.wait_bound)
+            for s in budgeted.streams)
+        assert plain_streams == ideal_streams
 
 
 # ---------------------------------------------------------------- planner

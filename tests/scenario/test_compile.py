@@ -265,3 +265,91 @@ def test_negotiated_bridge_skips_polls_instead_of_burning_slots():
     nego_be = sum(nego_a.flow_state(fid).delivered_bytes
                   for fid in negotiated.piconets["A"].be_flow_ids)
     assert nego_be >= blind_be
+
+
+# ---------------------------------------------------- budget-aware wiring
+
+def aware_figure4_spec(ber=1e-3):
+    import dataclasses
+
+    from repro.scenario import AdmissionSpec
+
+    spec = figure4_spec(channel=ChannelSpec(model="iid", ber=ber))
+    piconet = dataclasses.replace(
+        spec.piconets[0], admission=AdmissionSpec(mode="budget-aware"))
+    return dataclasses.replace(spec, piconets=(piconet,))
+
+
+def test_oblivious_default_compiles_without_budgets():
+    compiled = figure4_spec().compile(0).primary
+    assert not compiled.manager.budget_aware
+    assert compiled.manager.budget_for(1, "UL") is None
+
+
+def test_budget_aware_compile_threads_budgets_and_feedback():
+    from repro.scenario import link_budgets_for
+
+    spec = aware_figure4_spec()
+    compiled = spec.compile(0).primary
+    manager = compiled.manager
+    assert manager.budget_aware
+    expected = link_budgets_for(spec, spec.piconets[0])
+    assert manager.budget_for(1, "UL") == expected[(1, "UL")]
+    assert manager.budget_for(1, "UL").loss_probability > 0.5
+    # the piconet feeds observed outcomes back into the manager
+    compiled.run(0.2)
+    assert manager.link_observations(1, "UL") > 0
+
+
+def test_admission_mode_dotted_override_flows_to_compile():
+    from repro.scenario import apply_overrides
+
+    spec = apply_overrides(figure4_spec(),
+                           {"admission.mode": "budget-aware"})
+    assert spec.piconets[0].admission.aware
+    compiled = spec.compile(0).primary
+    # ideal channel, full residency: budgets exist but are all ideal
+    assert compiled.manager.budget_aware
+    assert compiled.manager.budget_for(1, "UL").is_ideal
+
+
+def test_describe_link_budgets_covers_oblivious_piconets_too():
+    from repro.scenario import describe_link_budgets
+
+    rows = describe_link_budgets(bridge_split_spec(bridge_share=0.3))
+    by_link = {(row["piconet"], row["slave"], row["direction"]): row
+               for row in rows}
+    assert all(row["mode"] == "oblivious" for row in rows)
+    bridge_row = by_link[("A", 3, "UL")]
+    assert bridge_row["residency"] == pytest.approx(0.28125)
+    assert bridge_row["absence_ms"] == pytest.approx(43.125)
+    assert by_link[("A", 1, "UL")]["residency"] == 1.0
+
+
+def test_link_budgets_scale_gilbert_and_interference_inputs():
+    import dataclasses
+
+    from repro.baseband.interference import DEFAULT_COLLISION_BER
+    from repro.scenario import InterferenceSpec, link_budgets_for
+    from repro.scenario.compile import _interference_ber
+
+    spec = figure4_spec(
+        channel=ChannelSpec(model="iid", ber=1e-5,
+                            slave_ber_scale=((2, 2.0),)),
+        adaptive_segmentation=True)
+    piconet = spec.piconets[0]
+    spec = dataclasses.replace(spec, interference=InterferenceSpec(
+        victim=piconet.name, interferer_duties=(0.2, 0.2),
+        ber_per_collision=0.01))
+    budgets = link_budgets_for(spec, spec.piconets[0])
+    # per-slave multipliers make S2's links lossier than S1's
+    assert budgets[(2, "UL")].loss_probability \
+        > budgets[(1, "UL")].loss_probability
+    # the analytic collision BER honours the configured ber_per_collision
+    expected = (1.0 - (1.0 - 0.2 / 79) ** 2) * 0.01
+    assert _interference_ber(spec, spec.piconets[0]) \
+        == pytest.approx(expected)
+    assert DEFAULT_COLLISION_BER != 0.01  # the override actually differs
+    # a different piconet name sees no interference
+    other = dataclasses.replace(spec.piconets[0], name="other")
+    assert _interference_ber(spec, other) == 0.0

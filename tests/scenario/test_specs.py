@@ -228,3 +228,48 @@ def test_sco_flow_ids_follow_flow_order():
     piconet = spec.piconets[0]
     assert piconet.sco_flow_ids == (8,)
     assert piconet.sco_links[0].ul_flow_id == 8
+
+
+# ---------------------------------------------------------- AdmissionSpec
+
+def test_admission_spec_round_trips_and_defaults_oblivious():
+    from repro.scenario import AdmissionSpec
+
+    spec = figure4_spec()
+    assert spec.piconets[0].admission == AdmissionSpec()
+    assert not spec.piconets[0].admission.aware
+    aware = AdmissionSpec(mode="budget-aware", loss_margin=0.05,
+                          residency_margin=0.02, estimator_alpha=0.1,
+                          estimator_seed_loss=0.01)
+    assert aware.aware
+    rebuilt = AdmissionSpec.from_dict(
+        json.loads(json.dumps(aware.to_dict())))
+    assert rebuilt == aware
+
+
+@pytest.mark.parametrize("mutation,message", [
+    (dict(mode="psychic"), "admission mode"),
+    (dict(loss_margin=1.0), "loss_margin"),
+    (dict(loss_margin=-0.1), "loss_margin"),
+    (dict(residency_margin=1.0), "residency_margin"),
+    (dict(estimator_alpha=0.0), "estimator_alpha"),
+    (dict(estimator_alpha=1.5), "estimator_alpha"),
+    (dict(estimator_seed_loss=1.5), "estimator_seed_loss"),
+])
+def test_admission_spec_rejects_invalid_fields(mutation, message):
+    from repro.scenario import AdmissionSpec
+
+    with pytest.raises(ValueError, match=message):
+        AdmissionSpec(**mutation)
+
+
+def test_piconet_spec_round_trips_admission():
+    from repro.scenario import AdmissionSpec
+
+    piconet = figure4_spec().piconets[0]
+    import dataclasses
+    aware = dataclasses.replace(
+        piconet, admission=AdmissionSpec(mode="budget-aware"))
+    rebuilt = PiconetSpec.from_dict(json.loads(json.dumps(aware.to_dict())))
+    assert rebuilt.admission.mode == "budget-aware"
+    assert rebuilt == aware

@@ -21,7 +21,7 @@ EXAMPLES_DIR = REPO_ROOT / "examples"
 #: per-script command-line arguments keeping every demo fast enough for
 #: the default (non-slow) test tier
 EXAMPLE_ARGS = {
-    "admission_control_demo.py": [],
+    "admission_control_demo.py": ["0.3"],
     "figure4_voice_piconet.py": ["40", "0.4"],
     "lossy_channel_demo.py": ["0.3"],
     "parallel_sweep.py": ["--duration", "0.2", "--workers", "2"],
