@@ -75,12 +75,19 @@ def _load(path: Path, benchmark: str) -> Dict[str, object]:
 
 
 def record(benchmark: str, scenario: str, variant: str,
-           slots: int, wall_seconds: float) -> Dict[str, object]:
+           slots: int, wall_seconds: float,
+           extra: Dict[str, object] = None,
+           reference_variant: str = REFERENCE_VARIANT,
+           fast_variant: str = FAST_VARIANT) -> Dict[str, object]:
     """Merge one measurement into the benchmark's artifact and return it.
 
     The artifact always reflects the *latest* run of each
     (scenario, variant) pair on the current machine; the machine
-    fingerprint is refreshed on every write.
+    fingerprint is refreshed on every write.  ``extra`` attaches
+    explanatory detail (e.g. the fast path's bailout counters) to the
+    variant entry; ``reference_variant``/``fast_variant`` rename the pair
+    the per-scenario ``speedup`` is derived from (benchmark families that
+    compare something other than event loop vs batch kernel).
     """
     path = artifact_path(benchmark)
     payload = _load(path, benchmark)
@@ -93,8 +100,10 @@ def record(benchmark: str, scenario: str, variant: str,
         "wall_seconds": round(wall_seconds, 6),
         "slots_per_second": round(rate),
     }
-    reference = entry.get(REFERENCE_VARIANT)
-    fast = entry.get(FAST_VARIANT)
+    if extra:
+        entry[variant].update(extra)
+    reference = entry.get(reference_variant)
+    fast = entry.get(fast_variant)
     if reference and fast and reference["slots_per_second"]:
         entry["speedup"] = round(
             fast["slots_per_second"] / reference["slots_per_second"], 2)

@@ -1,0 +1,204 @@
+"""Interference-field benchmark: collision lookups and the coupled room.
+
+The crowded-room experiments hammer one query: "how many co-channel
+colliders does this victim see in this slot?"  The historical
+implementation answered with a pairwise scan over every registered member
+(O(members) per slot *per victim*); the occupancy index folds every
+member's hop/activity into per-slot 79-channel rows once and answers each
+victim query from per-victim prefix-summed counts in O(1).  Both paths
+survive in :class:`~repro.baseband.interference.InterferenceField`
+(``collisions_pairwise`` vs ``collisions``), so this benchmark times them
+on identical fields and lands the pair in ``BENCH_interference.json``.
+
+Scenarios:
+
+* ``collision_lookup_N{8,32,128}`` — the all-victims workload of a
+  coupled room: every one of the N members queries every slot.  Hop and
+  activity draws are pre-warmed *outside* the timed region for both
+  variants, so the numbers compare pure lookup cost (for the index:
+  build + lookup).  The slot span shrinks as N grows so the pairwise
+  reference stays affordable; ``per_lookup_us`` in the artifact is the
+  normalised cost of one victim-slot query.
+* ``hop_sequence_100k`` — the satellite fix: sequential
+  ``channel_at`` calls (which now extend a list instead of filling a
+  per-slot dict) vs one ``extend_to`` block draw of the same 100k
+  channels.
+* ``crowded_room_coupled_64`` — the headline: a fully coupled 64-piconet
+  crowded room (every master loop simulated, all feeding one field)
+  co-advanced on the shared clock; ``slots`` is the aggregate slot count
+  across all 64 piconets.
+"""
+
+import time
+
+from conftest import bench_duration
+from record import record
+
+from repro.baseband.interference import HopSequence, InterferenceField
+from repro.scenario import coupled_room_spec
+from repro.sim.rng import RandomStreams
+
+#: member counts of the collision-lookup scenarios (the ISSUE's N axis)
+MEMBER_COUNTS = (8, 32, 128)
+
+#: victim-slot queries per scenario, split over N victims — keeping the
+#: total pairwise work (N * QUERIES member checks) affordable at N=128
+QUERIES_PER_SCENARIO = 16_000
+
+#: variant labels of the lookup scenarios
+PAIRWISE = "pairwise_scan"
+OCCUPANCY = "occupancy_index"
+
+
+def _build_field(members: int) -> InterferenceField:
+    field = InterferenceField(streams=RandomStreams(9).child("bench"))
+    for index in range(members):
+        field.register(f"m{index}", duty_cycle=1.0 if index % 2 else 0.7)
+    return field
+
+
+def _prewarm(field: InterferenceField, slots: int) -> None:
+    """Materialise every member's draws so timing excludes RNG work."""
+    for name in field.members():
+        member = field.member(name)
+        member.hops.channels_until(slots)
+        member.activity_until(slots)
+
+
+def _lookup_workload(members: int):
+    """(slots, names, pairwise totals) of one lookup scenario."""
+    slots = QUERIES_PER_SCENARIO // members
+    field = _build_field(members)
+    names = field.members()
+    _prewarm(field, slots)
+    totals = [sum(field.collisions_pairwise(name, slot)
+                  for slot in range(slots)) for name in names]
+    return slots, names, totals
+
+
+def _time_lookups(members: int, variant: str):
+    """Time the all-victims lookup sweep on a fresh, pre-warmed field."""
+    slots = QUERIES_PER_SCENARIO // members
+    field = _build_field(members)
+    _prewarm(field, slots)
+    names = field.members()
+    query = field.collisions_pairwise if variant == PAIRWISE \
+        else field.collisions
+    started = time.perf_counter()
+    totals = [sum(query(name, slot) for slot in range(slots))
+              for name in names]
+    wall = time.perf_counter() - started
+    return slots, totals, wall
+
+
+def _record_lookup(benchmark, members: int) -> dict:
+    scenario = f"collision_lookup_N{members}"
+    slots, names, expected = _lookup_workload(members)
+    entry = {}
+    for variant in (PAIRWISE, OCCUPANCY):
+        _, totals, wall = _time_lookups(members, variant)
+        assert totals == expected, \
+            f"{variant} disagrees with the reference at N={members}"
+        lookups = slots * members
+        per_lookup_us = wall / lookups * 1e6
+        payload = record(
+            "interference", scenario, variant, slots, wall,
+            extra={"members": members, "lookups": lookups,
+                   "per_lookup_us": round(per_lookup_us, 4)},
+            reference_variant=PAIRWISE, fast_variant=OCCUPANCY)
+        entry = payload["scenarios"][scenario]
+        benchmark.extra_info[f"{variant}_per_lookup_us"] = round(
+            per_lookup_us, 4)
+        print(f"\n{scenario} [{variant}]: {lookups} lookups in "
+              f"{wall * 1000:.1f}ms ({per_lookup_us:.3f}us each)")
+    benchmark.extra_info["speedup"] = entry["speedup"]
+    print(f"{scenario}: occupancy-index speedup {entry['speedup']}x")
+    return entry
+
+
+def test_bench_collision_lookup_speedup(benchmark):
+    """Pairwise vs occupancy at every N; the N=32 speedup is the gate."""
+
+    def run():
+        return {members: _record_lookup(benchmark, members)
+                for members in MEMBER_COUNTS}
+
+    entries = benchmark.pedantic(run, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    # acceptance gate: >= 5x at N=32 (assert a softer floor so a loaded
+    # CI machine cannot flake the suite; the artifact records the truth)
+    assert entries[32]["speedup"] >= 3.0
+    # sub-linear per-slot lookup growth: 8 -> 128 members is 16x more
+    # work per slot for the pairwise scan, but the indexed per-lookup
+    # cost must stay nearly flat
+    small = entries[8][OCCUPANCY]["per_lookup_us"]
+    large = entries[128][OCCUPANCY]["per_lookup_us"]
+    assert large <= small * 6.0
+    pairwise_growth = (entries[128][PAIRWISE]["per_lookup_us"]
+                       / entries[8][PAIRWISE]["per_lookup_us"])
+    indexed_growth = large / small
+    assert indexed_growth < pairwise_growth
+
+
+def test_bench_hop_sequence_block_extension(benchmark):
+    """The satellite fix: block extension vs per-call sequential access."""
+    slots = 100_000
+
+    def run():
+        import random
+        results = {}
+        per_call = HopSequence(random.Random(4))
+        started = time.perf_counter()
+        channels = [per_call.channel_at(slot) for slot in range(slots)]
+        results["channel_at_loop"] = time.perf_counter() - started
+        blocked = HopSequence(random.Random(4))
+        started = time.perf_counter()
+        blocked.extend_to(slots)
+        results["extend_to_block"] = time.perf_counter() - started
+        assert blocked.channels_until(slots) == channels
+        return results
+
+    walls = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    for variant, wall in walls.items():
+        payload = record("interference", "hop_sequence_100k", variant,
+                         slots, wall,
+                         reference_variant="channel_at_loop",
+                         fast_variant="extend_to_block")
+        print(f"\nhop_sequence_100k [{variant}]: {slots} draws in "
+              f"{wall * 1000:.1f}ms")
+    speedup = payload["scenarios"]["hop_sequence_100k"]["speedup"]
+    benchmark.extra_info["speedup"] = speedup
+    print(f"hop_sequence_100k: extend_to speedup {speedup}x")
+    assert walls["extend_to_block"] <= walls["channel_at_loop"]
+
+
+def test_bench_crowded_room_coupled_64(benchmark):
+    """The headline: a fully coupled 64-piconet room completes and its
+    aggregate slots/sec lands in the artifact."""
+    duration = bench_duration(2.0)
+    compiled = coupled_room_spec(piconets=64).compile(seed=1)
+
+    def run():
+        started = time.perf_counter()
+        compiled.run(duration)
+        return time.perf_counter() - started
+
+    wall = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    slots = sum(
+        scenario.piconet.slot_accounting()["accounted"]
+        for scenario in compiled.piconets.values())
+    payload = record("interference", "crowded_room_coupled_64", "coupled",
+                     slots, wall,
+                     extra={"piconets": 64,
+                            "duration_seconds": duration})
+    rate = payload["scenarios"]["crowded_room_coupled_64"]["coupled"][
+        "slots_per_second"]
+    benchmark.extra_info["slots_per_second"] = rate
+    print(f"\ncrowded_room_coupled_64: {slots} aggregate slots in "
+          f"{wall:.2f}s wall ({rate:,.0f} slots/s)")
+    assert slots >= duration * 1600 * 64 * 0.95
+    field = compiled.interference_field
+    horizon = compiled.scatternet.clock.now_slot
+    # the room is live: piconets are radiating and colliding
+    assert field.activity_fraction("p1", horizon) > 0.5
+    assert field.observed_collision_fraction("p1", horizon) > 0.0

@@ -97,10 +97,22 @@ def _bench_both_paths(spec: ScenarioSpec, duration_seconds: float,
 
 
 def _report(benchmark, scenario: str, results) -> float:
-    """Record both variants in the BENCH artifact; returns the speedup."""
+    """Record both variants in the BENCH artifact; returns the speedup.
+
+    The fast variant's entry carries the kernel's bailout counters
+    (``fast_path_stats``), so a scenario whose speedup is poor — e.g. the
+    event-dense figure-4 radio models — is explainable from the artifact
+    alone: the counters say how often (and why) the kernel fell back to
+    the per-slot event loop.
+    """
     rates = {}
-    for variant, (_, slots, wall) in results.items():
-        payload = record("master_loop", scenario, variant, slots, wall)
+    for variant, (compiled, slots, wall) in results.items():
+        extra = None
+        if variant == FAST_VARIANT:
+            extra = {"fast_path_stats":
+                     compiled.primary.piconet.fast_path_stats()}
+        payload = record("master_loop", scenario, variant, slots, wall,
+                         extra=extra)
         rates[variant] = slots / wall if wall > 0 else float("inf")
         benchmark.extra_info[f"{variant}_slots_per_second"] = round(
             rates[variant])

@@ -431,6 +431,16 @@ class ChannelMap:
         """Links that have carried traffic so far, in sorted order."""
         return sorted(self._channels)
 
+    def total(self, attribute: str) -> int:
+        """Sum an integer counter over every link channel created so far.
+
+        Channels without the attribute count as zero, so e.g.
+        ``total("interference_failures")`` works on mixed maps where only
+        some links are interference-aware.
+        """
+        return sum(getattr(channel, attribute, 0)
+                   for channel in self._channels.values())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ChannelMap({len(self._channels)} links)"
 

@@ -12,10 +12,22 @@ multi-piconet scenarios (ROADMAP follow-on):
 * :class:`InterfererProcess` — a co-located piconet as seen by a victim:
   a hop sequence plus a duty cycle (the fraction of slots it actually
   transmits in).
+* :class:`CoupledTransmitter` — a *fully simulated* co-located piconet:
+  instead of a stochastic duty cycle, its activity is exactly the
+  transmissions the piconet reports
+  (:meth:`InterferenceField.report_transmission`), so N victims drive
+  each other's collision BER from what actually went on the air.
 * :class:`InterferenceField` — the shared medium.  Piconets register by
   name; for any victim transmission the field counts the co-channel
   collisions with every *other* registered member and converts them into a
-  time-varying BER boost.
+  time-varying BER boost.  Counting runs on a per-slot 79-channel
+  *occupancy index* (``slot -> channel -> transmitter count``, built in
+  blocks, with per-victim integer prefix sums), so a per-slot lookup is
+  O(1) instead of a pairwise scan over every member — while producing the
+  exact same integers (and therefore the exact same floats) as the
+  reference pairwise scan, which survives as
+  :meth:`InterferenceField.collisions_pairwise` for the equivalence
+  property and the interference benchmark.
 * :class:`InterferenceAwareChannel` — a :class:`~repro.baseband.channel.
   Channel` wrapper that composes a base (per-link) channel with the
   field's collision BER, so interference slots straight into
@@ -40,7 +52,8 @@ orchestrator's serial / process / batch backends.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple, Union
+from array import array
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.baseband.channel import (
     Channel,
@@ -73,14 +86,21 @@ DEFAULT_COLLISION_BER = 0.05
 #: probability > 0.5 would carry information again).
 MAX_COLLISION_BER = 0.5
 
+#: Slots the occupancy index materialises per extension step.  Block
+#: extension amortises the per-slot Python loop overhead of folding every
+#: member into the index; the value only affects performance, never draws.
+OCCUPANCY_BLOCK_SLOTS = 256
+
 
 class HopSequence:
     """One piconet's pseudo-random 79-channel hop sequence.
 
     ``channel_at(slot)`` is random-access: the underlying draw list is
-    extended lazily up to the requested slot, so the channel of any slot is
-    a pure function of the seed and the slot index, independent of query
-    order.
+    extended up to the requested slot, so the channel of any slot is a
+    pure function of the seed and the slot index, independent of query
+    order.  :meth:`extend_to` draws whole blocks with the loop state bound
+    once (the occupancy index extends all members this way), preserving
+    the exact draw order of the historical one-at-a-time path.
     """
 
     def __init__(self, rng: random.Random, channels: int = HOP_CHANNELS):
@@ -90,13 +110,33 @@ class HopSequence:
         self.channels = channels
         self._sequence: List[int] = []
 
+    def extend_to(self, length: int) -> None:
+        """Draw hop channels until ``length`` slots are materialised.
+
+        Same RNG calls in the same order as repeated ``channel_at`` —
+        only the Python loop overhead is amortised.
+        """
+        sequence = self._sequence
+        if len(sequence) >= length:
+            return
+        append = sequence.append
+        randrange = self._rng.randrange
+        channels = self.channels
+        while len(sequence) < length:
+            append(randrange(channels))
+
+    def channels_until(self, length: int) -> List[int]:
+        """The first ``length`` hop channels (a shared list; do not mutate)."""
+        self.extend_to(length)
+        return self._sequence
+
     def channel_at(self, slot_index: int) -> int:
         """The hop channel this piconet occupies in ``slot_index``."""
         if slot_index < 0:
             raise ValueError(f"slot_index must be >= 0, got {slot_index}")
         sequence = self._sequence
-        while len(sequence) <= slot_index:
-            sequence.append(self._rng.randrange(self.channels))
+        if slot_index >= len(sequence):
+            self.extend_to(slot_index + 1)
         return sequence[slot_index]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -113,6 +153,10 @@ class InterfererProcess:
     A duty cycle of 1.0 models a saturated piconet, 0.0 a silent one.
     """
 
+    #: duty-cycle members model activity stochastically; see
+    #: :class:`CoupledTransmitter` for the reported-transmission variant
+    coupled = False
+
     def __init__(self, name: str, hops: HopSequence,
                  activity_rng: random.Random, duty_cycle: float = 1.0):
         if not 0.0 <= duty_cycle <= 1.0:
@@ -124,21 +168,113 @@ class InterfererProcess:
         self._rng = activity_rng
         self._activity: List[bool] = []
 
+    def extend_to(self, length: int) -> None:
+        """Draw activity until ``length`` slots are materialised.
+
+        Always draws — so the activity pattern at a given duty cycle stays
+        a deterministic function of (seed, slot) alone, in the exact draw
+        order of the historical per-call path.
+        """
+        activity = self._activity
+        if len(activity) >= length:
+            return
+        append = activity.append
+        rand = self._rng.random
+        duty = self.duty_cycle
+        while len(activity) < length:
+            append(rand() < duty)
+
+    def activity_until(self, length: int) -> List[bool]:
+        """The first ``length`` activity flags (a shared list; do not
+        mutate)."""
+        self.extend_to(length)
+        return self._activity
+
     def active_at(self, slot_index: int) -> bool:
         """Whether this piconet transmits in ``slot_index``."""
         if slot_index < 0:
             raise ValueError(f"slot_index must be >= 0, got {slot_index}")
         activity = self._activity
-        while len(activity) <= slot_index:
-            # always draw, so the activity pattern at a given duty cycle is
-            # a deterministic function of (seed, slot) alone
-            activity.append(self._rng.random() < self.duty_cycle)
+        if slot_index >= len(activity):
+            self.extend_to(slot_index + 1)
         return activity[slot_index]
 
     def transmits_on(self, slot_index: int, channel: int) -> bool:
         """Whether this piconet radiates on ``channel`` in ``slot_index``."""
         return self.active_at(slot_index) \
             and self.hops.channel_at(slot_index) == channel
+
+
+class CoupledTransmitter:
+    """A fully simulated piconet's presence on the air.
+
+    Unlike :class:`InterfererProcess`, activity is not drawn from a duty
+    cycle: the piconet reports every transaction it actually puts on the
+    air (:meth:`InterferenceField.report_transmission`), and
+    :meth:`active_at` reflects exactly those reported slots — un-reported
+    slots are silent.  ``duty_cycle`` is only the *assumed* saturation the
+    analytic :meth:`InterferenceField.expected_collision_probability`
+    uses; it never influences the simulated collisions.
+    """
+
+    coupled = True
+
+    def __init__(self, name: str, hops: HopSequence,
+                 duty_cycle: float = 1.0):
+        if not 0.0 <= duty_cycle <= 1.0:
+            raise ValueError(
+                f"duty_cycle must be within [0, 1], got {duty_cycle}")
+        self.name = name
+        self.hops = hops
+        self.duty_cycle = duty_cycle
+        self._activity: List[bool] = []
+
+    def extend_to(self, length: int) -> None:
+        """Pad the activity record with silence up to ``length`` slots."""
+        activity = self._activity
+        if len(activity) < length:
+            activity.extend([False] * (length - len(activity)))
+
+    def activity_until(self, length: int) -> List[bool]:
+        """The first ``length`` activity flags (a shared list; do not
+        mutate)."""
+        self.extend_to(length)
+        return self._activity
+
+    def active_at(self, slot_index: int) -> bool:
+        """Whether a transmission was reported covering ``slot_index``."""
+        if slot_index < 0:
+            raise ValueError(f"slot_index must be >= 0, got {slot_index}")
+        activity = self._activity
+        return slot_index < len(activity) and activity[slot_index]
+
+    def transmits_on(self, slot_index: int, channel: int) -> bool:
+        """Whether this piconet radiates on ``channel`` in ``slot_index``."""
+        return self.active_at(slot_index) \
+            and self.hops.channel_at(slot_index) == channel
+
+
+class _VictimCache:
+    """Per-victim collision counts and their integer prefix sums.
+
+    ``counts[slot]`` is the exact collider count against the victim in
+    ``slot``; ``prefix[slot]`` is the running total over ``[0, slot)``.
+    Both are integer arrays, so windowed totals are exact — no floating
+    point enters until :meth:`InterferenceField.collision_ber` applies the
+    per-collision BER, with arithmetic identical to the pairwise path.
+    """
+
+    __slots__ = ("counts", "prefix")
+
+    def __init__(self):
+        self.counts = array("l")
+        self.prefix = array("q", [0])
+
+    def truncate(self, slot: int) -> None:
+        """Drop cached slots at and beyond ``slot`` (late radiation)."""
+        if len(self.counts) > slot:
+            del self.counts[slot:]
+            del self.prefix[slot + 1:]
 
 
 class InterferenceField:
@@ -174,9 +310,22 @@ class InterferenceField:
         self.streams = streams
         self.channels = channels
         self.ber_per_collision = ber_per_collision
-        self._members: Dict[str, InterfererProcess] = {}
+        self._members: Dict[str, object] = {}
+        # -- the occupancy index --------------------------------------------
+        # one bytearray row per materialised slot: rows[slot][channel] is
+        # the number of members radiating on that channel in that slot
+        # (every member, victims included — collisions() subtracts the
+        # victim's own presence).  Rows extend in blocks; coupled members'
+        # late reports increment already-built rows directly.
+        self._rows: List[bytearray] = []
+        self._rows_built = 0
+        self._victim_caches: Dict[str, _VictimCache] = {}
 
     # -- membership ----------------------------------------------------------
+    def _hops_for(self, name: str) -> HopSequence:
+        family = self.streams.child(f"piconet:{name}")
+        return HopSequence(family.stream("hops"), channels=self.channels)
+
     def register(self, name: str,
                  duty_cycle: float = 1.0) -> InterfererProcess:
         """Add a piconet to the field (victim and interferer alike)."""
@@ -189,9 +338,28 @@ class InterferenceField:
             activity_rng=family.stream("activity"),
             duty_cycle=duty_cycle)
         self._members[name] = member
+        self._reset_index()
         return member
 
-    def member(self, name: str) -> InterfererProcess:
+    def register_coupled(self, name: str,
+                         duty_cycle: float = 1.0) -> CoupledTransmitter:
+        """Add a fully simulated piconet whose activity is *reported*.
+
+        The member shares the hop-stream derivation of :meth:`register`
+        (same ``piconet:<name>`` substream family), but its activity comes
+        from :meth:`report_transmission` instead of duty-cycle draws;
+        ``duty_cycle`` only parameterises the analytic
+        :meth:`expected_collision_probability`.
+        """
+        if name in self._members:
+            raise ValueError(f"piconet {name!r} already registered")
+        member = CoupledTransmitter(name=name, hops=self._hops_for(name),
+                                    duty_cycle=duty_cycle)
+        self._members[name] = member
+        self._reset_index()
+        return member
+
+    def member(self, name: str):
         try:
             return self._members[name]
         except KeyError:
@@ -203,9 +371,141 @@ class InterferenceField:
         """Registered piconet names, in registration order."""
         return list(self._members)
 
+    # -- the occupancy index -------------------------------------------------
+    def _reset_index(self) -> None:
+        """Invalidate the index (a member joined).
+
+        Rebuilding re-reads every member's *cached* hop/activity values —
+        block extension and folding never change which RNG values a slot
+        gets, so the rebuilt index is byte-identical to a fresh build.
+        """
+        self._rows = []
+        self._rows_built = 0
+        self._victim_caches = {}
+
+    def _ensure_rows(self, upto: int) -> None:
+        """Materialise occupancy rows for every slot below ``upto``.
+
+        Extends in blocks of :data:`OCCUPANCY_BLOCK_SLOTS`: every member's
+        hop and activity sequences are block-extended (same draws, same
+        order as per-slot access) and folded into one bytearray row per
+        slot.  A row counts *all* radiating members, victims included.
+        """
+        built = self._rows_built
+        if upto <= built:
+            return
+        target = -(-upto // OCCUPANCY_BLOCK_SLOTS) * OCCUPANCY_BLOCK_SLOTS
+        rows = self._rows
+        channels = self.channels
+        for _ in range(target - built):
+            rows.append(bytearray(channels))
+        block = rows[built:target]
+        for member in self._members.values():
+            hops = member.hops.channels_until(target)
+            activity = member.activity_until(target)
+            for row, channel, active in zip(block, hops[built:target],
+                                            activity[built:target]):
+                if active:
+                    row[channel] += 1
+        self._rows_built = target
+
+    def _victim_cache(self, victim: str, upto: int) -> _VictimCache:
+        """Collision counts and prefix sums of ``victim`` through ``upto``.
+
+        Counts are built exactly to ``upto`` (not block-rounded): in the
+        coupled mode later reports may only target slots at or beyond the
+        current simulation time, so an exactly-sized cache is never
+        invalidated by the normal event flow (the truncation path stays a
+        defensive net for out-of-order external use).
+        """
+        cache = self._victim_caches.get(victim)
+        if cache is None:
+            self.member(victim)
+            cache = _VictimCache()
+            self._victim_caches[victim] = cache
+        counts = cache.counts
+        built = len(counts)
+        if upto <= built:
+            return cache
+        self._ensure_rows(upto)
+        member = self._members[victim]
+        hops = member.hops.channels_until(upto)
+        activity = member.activity_until(upto)
+        rows = self._rows
+        prefix = cache.prefix
+        total = prefix[-1]
+        append_count = counts.append
+        append_prefix = prefix.append
+        for slot in range(built, upto):
+            count = rows[slot][hops[slot]]
+            if activity[slot]:
+                count -= 1  # the row counts the victim's own presence too
+            append_count(count)
+            total += count
+            append_prefix(total)
+        return cache
+
+    # -- coupled transmissions -----------------------------------------------
+    def report_transmission(self, name: str, start_slot: int,
+                            slots: int) -> None:
+        """Record that ``name`` radiates over ``[start_slot, start_slot +
+        slots)``.
+
+        Only :meth:`register_coupled` members report; already-reported
+        slots are idempotent (a slot radiates once).  Rows already
+        materialised are incremented in place; victim caches built past
+        the report (impossible in the causal event flow, possible for
+        out-of-order external callers) are truncated and rebuilt lazily.
+        """
+        if start_slot < 0:
+            raise ValueError(f"start_slot must be >= 0, got {start_slot}")
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        member = self.member(name)
+        if not member.coupled:
+            raise TypeError(
+                f"piconet {name!r} is a duty-cycle interferer; only "
+                f"coupled members (register_coupled) report transmissions")
+        end = start_slot + slots
+        member.extend_to(end)
+        activity = member._activity
+        built = self._rows_built
+        rows = self._rows
+        hops = member.hops
+        for slot in range(start_slot, end):
+            if activity[slot]:
+                continue
+            activity[slot] = True
+            if slot < built:
+                rows[slot][hops.channel_at(slot)] += 1
+        if built > start_slot:
+            for cache in self._victim_caches.values():
+                cache.truncate(start_slot)
+
+    def recorder(self, name: str,
+                 slot_us: int = SLOT_US) -> Callable[[int, int], None]:
+        """An air-recorder callback feeding this field (see
+        :meth:`~repro.piconet.piconet.Piconet.set_air_recorder`):
+        ``recorder(start_us, slots)`` reports a transmission of ``name``
+        anchored on the ``slot_us`` grid."""
+        self.member(name)  # fail fast on unregistered piconets
+
+        def record(start_us: int, slots: int) -> None:
+            self.report_transmission(name, start_us // slot_us, slots)
+
+        return record
+
     # -- collision accounting ------------------------------------------------
     def collisions(self, victim: str, slot_index: int) -> int:
         """Co-channel colliders against ``victim`` in ``slot_index``."""
+        if slot_index < 0:
+            raise ValueError(f"slot_index must be >= 0, got {slot_index}")
+        return self._victim_cache(victim, slot_index + 1).counts[slot_index]
+
+    def collisions_pairwise(self, victim: str, slot_index: int) -> int:
+        """Reference pairwise scan over every member (the pre-index
+        implementation) — kept as the ground truth of the occupancy
+        index's equivalence property and the interference benchmark."""
         channel = self.member(victim).hops.channel_at(slot_index)
         return sum(1 for name, member in self._members.items()
                    if name != victim
@@ -216,8 +516,9 @@ class InterferenceField:
         if horizon_slots < 0:
             raise ValueError(
                 f"horizon_slots must be >= 0, got {horizon_slots}")
-        return sum(self.collisions(victim, slot)
-                   for slot in range(horizon_slots))
+        if horizon_slots == 0:
+            return 0
+        return self._victim_cache(victim, horizon_slots).prefix[horizon_slots]
 
     def collision_ber(self, victim: str, slot_index: int) -> float:
         """Effective interference BER on ``victim`` in one slot."""
@@ -228,11 +529,55 @@ class InterferenceField:
 
     def mean_collision_ber(self, victim: str, start_slot: int,
                            slots: int) -> float:
-        """Mean interference BER over a packet spanning ``slots`` slots."""
+        """Mean interference BER over a packet spanning ``slots`` slots.
+
+        A windowed lookup on the prefix sums: a collision-free span (the
+        overwhelmingly common case) returns after one integer subtraction;
+        otherwise the per-slot terms are summed with arithmetic identical
+        to the historical pairwise path, so the float result is
+        bit-identical.
+        """
         if slots < 1:
             raise ValueError(f"slots must be >= 1, got {slots}")
-        return sum(self.collision_ber(victim, start_slot + offset)
-                   for offset in range(slots)) / slots
+        if start_slot < 0:
+            raise ValueError(f"slot_index must be >= 0, got {start_slot}")
+        end = start_slot + slots
+        cache = self._victim_cache(victim, end)
+        prefix = cache.prefix
+        if prefix[end] == prefix[start_slot]:
+            # summing all-zero per-slot BERs yields exactly 0.0 / slots
+            return 0.0
+        total = 0.0
+        ber_per_collision = self.ber_per_collision
+        for count in cache.counts[start_slot:end]:
+            if count:
+                total += min(MAX_COLLISION_BER, count * ber_per_collision)
+        return total / slots
+
+    # -- observed statistics (coupled validation) -----------------------------
+    def activity_fraction(self, name: str, horizon_slots: int) -> float:
+        """Fraction of ``[0, horizon_slots)`` the member radiated in."""
+        if horizon_slots < 0:
+            raise ValueError(
+                f"horizon_slots must be >= 0, got {horizon_slots}")
+        member = self.member(name)
+        if horizon_slots == 0:
+            return 0.0
+        activity = member.activity_until(horizon_slots)
+        return sum(activity[:horizon_slots]) / horizon_slots
+
+    def observed_collision_fraction(self, victim: str,
+                                    horizon_slots: int) -> float:
+        """Fraction of ``[0, horizon_slots)`` with >= 1 collider — the
+        empirical counterpart of :meth:`expected_collision_probability`."""
+        if horizon_slots < 0:
+            raise ValueError(
+                f"horizon_slots must be >= 0, got {horizon_slots}")
+        if horizon_slots == 0:
+            return 0.0
+        counts = self._victim_cache(victim, horizon_slots).counts
+        collided = sum(1 for count in counts[:horizon_slots] if count)
+        return collided / horizon_slots
 
     def expected_collision_probability(self, victim: str) -> float:
         """Analytic per-slot collision probability against ``victim``.

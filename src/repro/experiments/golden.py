@@ -77,6 +77,7 @@ GOLDEN_OVERRIDES: Dict[str, Dict[str, object]] = {
                                  "duration_seconds": 1.0},
     "bridge_split": {"bridge_share": [0.5], "duration_seconds": 1.0},
     "crowded_room": {"piconets": [1, 4], "duration_seconds": 1.0},
+    "crowded_room_coupled": {"piconets": [2, 4], "duration_seconds": 1.0},
     # budget-aware admission: both modes stay in the fixture so the
     # oblivious/aware contrast itself is pinned
     "admission_vs_ber": {"bit_error_rate": [0.0, 1e-3],

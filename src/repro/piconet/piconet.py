@@ -179,6 +179,10 @@ class Piconet:
         #: helpers, so the batch kernel feeds them identically); empty for
         #: every scenario that does not ask for budget-aware admission
         self._link_observers: List[Callable[[int, str, bool], None]] = []
+        #: air recorder: ``fn(start_us, slots)`` called when this piconet
+        #: puts a transaction on the air (coupled interference feeds the
+        #: shared field from it); ``None`` for every uncoupled scenario
+        self._air_recorder: Optional[Callable[[int, int], None]] = None
         self._batch_kernel = (BatchKernel(self)
                               if self.config.fast_path
                               and not fast_path_disabled() else None)
@@ -294,6 +298,20 @@ class Piconet:
         data transmission — the feedback path budget-aware admission uses to
         compare measured loss against admitted budgets."""
         self._link_observers.append(observer)
+
+    def set_air_recorder(self,
+                         recorder: Callable[[int, int], None]) -> None:
+        """Register ``recorder(start_us, slots)`` for every transaction this
+        piconet radiates (ACL/GS transactions and SCO exchanges alike).
+
+        The coupled interference mode wires this to
+        :meth:`~repro.baseband.interference.InterferenceField.recorder`, so
+        the piconet's *actual* air time — not a duty-cycle model — drives
+        every co-located piconet's collision BER.  Both executors fire it
+        from the shared transaction helpers, at the *start* of each
+        transaction, so the field only ever learns about slots at or after
+        the current virtual time."""
+        self._air_recorder = recorder
 
     # -------------------------------------------------------------- inspection
     def flow_state(self, flow_id: int) -> FlowState:
@@ -581,6 +599,14 @@ class Piconet:
         txn.dl_packet = dl_segment if dl_segment is not None else _POLL_PACKET
         txn.ul_packet = ul_segment if ul_segment is not None else _NULL_PACKET
 
+        if self._air_recorder is not None:
+            # the whole transaction span radiates (POLL/NULL included; an
+            # absent bridge still hears the master's half) — reported at
+            # begin time, so the field never learns about past slots
+            self._air_recorder(
+                txn.start,
+                txn.dl_packet.ptype.slots + txn.ul_packet.ptype.slots)
+
         txn.deliveries = []
 
         # A scatternet bridge that is currently residing in its other
@@ -721,6 +747,8 @@ class Piconet:
         """Run one reserved SCO exchange (one slot each way, no ARQ)."""
         flows = self._sco_flows.get(link.slave, {"DL": None, "UL": None})
         start = self.env.now
+        if self._air_recorder is not None:
+            self._air_recorder(start, 2)
         yield self.env.timeout(2 * SLOT_US)
         self.slots_sco += 2
         for slot_offset, direction in enumerate((DOWNLINK, UPLINK)):

@@ -91,6 +91,19 @@ class Scatternet:
         self._bridges.append(bridge)
         return bridge
 
+    def attach_field(self, field) -> None:
+        """Couple every registered piconet into an
+        :class:`~repro.baseband.interference.InterferenceField`.
+
+        Each piconet (by its scatternet name, which must match its field
+        registration) gets the field's recorder as its air recorder, so
+        its actual transmissions drive everyone else's collision BER —
+        the ``crowded_room`` coupled mode.  Call after all piconets are
+        added and registered with the field.
+        """
+        for name, piconet in self._piconets.items():
+            piconet.set_air_recorder(field.recorder(name))
+
     @property
     def bridges(self) -> List[BridgeNode]:
         return list(self._bridges)

@@ -10,8 +10,8 @@ objects (``spec.compile(seed, env=None)`` -> ``CompiledScenario``).
 Sweep points and the CLI mutate specs declaratively via dotted paths
 (:func:`apply_overrides`, e.g. ``channel.ber=1e-4``); the spec factories
 (:func:`figure4_spec`, :func:`multi_sco_spec`, :func:`interfered_be_spec`,
-:func:`bridge_split_spec`) map the historical workload builders' keyword
-surfaces onto specs.
+:func:`coupled_room_spec`, :func:`bridge_split_spec`) map the historical
+workload builders' keyword surfaces onto specs.
 """
 
 from repro.scenario.compile import (
@@ -25,6 +25,7 @@ from repro.scenario.compile import (
 )
 from repro.scenario.factories import (
     bridge_split_spec,
+    coupled_room_spec,
     figure4_piconet_spec,
     figure4_spec,
     interfered_be_spec,
@@ -79,6 +80,7 @@ __all__ = [
     "bridge_split_spec",
     "compile_channel",
     "compile_scenario",
+    "coupled_room_spec",
     "describe_link_budgets",
     "figure4_piconet_spec",
     "forbid_overrides",

@@ -115,6 +115,16 @@ def compile_channel(spec: ChannelSpec, seed: int) -> Optional[ChannelMap]:
         streams=streams)
 
 
+def _base_channel_factory(base: ChannelSpec):
+    """The per-link base-channel factory under an interference wrapper
+    (``None`` for an ideal base radio)."""
+    if base.model == "ideal" or base.ber <= 0:
+        return None
+    maker = _link_channel_maker(base.model, base.ber, base.p_bg,
+                                base.stationary_bad)
+    return lambda link, rng: maker(rng)
+
+
 def _compile_interference(spec: InterferenceSpec, base: ChannelSpec,
                           seed: int):
     """The interference field and the victim's composed channel map."""
@@ -129,15 +139,37 @@ def _compile_interference(spec: InterferenceSpec, base: ChannelSpec,
         name = f"interferer-{index}"
         interference_field.register(name, duty_cycle=duty)
         interferers.append(name)
-    base_factory = None
-    if base.model != "ideal" and base.ber > 0:
-        maker = _link_channel_maker(base.model, base.ber, base.p_bg,
-                                    base.stationary_bad)
-        base_factory = lambda link, rng: maker(rng)  # noqa: E731
     channel = interference_channel_map(
-        interference_field, spec.victim, base_factory=base_factory,
+        interference_field, spec.victim,
+        base_factory=_base_channel_factory(base),
         streams=streams.child(spec.map_stream))
     return interference_field, interferers, channel
+
+
+def _compile_coupled_field(spec: ScenarioSpec, seed: int):
+    """The shared field of a coupled (crowded-room) scenario.
+
+    Every simulated piconet registers as a *coupled* member — its activity
+    will come from the master loop's air recorder, not a duty cycle — in
+    spec order, so the ``piconet:<name>`` hop-stream derivation matches
+    the uncoupled field's for the same names.  ``interferer_duties`` still
+    add stochastic background piconets on top.
+    """
+    interference = spec.interference
+    field_kwargs = {} if interference.ber_per_collision is None else \
+        {"ber_per_collision": interference.ber_per_collision}
+    interference_field = InterferenceField(
+        streams=RandomStreams(seed).child(interference.stream),
+        **field_kwargs)
+    for piconet_spec in spec.piconets:
+        interference_field.register_coupled(piconet_spec.name,
+                                            duty_cycle=1.0)
+    interferers = []
+    for index, duty in enumerate(interference.interferer_duties, start=1):
+        name = f"interferer-{index}"
+        interference_field.register(name, duty_cycle=duty)
+        interferers.append(name)
+    return interference_field, interferers
 
 
 # ---------------------------------------------------------- link budgets
@@ -145,11 +177,19 @@ def _compile_interference(spec: InterferenceSpec, base: ChannelSpec,
 def _interference_ber(spec: ScenarioSpec, piconet: PiconetSpec) -> float:
     """The analytic hop-collision BER the interference field inflicts."""
     interference = spec.interference
-    if interference is None or interference.victim != piconet.name:
+    if interference is None:
+        return 0.0
+    if not interference.coupled and interference.victim != piconet.name:
         return 0.0
     miss = 1.0
     for duty in interference.interferer_duties:
         miss *= 1.0 - duty / HOP_CHANNELS
+    if interference.coupled:
+        # every other simulated piconet is budgeted as saturated (duty
+        # 1.0) — the conservative bound admission control should assume
+        for other in spec.piconets:
+            if other.name != piconet.name:
+                miss *= 1.0 - 1.0 / HOP_CHANNELS
     per_collision = interference.ber_per_collision \
         if interference.ber_per_collision is not None \
         else DEFAULT_COLLISION_BER
@@ -497,19 +537,33 @@ class CompiledScenario:
             self.primary.piconet.run(duration_seconds)
 
     # -- interference helpers ------------------------------------------------
-    def interference_failures(self) -> int:
-        """Packets lost to collisions after surviving their base channel."""
-        channels = self.primary.piconet.channels
-        return sum(
-            getattr(channels.channel_for(*link), "interference_failures", 0)
-            for link in channels.links())
+    def interference_failures(self, piconet: Optional[str] = None) -> int:
+        """Packets lost to collisions after surviving their base channel.
 
-    def collision_probability(self) -> float:
-        """Analytic per-slot co-channel collision probability (victim)."""
+        For the primary piconet by default; pass a name for one piconet of
+        a coupled scenario, or see :meth:`interference_failures_by_piconet`
+        for all of them.
+        """
+        target = self.primary if piconet is None else self.piconet(piconet)
+        return target.piconet.channels.total("interference_failures")
+
+    def interference_failures_by_piconet(self) -> Dict[str, int]:
+        """Per-piconet interference losses (coupled crowded-room metric)."""
+        return {name: compiled.piconet.channels.total(
+                    "interference_failures")
+                for name, compiled in self.piconets.items()}
+
+    def collision_probability(self, piconet: Optional[str] = None) -> float:
+        """Analytic per-slot co-channel collision probability.
+
+        Against the spec's victim by default; in a coupled scenario any
+        piconet name can be asked about (they are all victims).
+        """
         if self.interference_field is None or self.spec.interference is None:
             return 0.0
-        return self.interference_field.expected_collision_probability(
-            self.spec.interference.victim)
+        victim = piconet if piconet is not None \
+            else self.spec.interference.victim
+        return self.interference_field.expected_collision_probability(victim)
 
 
 def compile_scenario(spec: ScenarioSpec, seed: int,
@@ -540,11 +594,24 @@ def compile_scenario(spec: ScenarioSpec, seed: int,
 
     interference_field = None
     interferers: List[str] = []
+    coupled = spec.interference is not None and spec.interference.coupled
+    if coupled:
+        # the field is shared by every piconet, so it is built once, up
+        # front — unlike the uncoupled single-victim path below, which
+        # builds it inside the (single-iteration) loop only when the
+        # victim's channel is not overridden
+        interference_field, interferers = _compile_coupled_field(spec, seed)
     compiled: Dict[str, CompiledPiconet] = {}
     for piconet_spec in spec.piconets:
         channel = channel_overrides.get(piconet_spec.name)
         if channel is None:
-            if spec.interference is not None:
+            if coupled:
+                channel = interference_channel_map(
+                    interference_field, piconet_spec.name,
+                    base_factory=_base_channel_factory(piconet_spec.channel),
+                    streams=RandomStreams(seed).child(
+                        spec.interference.map_stream))
+            elif spec.interference is not None:
                 interference_field, interferers, channel = \
                     _compile_interference(spec.interference,
                                           piconet_spec.channel, seed)
@@ -557,6 +624,14 @@ def compile_scenario(spec: ScenarioSpec, seed: int,
         if scatternet is not None:
             scatternet.adopt_piconet(piconet_spec.name,
                                      compiled[piconet_spec.name].piconet)
+    if coupled:
+        # feed every master loop's actual transmissions into the field
+        if scatternet is not None:
+            scatternet.attach_field(interference_field)
+        else:
+            for name, compiled_piconet in compiled.items():
+                compiled_piconet.piconet.set_air_recorder(
+                    interference_field.recorder(name))
 
     bridges: List[BridgeNode] = []
     for bridge_spec in spec.bridges:

@@ -254,6 +254,44 @@ def interfered_be_spec(interferer_duties: Sequence[float],
             ber_per_collision=ber_per_collision))
 
 
+def coupled_room_spec(piconets: int,
+                      acl_load_scale: float = 1.5,
+                      acl_types: Sequence[str] = ("DH1", "DH3"),
+                      acl_slaves: Sequence[int] = (1, 2, 3),
+                      base_bit_error_rate: float = 0.0,
+                      ber_per_collision: Optional[float] = None
+                      ) -> ScenarioSpec:
+    """``piconets`` fully simulated piconets coupled through one field.
+
+    The honest crowded room: unlike :func:`interfered_be_spec` (one victim
+    plus duty-cycle noise processes), every piconet here runs its own
+    master loop on the shared clock, and its *actual* transmissions drive
+    everyone else's collision BER through the interference field's
+    occupancy index.  Piconets are named ``p1..pN`` (``p1`` anchors dotted
+    overrides) and draw traffic from disjoint ``room-<i>`` RNG namespaces
+    so their loads are independent rather than lock-step replicas.
+    """
+    from dataclasses import replace
+
+    if piconets < 1:
+        raise ValueError(f"piconets must be >= 1, got {piconets}")
+    members = []
+    for index in range(1, piconets + 1):
+        piconet = multi_sco_piconet_spec(
+            acl_types=tuple(acl_types), sco_slaves=(),
+            acl_slaves=tuple(acl_slaves), acl_load_scale=acl_load_scale,
+            channel=ChannelSpec(model="iid", ber=base_bit_error_rate)
+            if base_bit_error_rate > 0 else None,
+            name=f"p{index}")
+        members.append(replace(piconet, rng_namespace=f"room-{index}"))
+    return ScenarioSpec(
+        piconets=tuple(members),
+        interference=InterferenceSpec(
+            victim="p1",
+            coupled=True,
+            ber_per_collision=ber_per_collision))
+
+
 #: AM address of the bridge inside piconet A (carries GS flow 4).
 BRIDGE_SLAVE_A = 3
 

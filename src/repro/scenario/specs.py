@@ -544,16 +544,27 @@ class InterferenceSpec:
     co-located piconet with that duty cycle.  The victim's links compose
     their base channel (the piconet's :class:`ChannelSpec`) with the
     field's hop-collision BER through ``InterferenceAwareChannel``.
+
+    With ``coupled=True`` the scenario may carry *several* fully simulated
+    piconets: every one of them registers as a coupled member whose
+    *actual* transmissions (reported by the master loop's air recorder)
+    drive everyone else's collision BER — the honest crowded-room mode.
+    ``victim`` must still name the first piconet (the scenario's primary,
+    where dotted overrides anchor); ``interferer_duties`` may add further
+    duty-cycle background noise on top.
     """
 
     victim: str = "victim"
     interferer_duties: Tuple[float, ...] = ()
     ber_per_collision: Optional[float] = None
+    coupled: bool = False
     stream: str = "interference"
     map_stream: str = "channel-map"
 
     def __post_init__(self) -> None:
         _require(bool(self.victim), "the victim piconet needs a name")
+        _require(isinstance(self.coupled, bool),
+                 f"coupled must be a bool, got {self.coupled!r}")
         object.__setattr__(self, "interferer_duties",
                            _tuple_of(self.interferer_duties,
                                      "interferer_duties"))
@@ -663,10 +674,11 @@ class ScenarioSpec:
                          f"slave {slave} but piconet {name!r} has "
                          f"{len(by_name[name].slaves)} slave(s)")
         if self.interference is not None:
-            _require(len(self.piconets) == 1,
-                     "an interference field currently applies to a "
+            _require(self.interference.coupled or len(self.piconets) == 1,
+                     "an uncoupled interference field applies to a "
                      "single-piconet scenario (the victim); model the other "
-                     "piconets as interferer duty cycles")
+                     "piconets as interferer duty cycles, or set "
+                     "interference.coupled for fully simulated coupling")
             _require(self.interference.victim == self.piconets[0].name,
                      f"interference.victim "
                      f"{self.interference.victim!r} must name the "

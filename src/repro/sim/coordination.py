@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.baseband.constants import SLOT_US
 from repro.sim.engine import Environment
 
 
@@ -57,6 +58,12 @@ class SharedClock:
     @property
     def now_seconds(self) -> float:
         return self.env.now / 1_000_000.0
+
+    @property
+    def now_slot(self) -> int:
+        """The current instant on the 625 µs slot grid — the index the
+        interference field's occupancy rows are keyed by."""
+        return self.env.now // SLOT_US
 
     def run(self, duration_seconds: float) -> None:
         """Advance every registered component by ``duration_seconds``.

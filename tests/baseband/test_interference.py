@@ -217,3 +217,105 @@ def test_interference_channel_map_wraps_every_link():
                                                     rng=rng),
         streams=RandomStreams(2).child("cm"))
     assert isinstance(lossy_map.channel_for(2, "DL").base, LossyChannel)
+
+
+# ----------------------------------------------- occupancy index / coupling
+
+def test_hop_sequence_block_extension_matches_per_slot_draws():
+    seeded = lambda: random.Random(99)  # noqa: E731
+    one_at_a_time = HopSequence(seeded())
+    per_slot = [one_at_a_time.channel_at(slot) for slot in range(500)]
+    blocked = HopSequence(seeded())
+    blocked.extend_to(500)
+    assert blocked.channels_until(500) == per_slot
+    # block extension is idempotent and never truncates
+    blocked.extend_to(100)
+    assert blocked.channels_until(500) == per_slot
+
+
+def test_occupancy_index_survives_late_registration():
+    def build(probe_early):
+        field = InterferenceField(streams=21)
+        field.register("victim")
+        field.register("a", duty_cycle=0.8)
+        if probe_early:  # force index + cache builds before "b" exists
+            field.count_collisions("victim", 300)
+        field.register("b", duty_cycle=0.6)
+        return [field.collisions("victim", slot) for slot in range(300)]
+
+    assert build(probe_early=True) == build(probe_early=False)
+
+
+def test_count_collisions_zero_horizon_skips_membership_check():
+    field = InterferenceField()
+    assert field.count_collisions("nobody", 0) == 0
+    with pytest.raises(KeyError, match="unknown piconet"):
+        field.count_collisions("nobody", 1)
+
+
+def test_coupled_member_is_silent_until_reported():
+    field = InterferenceField(streams=11)
+    field.register_coupled("p1")
+    field.register_coupled("p2")
+    assert field.count_collisions("p1", 1000) == 0
+    field.report_transmission("p2", 0, 1000)
+    assert field.count_collisions("p1", 1000) > 0
+    # reporting is idempotent: repeating a span changes nothing
+    before = field.count_collisions("p1", 1000)
+    field.report_transmission("p2", 100, 200)
+    assert field.count_collisions("p1", 1000) == before
+
+
+def test_coupled_report_validation():
+    field = InterferenceField(streams=11)
+    field.register("duty", duty_cycle=1.0)
+    field.register_coupled("coupled")
+    with pytest.raises(TypeError, match="duty-cycle interferer"):
+        field.report_transmission("duty", 0, 1)
+    with pytest.raises(KeyError, match="unknown piconet"):
+        field.report_transmission("ghost", 0, 1)
+    with pytest.raises(ValueError, match="start_slot"):
+        field.report_transmission("coupled", -1, 1)
+    with pytest.raises(ValueError, match="slots"):
+        field.report_transmission("coupled", 0, 0)
+
+
+def test_late_report_invalidates_existing_victim_caches():
+    field = InterferenceField(streams=13)
+    field.register_coupled("p1")
+    field.register_coupled("p2")
+    # build victim caches over a horizon while p2 is still silent
+    assert field.count_collisions("p1", 400) == 0
+    # a report into the already-cached span must be reflected
+    field.report_transmission("p2", 0, 400)
+    fresh = InterferenceField(streams=13)
+    fresh.register_coupled("p1")
+    fresh.register_coupled("p2")
+    fresh.report_transmission("p2", 0, 400)
+    assert field.count_collisions("p1", 400) \
+        == fresh.count_collisions("p1", 400) > 0
+
+
+def test_recorder_reports_on_the_slot_grid():
+    field = InterferenceField(streams=15)
+    field.register_coupled("p1")
+    field.register_coupled("p2")
+    record = field.recorder("p2")
+    record(4 * 625, 2)  # 4 slots in, 2 slots long
+    peer = field.member("p2")
+    assert [peer.active_at(slot) for slot in range(8)] \
+        == [False] * 4 + [True, True] + [False] * 2
+    with pytest.raises(KeyError, match="unknown piconet"):
+        field.recorder("ghost")
+
+
+def test_activity_and_observed_collision_fractions():
+    field = InterferenceField(streams=17)
+    field.register_coupled("p1")
+    field.register_coupled("p2")
+    field.report_transmission("p2", 0, 500)
+    assert field.activity_fraction("p2", 1000) == pytest.approx(0.5)
+    assert field.activity_fraction("p1", 1000) == 0.0
+    observed = field.observed_collision_fraction("p1", 500)
+    assert observed == pytest.approx(1.0 / HOP_CHANNELS, rel=0.8)
+    assert field.observed_collision_fraction("p1", 0) == 0.0

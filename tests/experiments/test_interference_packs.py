@@ -5,6 +5,7 @@ import pytest
 from repro.baseband.interference import HOP_CHANNELS
 from repro.experiments.channel_packs import (
     run_bridge_split_point,
+    run_crowded_room_coupled_point,
     run_crowded_room_point,
     run_two_piconet_interference_point,
 )
@@ -14,7 +15,8 @@ from repro.experiments.registry import get_experiment
 def test_interference_packs_are_registered_with_grids():
     for name, axis in (("two_piconet_interference", "interferer_duty"),
                        ("bridge_split", "bridge_share"),
-                       ("crowded_room", "piconets")):
+                       ("crowded_room", "piconets"),
+                       ("crowded_room_coupled", "piconets")):
         spec = get_experiment(name)
         assert axis in spec.grid
         assert len(spec.grid[axis]) >= 2
@@ -78,5 +80,47 @@ def test_interference_points_are_deterministic_per_seed():
     first = run_two_piconet_interference_point(dict(params), seed=11)
     second = run_two_piconet_interference_point(dict(params), seed=11)
     other_seed = run_two_piconet_interference_point(dict(params), seed=12)
+    assert first == second
+    assert first != other_seed
+
+
+def test_crowded_room_coupled_agrees_with_the_analytic_probability():
+    """Small-N validation of the tentpole's coupled mode: with every
+    piconet saturated, the measured collision fraction of a fully coupled
+    room must agree with the analytic ``1-(1-1/79)^(N-1)`` the uncoupled
+    pack assumes."""
+    row = run_crowded_room_coupled_point(
+        {"piconets": 4, "duration_seconds": 3.0}, seed=3)[0]
+    expected = 1.0 - (1.0 - 1.0 / HOP_CHANNELS) ** 3
+    assert row["collision_probability"] == pytest.approx(expected)
+    # the load saturates every piconet, so activity is (nearly) full...
+    assert row["activity_fraction"] > 0.95
+    # ...and the observed collision rate sits on the analytic curve
+    assert row["observed_collision_fraction"] == \
+        pytest.approx(expected, rel=0.25)
+    assert row["interference_failures"] > 0
+    assert row["per_piconet_kbps_min"] <= row["per_piconet_kbps_max"]
+    assert row["aggregate_kbps"] == pytest.approx(
+        row["per_piconet_kbps_mean"] * 4)
+
+
+def test_crowded_room_coupled_goodput_decays_with_density():
+    def row(piconets):
+        return run_crowded_room_coupled_point(
+            {"piconets": piconets, "duration_seconds": 2.0}, seed=5)[0]
+
+    sparse, dense = row(2), row(6)
+    assert dense["collision_probability"] > sparse["collision_probability"]
+    assert dense["per_piconet_kbps_mean"] < sparse["per_piconet_kbps_mean"]
+    assert dense["aggregate_kbps"] > sparse["aggregate_kbps"]
+    with pytest.raises(ValueError):
+        run_crowded_room_coupled_point({"piconets": 0}, seed=1)
+
+
+def test_crowded_room_coupled_is_deterministic_per_seed():
+    params = {"piconets": 2, "duration_seconds": 1.0}
+    first = run_crowded_room_coupled_point(dict(params), seed=11)
+    second = run_crowded_room_coupled_point(dict(params), seed=11)
+    other_seed = run_crowded_room_coupled_point(dict(params), seed=12)
     assert first == second
     assert first != other_seed

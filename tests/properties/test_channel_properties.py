@@ -84,6 +84,75 @@ def test_field_collisions_match_brute_force_hop_overlap_count(
                <= len(others) for slot in range(horizon))
 
 
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       duties=st.lists(duty_cycles, min_size=0, max_size=4),
+       horizon=st.integers(min_value=1, max_value=400),
+       data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_occupancy_index_equals_pairwise_scan(seed, duties, horizon, data):
+    """The tentpole equivalence: every public collision accessor built on
+    the occupancy index returns exactly what the retained pairwise
+    reference scan returns — same integers, bit-identical floats —
+    regardless of the order slots are first queried in."""
+    field = InterferenceField(streams=RandomStreams(seed).child("intf"))
+    field.register("victim")
+    for index, duty in enumerate(duties):
+        field.register(f"i{index}", duty_cycle=duty)
+
+    # query in an arbitrary order first, so the index's lazy block builds
+    # and the pairwise scan's lazy per-slot draws interleave arbitrarily
+    probes = data.draw(st.lists(
+        st.integers(min_value=0, max_value=horizon - 1), max_size=20))
+    for slot in probes:
+        assert field.collisions("victim", slot) \
+            == field.collisions_pairwise("victim", slot)
+
+    pairwise = [field.collisions_pairwise("victim", slot)
+                for slot in range(horizon)]
+    assert [field.collisions("victim", slot) for slot in range(horizon)] \
+        == pairwise
+    assert field.count_collisions("victim", horizon) == sum(pairwise)
+    per_collision = field.ber_per_collision
+    for slot in probes:
+        expected = min(0.5, pairwise[slot] * per_collision) \
+            if pairwise[slot] else 0.0
+        assert field.collision_ber("victim", slot) == expected
+
+    start = data.draw(st.integers(min_value=0, max_value=horizon - 1))
+    slots = data.draw(st.integers(min_value=1, max_value=5))
+    expected_mean = sum(
+        min(0.5, count * per_collision) if count else 0.0
+        for count in (field.collisions_pairwise("victim", s)
+                      for s in range(start, start + slots))) / slots
+    assert field.mean_collision_ber("victim", start, slots) == expected_mean
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       reports=st.lists(st.tuples(st.integers(min_value=0, max_value=380),
+                                  st.integers(min_value=1, max_value=5)),
+                        max_size=12),
+       horizon=st.integers(min_value=1, max_value=400))
+@settings(max_examples=60, deadline=None)
+def test_coupled_occupancy_equals_pairwise_scan(seed, reports, horizon):
+    """Coupled members (reported activity, overlapping and out-of-order
+    reports included) agree with the pairwise reference too."""
+    field = InterferenceField(streams=RandomStreams(seed).child("intf"))
+    field.register_coupled("victim")
+    field.register_coupled("peer")
+    field.register("noise", duty_cycle=0.5)
+    # interleave reports with queries so reports land both before and
+    # after the occupancy rows / victim caches cover their slots
+    for index, (start, slots) in enumerate(reports):
+        field.report_transmission("peer", start, slots)
+        if index % 2:
+            field.count_collisions("victim", horizon)
+    pairwise = [field.collisions_pairwise("victim", slot)
+                for slot in range(horizon)]
+    assert [field.collisions("victim", slot) for slot in range(horizon)] \
+        == pairwise
+    assert field.count_collisions("victim", horizon) == sum(pairwise)
+
+
 @given(duties=st.lists(duty_cycles, min_size=0, max_size=5))
 @settings(max_examples=60, deadline=None)
 def test_field_analytic_collision_probability_product_form(duties):

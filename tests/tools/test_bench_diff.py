@@ -1,0 +1,112 @@
+"""Tests of ``tools/bench_diff.py`` on checked-in artifact fixtures."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOL = REPO_ROOT / "tools" / "bench_diff.py"
+FIXTURES = Path(__file__).parent / "fixtures"
+OLD = FIXTURES / "bench_old.json"
+NEW = FIXTURES / "bench_new.json"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import bench_diff  # noqa: E402
+
+
+def run_tool(*args):
+    return subprocess.run(
+        [sys.executable, str(TOOL), *args],
+        capture_output=True, text=True)
+
+
+# ------------------------------------------------------------ library level
+
+def test_diff_flags_only_drops_beyond_the_threshold():
+    result = bench_diff.diff_artifacts(
+        json.loads(OLD.read_text()), json.loads(NEW.read_text()),
+        threshold=0.10)
+    # saturated_downlink's batch kernel fell 25%: the one regression
+    assert [(s, v) for s, v, _ in result["regressions"]] \
+        == [("saturated_downlink", "batch_kernel")]
+    (_, _, delta), = result["regressions"]
+    assert delta == pytest.approx(-0.25)
+    by_key = {(s, v): (before, after, delta)
+              for s, v, before, after, delta in result["rows"]}
+    # a 5% drop is within the threshold
+    assert by_key[("saturated_downlink", "event_loop")][2] \
+        == pytest.approx(-0.05)
+    # one-sided scenarios are reported but never gate
+    assert by_key[("retired_scenario", "event_loop")][1] is None
+    assert by_key[("brand_new_scenario", "event_loop")][0] is None
+
+
+def test_diff_threshold_is_respected():
+    old = json.loads(OLD.read_text())
+    new = json.loads(NEW.read_text())
+    lenient = bench_diff.diff_artifacts(old, new, threshold=0.30)
+    assert lenient["regressions"] == []
+    strict = bench_diff.diff_artifacts(old, new, threshold=0.01)
+    assert {(s, v) for s, v, _ in strict["regressions"]} == {
+        ("saturated_downlink", "batch_kernel"),
+        ("saturated_downlink", "event_loop")}
+
+
+def test_identical_artifacts_have_no_regressions():
+    payload = json.loads(OLD.read_text())
+    result = bench_diff.diff_artifacts(payload, payload, threshold=0.10)
+    assert result["regressions"] == []
+    assert all(delta == 0.0 for _, _, _, after, delta in result["rows"]
+               if after is not None and delta is not None)
+
+
+# ---------------------------------------------------------------- CLI level
+
+def test_cli_exits_nonzero_on_regression_and_prints_the_table():
+    completed = run_tool(str(OLD), str(NEW))
+    assert completed.returncode == 1
+    assert "saturated_downlink" in completed.stdout
+    assert "REGRESSION" in completed.stdout
+    assert "-25.0% !" in completed.stdout
+    assert "+10.0%" in completed.stdout  # steady_state batch kernel gain
+
+
+def test_cli_exits_zero_within_threshold():
+    completed = run_tool("--threshold", "0.30", str(OLD), str(NEW))
+    assert completed.returncode == 0
+    assert "no regressions beyond 30%" in completed.stdout
+
+
+def test_cli_machine_mismatch_warns_or_fails(tmp_path):
+    other = json.loads(NEW.read_text())
+    other["machine"] = {"cpu_count": 1}
+    moved = tmp_path / "bench_moved.json"
+    moved.write_text(json.dumps(other))
+    warned = run_tool("--threshold", "0.30", str(OLD), str(moved))
+    assert warned.returncode == 0
+    assert "machine fingerprints differ" in warned.stderr
+    failed = run_tool("--threshold", "0.30", "--require-same-machine",
+                      str(OLD), str(moved))
+    assert failed.returncode == 2
+
+
+def test_cli_rejects_missing_or_malformed_artifacts(tmp_path):
+    missing = run_tool(str(OLD), str(tmp_path / "nope.json"))
+    assert missing.returncode != 0
+    assert "no such artifact" in missing.stderr
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    malformed = run_tool(str(OLD), str(bad))
+    assert malformed.returncode != 0
+    assert "missing 'scenarios'" in malformed.stderr
+
+
+def test_cli_diffs_the_repo_artifacts_against_themselves():
+    # the committed artifacts are valid inputs and self-diff clean
+    for artifact in ("BENCH_master_loop.json", "BENCH_interference.json"):
+        path = REPO_ROOT / artifact
+        completed = run_tool(str(path), str(path))
+        assert completed.returncode == 0, completed.stderr
