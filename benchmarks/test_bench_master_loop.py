@@ -24,6 +24,10 @@ Scenarios:
 * ``figure4_gilbert_interference`` — the same workload on bursty
   Gilbert-Elliott links *plus* a co-channel interference field of three
   co-located piconets, the most event-dense radio model in the repo.
+* ``churn_recovery_timeline`` — the dynamic-topology scenario: timeline
+  events (interferer switches, mid-run renegotiation) land on the shared
+  clock while the kernel batches around them; the recorded
+  ``fast_path_stats`` carry the ``topology`` bailout counter.
 """
 
 import time
@@ -213,3 +217,22 @@ def test_bench_figure4_gilbert_interference(benchmark):
     retx = sum(state.retransmissions
                for state in compiled.primary.piconet.flow_states())
     assert retx > 0
+
+
+def test_bench_churn_recovery_timeline(benchmark):
+    from repro.scenario import churn_recovery_spec
+
+    duration = bench_duration(10.0)
+    results = benchmark.pedantic(
+        _bench_both_paths, args=(churn_recovery_spec(), duration),
+        rounds=1, iterations=1, warmup_rounds=0)
+    _report(benchmark, "churn_recovery_timeline", results)
+    _assert_paths_agree(results)
+    compiled, slots, _ = results[FAST_VARIANT]
+    assert slots >= duration * 1600 * 0.95
+    # the timeline fired identically on both paths
+    reference, _, _ = results[REFERENCE_VARIANT]
+    assert compiled.timeline_log == reference.timeline_log
+    assert len(compiled.timeline_log) == 9
+    assert "topology" in compiled.primary.piconet.fast_path_stats()[
+        "bailouts"]

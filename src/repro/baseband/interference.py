@@ -151,6 +151,12 @@ class InterfererProcess:
     in a given slot (its offered load); activity is drawn per slot from a
     dedicated stream and cached, so it too is independent of query order.
     A duty cycle of 1.0 models a saturated piconet, 0.0 a silent one.
+
+    Timeline ``interferer-on`` / ``interferer-off`` events switch the
+    member via :meth:`set_enabled`: the raw draws are never discarded —
+    switching only *masks* them — so the activity pattern where the member
+    is enabled is exactly the always-on pattern, and a member with no
+    switches is byte-identical to the historical behaviour.
     """
 
     #: duty-cycle members model activity stochastically; see
@@ -167,6 +173,11 @@ class InterfererProcess:
         self.duty_cycle = duty_cycle
         self._rng = activity_rng
         self._activity: List[bool] = []
+        # (slot, enabled) breakpoints in non-decreasing slot order; the
+        # member is enabled before the first breakpoint
+        self._switches: List[Tuple[int, bool]] = []
+        # masked view of _activity, maintained only once a switch exists
+        self._masked: List[bool] = []
 
     def extend_to(self, length: int) -> None:
         """Draw activity until ``length`` slots are materialised.
@@ -184,11 +195,55 @@ class InterfererProcess:
         while len(activity) < length:
             append(rand() < duty)
 
+    def set_enabled(self, slot: int, enabled: bool) -> None:
+        """Switch the interferer on or off from ``slot`` forward.
+
+        Raw activity draws are untouched (the pattern stays a function of
+        (seed, slot) alone); only the *effective* activity is masked, so an
+        off/on pair restores exactly the draws an always-on member would
+        have radiated.  Switches must arrive in non-decreasing slot order
+        (the timeline fires them chronologically); a switch landing on the
+        slot of the previous one replaces it.
+        """
+        if slot < 0:
+            raise ValueError(f"slot must be >= 0, got {slot}")
+        switches = self._switches
+        if switches and slot < switches[-1][0]:
+            raise ValueError(
+                f"switches must arrive in non-decreasing slot order; got "
+                f"slot {slot} after {switches[-1][0]}")
+        if switches and slot == switches[-1][0]:
+            switches[-1] = (slot, enabled)
+        else:
+            switches.append((slot, enabled))
+        if len(self._masked) > slot:
+            del self._masked[slot:]
+
+    def enabled_at(self, slot_index: int) -> bool:
+        """Whether the member is switched on in ``slot_index``."""
+        enabled = True
+        for at, state in self._switches:
+            if at <= slot_index:
+                enabled = state
+            else:
+                break
+        return enabled
+
+    def _extend_masked(self, length: int) -> None:
+        masked = self._masked
+        raw = self._activity
+        for slot in range(len(masked), length):
+            masked.append(raw[slot] if self.enabled_at(slot) else False)
+
     def activity_until(self, length: int) -> List[bool]:
-        """The first ``length`` activity flags (a shared list; do not
-        mutate)."""
+        """The first ``length`` *effective* activity flags (a shared list;
+        do not mutate)."""
         self.extend_to(length)
-        return self._activity
+        if not self._switches:
+            return self._activity
+        if len(self._masked) < length:
+            self._extend_masked(length)
+        return self._masked
 
     def active_at(self, slot_index: int) -> bool:
         """Whether this piconet transmits in ``slot_index``."""
@@ -197,6 +252,8 @@ class InterfererProcess:
         activity = self._activity
         if slot_index >= len(activity):
             self.extend_to(slot_index + 1)
+        if self._switches and not self.enabled_at(slot_index):
+            return False
         return activity[slot_index]
 
     def transmits_on(self, slot_index: int, channel: int) -> bool:
@@ -481,6 +538,42 @@ class InterferenceField:
         if built > start_slot:
             for cache in self._victim_caches.values():
                 cache.truncate(start_slot)
+
+    # -- timeline switches ---------------------------------------------------
+    def set_interferer_enabled(self, name: str, slot: int,
+                               enabled: bool) -> None:
+        """Switch a duty-cycle interferer on or off from ``slot`` forward.
+
+        Occupancy rows and victim caches at or beyond ``slot`` are dropped
+        — they folded the member's previous effective activity — and
+        rebuild lazily from the same cached draws, so slots before the
+        switch are untouched and the pattern where the member is enabled
+        matches the always-on pattern exactly.
+        """
+        if slot < 0:
+            raise ValueError(f"slot must be >= 0, got {slot}")
+        member = self.member(name)
+        if member.coupled:
+            raise TypeError(
+                f"piconet {name!r} is a coupled member; its activity is "
+                f"reported (report_transmission), not switched")
+        member.set_enabled(slot, enabled)
+        if self._rows_built > slot:
+            del self._rows[slot:]
+            self._rows_built = slot
+        self.truncate_victim_caches(slot)
+
+    def truncate_victim_caches(self, slot: int) -> None:
+        """Drop every victim's cached collision counts from ``slot`` on.
+
+        Topology events (a roaming bridge re-times who radiates when) and
+        interferer switches call this; the caches rebuild lazily from the
+        occupancy rows on the next lookup.
+        """
+        if slot < 0:
+            raise ValueError(f"slot must be >= 0, got {slot}")
+        for cache in self._victim_caches.values():
+            cache.truncate(slot)
 
     def recorder(self, name: str,
                  slot_us: int = SLOT_US) -> Callable[[int, int], None]:

@@ -130,6 +130,18 @@ class GuaranteedServiceManager:
         self._setups: Dict[int, GSFlowSetup] = {}
         self._planners: Dict[int, BasePlanner] = {}
         self._streams: List[PollStream] = []
+        #: ``hook(flow_id, setup)`` called when a renegotiation rejects a
+        #: previously admitted flow (the eviction path).  The manager is
+        #: simulator-agnostic, so the piconet-side teardown — detaching the
+        #: flow state and its queued segments from the master loop and the
+        #: poller — registers here (see ``CompiledPiconet``): without it an
+        #: evicted flow would keep consuming polls it no longer pays for.
+        self._eviction_hooks: List[Callable[[int, GSFlowSetup], None]] = []
+
+    def add_eviction_hook(self,
+                          hook: Callable[[int, "GSFlowSetup"], None]) -> None:
+        """Register ``hook(flow_id, setup)`` for rejected renegotiations."""
+        self._eviction_hooks.append(hook)
 
     # ------------------------------------------------------------------ setup
     def add_flow(self, spec: FlowSpec, tspec: TSpec,
@@ -357,7 +369,10 @@ class GuaranteedServiceManager:
         covers the retransmissions actually observed.  On rejection the
         flow *stays removed* (its reserved capacity was fiction) and the
         returned setup says why; the raised budget sticks for any later
-        re-request of the link.
+        re-request of the link, and every registered eviction hook fires so
+        the piconet fully detaches the evicted flow (state, queued
+        segments, poller bookkeeping) instead of leaving it to soak up
+        polls.
         """
         setup = self._setups.pop(flow_id, None)
         if setup is None:
@@ -380,7 +395,25 @@ class GuaranteedServiceManager:
                                     rate=setup.request.rate, start_time=now)
         if not renewed.accepted:
             self._rebuild_planners(now)
+            for hook in self._eviction_hooks:
+                hook(flow_id, renewed)
         return renewed
+
+    def withdraw_flow(self, flow_id: int, now: float = 0.0) -> GSFlowSetup:
+        """Release an admitted flow's reservation (park / flow-remove).
+
+        The returned setup keeps the admitted request, so the flow can be
+        re-submitted later (:meth:`add_flow` with the same parameters —
+        e.g. at unpark time).  Unlike an eviction this is a clean,
+        voluntary teardown: no hooks fire, the link budgets are untouched.
+        """
+        setup = self._setups.pop(flow_id, None)
+        if setup is None:
+            raise KeyError(f"flow {flow_id} is not admitted")
+        self.admission.remove_flow(flow_id)
+        self._streams = self.admission.streams
+        self._rebuild_planners(now)
+        return setup
 
     # ------------------------------------------------------------------ runtime
     def due_streams(self, now: float,
@@ -407,8 +440,16 @@ class GuaranteedServiceManager:
 
     def record_poll(self, primary_flow_id: int, actual_time: float,
                     served: Optional[ServedSegment]) -> None:
-        """Tell the stream's planner about an executed poll."""
-        self._planners[primary_flow_id].record_poll(actual_time, served)
+        """Tell the stream's planner about an executed poll.
+
+        The flow may have been withdrawn, evicted or parked *between* the
+        poll being planned and its transaction committing (a timeline
+        event landing mid-transaction); the planner is gone then and the
+        outcome has nobody left to inform.
+        """
+        planner = self._planners.get(primary_flow_id)
+        if planner is not None:
+            planner.record_poll(actual_time, served)
 
     def next_planned_poll(self) -> Optional[float]:
         """Earliest planned poll time over all streams (``None`` if no flows)."""

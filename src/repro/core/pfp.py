@@ -129,8 +129,18 @@ class PredictiveFairPoller(Poller):
     # ------------------------------------------------------------------ attach
     def attach(self, piconet) -> None:
         super().attach(piconet)
-        now = float(piconet.env.now)
-        for state in piconet.flow_states():
+        self.on_flows_attached(piconet.flow_states())
+
+    def on_flows_attached(self, states) -> None:
+        """Register flow states (initial attach, flow-add, or unpark).
+
+        Only best-effort flows carry PFP-side state; GS flows live in the
+        manager's planners.  A re-attached uplink flow starts a fresh
+        availability prediction — the master learned nothing about the
+        slave's queue while it was away.
+        """
+        now = float(self.piconet.env.now)
+        for state in states:
             spec = state.spec
             if spec.traffic_class != BE:
                 continue
@@ -143,6 +153,23 @@ class PredictiveFairPoller(Poller):
             else:
                 slave_state.ul_flow_ids.append(spec.flow_id)
                 self._ul_predictions[spec.flow_id] = _UplinkPrediction(started_at=now)
+
+    def on_flows_detached(self, flow_ids) -> None:
+        """Forget detached flows (flow-remove, park, or GS eviction).
+
+        A slave whose last best-effort flow leaves drops out of the fair
+        division entirely; its fairness accounting restarts if it returns.
+        """
+        for flow_id in flow_ids:
+            self._ul_predictions.pop(flow_id, None)
+            for slave, slave_state in list(self._be_slaves.items()):
+                if flow_id in slave_state.dl_flow_ids:
+                    slave_state.dl_flow_ids.remove(flow_id)
+                if flow_id in slave_state.ul_flow_ids:
+                    slave_state.ul_flow_ids.remove(flow_id)
+                    slave_state.next_ul_index = 0
+                if not slave_state.dl_flow_ids and not slave_state.ul_flow_ids:
+                    del self._be_slaves[slave]
 
     # ------------------------------------------------------------------ select
     def select(self, now: float) -> Optional[TransactionPlan]:

@@ -31,7 +31,9 @@ workloads ``link_quality_mix``, ``bursty_channel``, ``dm_vs_dh`` and
 ``bridge_split`` and ``crowded_room``;
 :mod:`repro.experiments.admission_budget` contrasts oblivious and
 budget-aware admission with ``admission_vs_ber`` and
-``bridge_residency_admission``.  Every registered experiment's
+``bridge_residency_admission``; :mod:`repro.experiments.churn_pack`
+registers ``churn_recovery``, the timeline-driven interference burst
+with mid-run flow renegotiation.  Every registered experiment's
 golden rows are pinned as fixtures under ``tests/golden/``
 (:mod:`repro.experiments.golden`, refreshed via ``python -m
 repro.experiments regen-golden``).  See ``src/repro/experiments/README.md``
@@ -74,6 +76,7 @@ from repro.experiments.admission_budget import (
     run_admission_vs_ber_point,
     run_bridge_residency_admission_point,
 )
+from repro.experiments.churn_pack import run_churn_recovery_point
 from repro.experiments.channel_packs import (
     run_bridge_split_point,
     run_bursty_channel_point,
@@ -132,6 +135,7 @@ __all__ = [
     "run_bridge_residency_admission_point",
     "run_bridge_split_point",
     "run_bursty_channel_point",
+    "run_churn_recovery_point",
     "run_crowded_room_point",
     "run_dm_vs_dh_point",
     "run_heavy_piconet_point",

@@ -121,7 +121,34 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     for line in rendered.splitlines():
         print(f"    {line}")
     _print_link_budgets(resolved)
+    _print_timeline(resolved)
     return 0
+
+
+def _print_timeline(resolved) -> None:
+    """The resolved timeline of a spec-backed experiment (if any)."""
+    if not resolved.timeline:
+        return
+    print("  timeline:")
+    for event in resolved.timeline.events:
+        parts = [f"t={event.at_s:g}s", event.kind]
+        if event.piconet is not None:
+            parts.append(f"piconet={event.piconet}")
+        if event.slave is not None:
+            parts.append(f"slave={event.slave}")
+        if event.bridge is not None:
+            parts.append(f"bridge={event.bridge} share_a={event.share_a:g}")
+        if event.flow is not None:
+            parts.append(f"flow={event.flow.flow_id}")
+        if event.flow_id is not None:
+            parts.append(f"flow={event.flow_id}")
+        if event.interferer is not None:
+            parts.append(f"interferer-{event.interferer}")
+        if event.kind == "flow-renegotiate":
+            parts.append(f"tolerance={event.tolerance:g} "
+                         f"min_obs={event.min_observations} "
+                         f"retries={event.max_retries}@{event.backoff_s:g}s")
+        print(f"    {'  '.join(parts)}")
 
 
 def _print_link_budgets(resolved) -> None:

@@ -1,0 +1,82 @@
+"""The ``churn_recovery`` pack: mid-run interference churn and recovery.
+
+One registered experiment over :func:`~repro.scenario.factories.
+churn_recovery_spec`: the Section-4.1 piconet starts on a clean band
+(every declared interferer is switched *off* by the timeline at time
+zero), oblivious admission reserves rates that assume the band stays
+clean, and at ``burst_start_s`` the interferers all switch on.  The GS
+flows start losing packets to hop collisions — the admitted bound is
+violated mid-run — and at ``renegotiate_at_s`` the timeline asks the
+manager to renegotiate the victim flow once its measured loss exceeds the
+event's tolerance: the flow either re-admits with its budget raised to
+the measured loss, or is evicted cleanly (its reservation freed, its
+state fully detached).
+
+Each row carries the fired timeline events (including the renegotiation
+outcome and the measured loss it acted on), the GS bound-violation
+flag, and the slot accounting — the lifecycle edge the row pins is
+visible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.registry import ExperimentSpec, register
+from repro.experiments.scenario_packs import _be_metrics, _gs_metrics
+from repro.scenario import ScenarioSpec, churn_recovery_spec, \
+    resolve_point_spec
+
+
+def churn_recovery_scenario(params: Dict) -> ScenarioSpec:
+    """The churn scenario of one sweep point."""
+    return churn_recovery_spec(
+        interferers=params.get("interferers", 4),
+        burst_start_s=params["burst_start_s"],
+        renegotiate_at_s=params.get("renegotiate_at_s", 0.5),
+        tolerance=params.get("tolerance", 0.02),
+        min_observations=params.get("min_observations", 10),
+        max_retries=params.get("max_retries", 8),
+        backoff_s=params.get("backoff_s", 0.1))
+
+
+def run_churn_recovery_point(params: Dict, seed: int) -> List[Dict]:
+    """One churn point: clean start, interference burst, renegotiation."""
+    duration_seconds = params.get("duration_seconds", 1.5)
+    compiled = resolve_point_spec(params, churn_recovery_scenario) \
+        .compile(seed)
+    scenario = compiled.primary
+    compiled.run(duration_seconds)
+    renegotiation = next(
+        (record for record in compiled.timeline_log
+         if record["kind"] == "flow-renegotiate"), {})
+    row: Dict = {
+        "burst_start_s": params["burst_start_s"],
+        "renegotiate_at_s": params.get("renegotiate_at_s", 0.5),
+        "admitted": scenario.all_gs_admitted,
+        "timeline": {
+            "events_fired": len(compiled.timeline_log),
+            "outcome": renegotiation.get("outcome"),
+            "attempts": renegotiation.get("attempts"),
+            "decided_at_s": renegotiation.get("decided_at_s"),
+            "measured_loss": renegotiation.get("measured_loss"),
+        },
+        "interference_failures": compiled.interference_failures(),
+        "gs": _gs_metrics(scenario, duration_seconds),
+        "be": _be_metrics(scenario, duration_seconds),
+        "slots": scenario.piconet.slot_accounting(),
+    }
+    return [row]
+
+
+register(ExperimentSpec(
+    name="churn_recovery",
+    description="Interference burst mid-run: oblivious admission's bound "
+                "breaks, the flagged GS flow renegotiates or is evicted",
+    run_point=run_churn_recovery_point,
+    grid={"burst_start_s": [0.25]},
+    defaults={"renegotiate_at_s": 0.5, "duration_seconds": 1.5,
+              "interferers": 4, "tolerance": 0.02,
+              "min_observations": 10, "max_retries": 8, "backoff_s": 0.1},
+    scenario=churn_recovery_scenario,
+))

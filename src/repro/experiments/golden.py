@@ -85,6 +85,9 @@ GOLDEN_OVERRIDES: Dict[str, Dict[str, object]] = {
                          "duration_seconds": 1.0},
     "bridge_residency_admission": {"bridge_share": [0.5, 0.9],
                                    "duration_seconds": 1.0},
+    # dynamic topology timeline: burst at 0.25s, renegotiation at 0.5s —
+    # both land inside the 1-second golden run
+    "churn_recovery": {"burst_start_s": [0.25], "duration_seconds": 1.0},
 }
 
 

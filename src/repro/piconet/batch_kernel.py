@@ -38,7 +38,13 @@ event loop the moment any of them trips):
   earlier, so it wins the heap's insertion-order tie-break);
 * a channel-adaptive segmentation policy flipped its type set during an
   inline transaction (``adaptive_flip``) — the next step runs on the
-  reference path.
+  reference path;
+* the piconet signalled a topology change (``topology``) — a timeline
+  event parked/unparked a slave, attached or detached a flow, or
+  re-registered a bridge presence schedule.  The event itself always
+  fires on the event loop (the horizon check keeps windows strictly
+  before it), but the first step *after* it runs on the reference path
+  so everything the kernel derives from the topology is revalidated.
 
 ``PiconetConfig.fast_path`` (default on) selects the kernel; the
 ``REPRO_NO_FAST_PATH`` environment variable — set by the experiments
@@ -85,7 +91,7 @@ class BatchKernel:
     IDLE = _IdleSentinel()
 
     __slots__ = ("piconet", "windows", "transactions", "idle_advances",
-                 "bailouts", "_in_window", "_force_slow")
+                 "bailouts", "_in_window", "_force_slow", "_topology_dirty")
 
     def __init__(self, piconet):
         self.piconet = piconet
@@ -97,9 +103,15 @@ class BatchKernel:
         self.idle_advances = 0
         #: why windows ended / steps were declined, by reason
         self.bailouts = {"sco": 0, "bridge": 0, "horizon": 0,
-                         "adaptive_flip": 0}
+                         "adaptive_flip": 0, "topology": 0}
         self._in_window = False
         self._force_slow = False
+        self._topology_dirty = False
+
+    def notify_topology_change(self) -> None:
+        """A timeline event changed the piconet's topology: the next step
+        runs on the reference event loop (one ``topology`` bailout)."""
+        self._topology_dirty = True
 
     # -- plan: the steady-state detector -------------------------------------
     def _bail(self, reason: str) -> None:
@@ -143,6 +155,10 @@ class BatchKernel:
         """Take the master's idle step inline if the horizon allows it."""
         if self._force_slow:
             self._force_slow = False
+            return False
+        if self._topology_dirty:
+            self._topology_dirty = False
+            self._bail("topology")
             return False
         if not self._steady():
             return False
@@ -190,6 +206,10 @@ class BatchKernel:
         if self._force_slow:
             self._force_slow = False
             return plan
+        if self._topology_dirty:
+            self._topology_dirty = False
+            self._bail("topology")
+            return plan
         piconet = self.piconet
         # cheap decline prelude: event-dense scenarios bail here on almost
         # every transaction, so nothing below may loop or allocate
@@ -223,8 +243,14 @@ class BatchKernel:
         bail_reason = "horizon"
         before = None
         while True:
-            if sco_links or bridge_presence:
-                bail_reason = "sco" if sco_links else "bridge"
+            if sco_links or bridge_presence or self._topology_dirty:
+                if sco_links:
+                    bail_reason = "sco"
+                elif bridge_presence:
+                    bail_reason = "bridge"
+                else:
+                    bail_reason = "topology"
+                    self._topology_dirty = False
                 if plan is None:
                     plan = self.IDLE
                 break

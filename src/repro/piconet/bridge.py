@@ -27,7 +27,7 @@ bridge is back, instead of burning 2..6 slots per failure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Tuple
 
 #: the two residency roles of a bridge
@@ -137,3 +137,15 @@ class BridgeNode:
 
     def presence(self, role: str) -> Callable[[int], bool]:
         return self.schedule.presence(role)
+
+    def reschedule(self, share_a: float) -> BridgeSchedule:
+        """Re-divide the bridge's period (a timeline ``bridge-roam``).
+
+        Builds a new schedule with ``share_a`` (period and guard slots
+        unchanged) — schedules are frozen, so existing presence closures
+        keep evaluating the old division until the scatternet re-installs
+        the new one on both masters
+        (:meth:`~repro.piconet.scatternet.Scatternet.roam_bridge`).
+        """
+        self.schedule = replace(self.schedule, share_a=share_a)
+        return self.schedule

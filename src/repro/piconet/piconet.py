@@ -163,6 +163,28 @@ class Piconet:
         #: master skips planned polls while such a bridge is away instead
         #: of burning the transaction's slots on a guaranteed failure
         self._negotiated_bridges: set = set()
+        #: per-bridge-slave shares of the absent/skipped totals, so a roam
+        #: (re-registered presence) can reset one slave's accounting
+        #: without touching the other bridges' history
+        self._bridge_absent_by_slave: Dict[int, int] = {}
+        self._bridge_skipped_by_slave: Dict[int, int] = {}
+        #: flow states of parked slaves, keyed by flow id: invisible to the
+        #: poller and the master loop, but arrivals keep queueing so an
+        #: unpark resumes with the accumulated backlog
+        self._parked_states: Dict[int, FlowState] = {}
+        #: slaves currently parked (informational; mirrored by the states)
+        self._parked_slaves: set = set()
+        #: detached-and-not-reattached flow states (evictions, removes):
+        #: kept so the drivers' result helpers still see the statistics
+        self._retired_states: Dict[int, FlowState] = {}
+        #: listeners fired (with the current slot) on any topology change —
+        #: park/unpark, flow attach/detach, bridge re-registration; the
+        #: scatternet wires coupled interference-field invalidation here
+        self._topology_listeners: List[Callable[[int], None]] = []
+        #: topology changes seen since the start of the run (reported by
+        #: slot_accounting only when non-zero, so static scenarios — and
+        #: their golden fixtures — are unchanged)
+        self.topology_changes = 0
         self._started = False
         self._run_started_at: Optional[int] = None
         self._run_ended_at: Optional[int] = None
@@ -270,9 +292,30 @@ class Piconet:
         its slots.  With ``negotiated=True`` the master *knows* the hold
         pattern and skips planned polls while the bridge is away (counted
         as ``bridge_skipped_polls``), retrying once it is back.
+
+        Re-registering an already-known bridge slave (a roam: the bridge
+        adopts a new residency schedule) is idempotent: the slave's
+        absent/skipped-poll accounting restarts with the new schedule
+        instead of layering it over the counts the old schedule produced,
+        and a topology change is signalled so the batch kernel and any
+        attached interference field drop state derived from the old
+        schedule.
         """
         if slave not in self.devices:
             raise ValueError(f"slave {slave} is not part of the piconet")
+        if slave in self._bridge_presence:
+            # roam: the totals keep only the other bridges' history
+            self.bridge_absent_polls -= self._bridge_absent_by_slave.pop(
+                slave, 0)
+            self.bridge_skipped_polls -= self._bridge_skipped_by_slave.pop(
+                slave, 0)
+            self._bridge_presence[slave] = presence
+            if negotiated:
+                self._negotiated_bridges.add(slave)
+            else:
+                self._negotiated_bridges.discard(slave)
+            self._notify_topology_change()
+            return
         self._bridge_presence[slave] = presence
         if negotiated:
             self._negotiated_bridges.add(slave)
@@ -285,6 +328,127 @@ class Piconet:
         if presence is None:
             return True
         return bool(presence(now_us // SLOT_US))
+
+    # ------------------------------------------------------- topology lifecycle
+    def add_topology_listener(self,
+                              listener: Callable[[int], None]) -> None:
+        """Register ``listener(slot_index)`` for every topology change
+        (park/unpark, flow attach/detach, bridge re-registration)."""
+        self._topology_listeners.append(listener)
+
+    def _notify_topology_change(self) -> None:
+        """Invalidate executor/observer state derived from the topology."""
+        self.topology_changes += 1
+        if self._batch_kernel is not None:
+            self._batch_kernel.notify_topology_change()
+        slot_index = self.env.now // SLOT_US
+        for listener in self._topology_listeners:
+            listener(slot_index)
+
+    def detach_flow(self, flow_id: int) -> FlowState:
+        """Remove a flow (and its queued segments) from the master loop.
+
+        The returned :class:`FlowState` keeps its queue and statistics, so
+        it can be re-attached later via :meth:`attach_flow_state`; until
+        then the poller no longer sees the flow (it is notified through
+        :meth:`~repro.schedulers.base.Poller.on_flows_detached`) and no
+        transaction will serve its segments.  The state stays reachable
+        through :meth:`flow_state` (as a retired flow), so an eviction or
+        ``flow-remove`` does not erase the statistics the drivers report.
+        """
+        state = self._states.pop(flow_id, None)
+        if state is None:
+            raise KeyError(f"unknown flow id {flow_id}")
+        self._retired_states[flow_id] = state
+        spec = state.spec
+        slave = self.devices.slave(spec.slave)
+        if spec.is_downlink:
+            self.devices.master.tx_flow_ids.remove(flow_id)
+            slave.rx_flow_ids.remove(flow_id)
+        else:
+            slave.tx_flow_ids.remove(flow_id)
+            self.devices.master.rx_flow_ids.remove(flow_id)
+        self._flow_states_cache = None
+        self._specs_by_slave_cache = None
+        if self.poller is not None:
+            self.poller.on_flows_detached((flow_id,))
+        self._notify_topology_change()
+        return state
+
+    def attach_flow_state(self, state: FlowState) -> None:
+        """Re-register a previously detached :class:`FlowState`."""
+        spec = state.spec
+        if spec.flow_id in self._states:
+            raise ValueError(f"flow id {spec.flow_id} already registered")
+        if spec.slave not in self.devices:
+            raise ValueError(f"slave {spec.slave} is not part of the piconet")
+        self._retired_states.pop(spec.flow_id, None)
+        self._states[spec.flow_id] = state
+        slave = self.devices.slave(spec.slave)
+        if spec.is_downlink:
+            self.devices.master.tx_flow_ids.append(spec.flow_id)
+            slave.rx_flow_ids.append(spec.flow_id)
+        else:
+            slave.tx_flow_ids.append(spec.flow_id)
+            self.devices.master.rx_flow_ids.append(spec.flow_id)
+        self._flow_states_cache = None
+        self._specs_by_slave_cache = None
+        if self.poller is not None:
+            self.poller.on_flows_attached((state,))
+        self._notify_topology_change()
+
+    def add_flow_runtime(self, spec: FlowSpec) -> FlowState:
+        """Register a *new* flow while the simulation runs (a timeline
+        ``flow-add``): :meth:`add_flow` plus the poller and fast-path
+        notifications construction-time registration does not need."""
+        state = self.add_flow(spec)
+        if self.poller is not None:
+            self.poller.on_flows_attached((state,))
+        self._notify_topology_change()
+        return state
+
+    def park_slave(self, slave: int) -> List[FlowState]:
+        """Park ``slave``: its flow states leave the master loop.
+
+        The parked states stay reachable through :meth:`offer_packet`, so
+        traffic sources keep filling the queues while the slave is away;
+        :meth:`unpark_slave` re-attaches them with the accumulated
+        backlog.  Parking a slave with an SCO reservation or a bridge
+        presence schedule is refused — both model a slave the master must
+        keep serving.
+        """
+        if slave not in self.devices:
+            raise ValueError(f"slave {slave} is not part of the piconet")
+        if slave in self._parked_slaves:
+            raise ValueError(f"slave {slave} is already parked")
+        if slave in self._bridge_presence:
+            raise ValueError(f"slave {slave} is a bridge; roam it instead")
+        if self.devices.slave(slave).has_sco:
+            raise ValueError(f"slave {slave} holds an SCO reservation")
+        flow_ids = [fid for fid in sorted(self._states)
+                    if self._states[fid].spec.slave == slave]
+        states = [self.detach_flow(fid) for fid in flow_ids]
+        for state in states:
+            self._parked_states[state.spec.flow_id] = state
+        self._parked_slaves.add(slave)
+        return states
+
+    def unpark_slave(self, slave: int) -> List[FlowState]:
+        """Return a parked slave to the piconet (reverse of
+        :meth:`park_slave`)."""
+        if slave not in self._parked_slaves:
+            raise ValueError(f"slave {slave} is not parked")
+        flow_ids = [fid for fid in sorted(self._parked_states)
+                    if self._parked_states[fid].spec.slave == slave]
+        states = [self._parked_states.pop(fid) for fid in flow_ids]
+        for state in states:
+            self.attach_flow_state(state)
+        self._parked_slaves.discard(slave)
+        return states
+
+    def parked_slaves(self) -> List[int]:
+        """The currently parked slaves, in AM-address order."""
+        return sorted(self._parked_slaves)
 
     def attach_poller(self, poller) -> None:
         """Attach the intra-piconet scheduler."""
@@ -315,10 +479,18 @@ class Piconet:
 
     # -------------------------------------------------------------- inspection
     def flow_state(self, flow_id: int) -> FlowState:
-        try:
-            return self._states[flow_id]
-        except KeyError:
-            raise KeyError(f"unknown flow id {flow_id}") from None
+        """The state of an attached, parked or retired flow.
+
+        Parked and retired (detached, never re-attached) flows keep their
+        statistics, so the result helpers report a mid-run eviction or
+        removal instead of crashing on it.
+        """
+        state = self._states.get(flow_id) \
+            or self._parked_states.get(flow_id) \
+            or self._retired_states.get(flow_id)
+        if state is None:
+            raise KeyError(f"unknown flow id {flow_id}")
+        return state
 
     def queue(self, flow_id: int) -> FlowQueue:
         return self.flow_state(flow_id).queue
@@ -362,7 +534,17 @@ class Piconet:
     # ------------------------------------------------------------- traffic API
     def offer_packet(self, flow_id: int, size: int) -> HLPacket:
         """Offer a higher-layer packet to a flow's queue (at the current time)."""
-        state = self.flow_state(flow_id)
+        state = self._states.get(flow_id)
+        if state is None:
+            parked = self._parked_states.get(flow_id)
+            if parked is not None:
+                # a parked slave's traffic keeps queueing silently: the
+                # poller cannot see the flow, so no arrival notification
+                packet = HLPacket(flow_id=flow_id, size=size,
+                                  created=self.env.now)
+                parked.queue.push(packet)
+                return packet
+            raise KeyError(f"unknown flow id {flow_id}")
         packet = HLPacket(flow_id=flow_id, size=size, created=self.env.now)
         state.queue.push(packet)
         # Only master-side (downlink) arrivals are visible to the poller: the
@@ -463,6 +645,12 @@ class Piconet:
             accounting["bridge_absent_polls"] = self.bridge_absent_polls
         if self._negotiated_bridges:
             accounting["bridge_skipped_polls"] = self.bridge_skipped_polls
+        # likewise only timeline scenarios (the only source of topology
+        # changes) grow the extra keys
+        if self.topology_changes:
+            accounting["topology_changes"] = self.topology_changes
+        if self._parked_slaves:
+            accounting["parked_slaves"] = self.parked_slaves()
         return accounting
 
     def fast_path_stats(self) -> dict:
@@ -470,11 +658,17 @@ class Piconet:
 
         Kept separate from :meth:`slot_accounting` on purpose: golden
         fixtures byte-compare the accounting keys, and these counters
-        describe the executor, not the simulated system.
+        describe the executor, not the simulated system.  The returned
+        dict (including the nested ``bailouts`` mapping) is a fresh copy
+        on every call — callers that stash one piconet's stats (the
+        benchmark artifacts do) must never alias the kernel's live
+        counters, or a later run would mutate the recorded numbers.
         """
         if self._batch_kernel is None:
             return {"enabled": False}
-        return {"enabled": True, **self._batch_kernel.stats()}
+        stats = self._batch_kernel.stats()
+        stats["bailouts"] = dict(stats["bailouts"])
+        return {"enabled": True, **stats}
 
     # ------------------------------------------------------------ master loop
     def _master_process(self):
@@ -504,6 +698,8 @@ class Piconet:
                     and plan.slave in self._negotiated_bridges
                     and not self._slave_present(plan.slave, self.env.now)):
                 self.bridge_skipped_polls += 1
+                self._bridge_skipped_by_slave[plan.slave] = (
+                    self._bridge_skipped_by_slave.get(plan.slave, 0) + 1)
                 self.poller.notify(self._skipped_outcome(plan))
                 reselects -= 1
                 if reselects <= 0:
@@ -621,6 +817,8 @@ class Piconet:
         txn.bridge_absent = bridge_absent
         if bridge_absent:
             self.bridge_absent_polls += 1
+            self._bridge_absent_by_slave[plan.slave] = (
+                self._bridge_absent_by_slave.get(plan.slave, 0) + 1)
         return txn
 
     def _apply_downlink(self, txn: _Transaction) -> None:

@@ -35,6 +35,7 @@ class Scatternet:
         self.clock = SharedClock(env)
         self._piconets: Dict[str, Piconet] = {}
         self._bridges: List[BridgeNode] = []
+        self._field = None
 
     # -- construction --------------------------------------------------------
     def add_piconet(self, name: str,
@@ -91,6 +92,33 @@ class Scatternet:
         self._bridges.append(bridge)
         return bridge
 
+    def bridge(self, name: str) -> BridgeNode:
+        """The registered bridge named ``name``."""
+        for bridge in self._bridges:
+            if bridge.name == name:
+                return bridge
+        known = ", ".join(sorted(b.name for b in self._bridges)) or "<none>"
+        raise KeyError(f"unknown bridge {name!r}; registered: {known}")
+
+    def roam_bridge(self, name: str, share_a: float) -> BridgeNode:
+        """Re-divide a bridge's residency (a timeline ``bridge-roam``).
+
+        Rebuilds the bridge's schedule with the new ``share_a`` and
+        re-installs the per-role presence functions on both masters.
+        Re-registration is idempotent on the piconet side
+        (:meth:`~repro.piconet.piconet.Piconet.set_bridge_presence` resets
+        the per-slave absence accounting and flags a topology change), and
+        in coupled scenarios the topology listeners installed by
+        :meth:`attach_field` truncate the interference field's victim
+        caches from the roam slot forward.
+        """
+        bridge = self.bridge(name)
+        schedule = bridge.reschedule(share_a)
+        for role, (piconet_name, slave) in sorted(bridge.residences.items()):
+            self.piconet(piconet_name).set_bridge_presence(
+                slave, schedule.presence(role), negotiated=bridge.negotiated)
+        return bridge
+
     def attach_field(self, field) -> None:
         """Couple every registered piconet into an
         :class:`~repro.baseband.interference.InterferenceField`.
@@ -100,9 +128,16 @@ class Scatternet:
         its actual transmissions drive everyone else's collision BER —
         the ``crowded_room`` coupled mode.  Call after all piconets are
         added and registered with the field.
+
+        Every piconet also gets a topology listener that truncates the
+        field's victim caches at the event slot, so roams and park/unpark
+        events can never leave stale collision counts for slots the new
+        topology will radiate differently.
         """
+        self._field = field
         for name, piconet in self._piconets.items():
             piconet.set_air_recorder(field.recorder(name))
+            piconet.add_topology_listener(field.truncate_victim_caches)
 
     @property
     def bridges(self) -> List[BridgeNode]:

@@ -10,8 +10,15 @@ objects (``spec.compile(seed, env=None)`` -> ``CompiledScenario``).
 Sweep points and the CLI mutate specs declaratively via dotted paths
 (:func:`apply_overrides`, e.g. ``channel.ber=1e-4``); the spec factories
 (:func:`figure4_spec`, :func:`multi_sco_spec`, :func:`interfered_be_spec`,
-:func:`coupled_room_spec`, :func:`bridge_split_spec`) map the historical
-workload builders' keyword surfaces onto specs.
+:func:`coupled_room_spec`, :func:`bridge_split_spec`,
+:func:`churn_recovery_spec`) map the historical workload builders' keyword
+surfaces onto specs.
+
+Dynamic topologies: a spec may carry a ``TimelineSpec`` — ordered
+``EventSpec`` events (park/unpark, bridge-roam, flow add/remove/
+renegotiate, interferer on/off) that :func:`compile_scenario`
+materialises as processes on the shared clock
+(:mod:`repro.scenario.timeline`).
 """
 
 from repro.scenario.compile import (
@@ -25,6 +32,7 @@ from repro.scenario.compile import (
 )
 from repro.scenario.factories import (
     bridge_split_spec,
+    churn_recovery_spec,
     coupled_room_spec,
     figure4_piconet_spec,
     figure4_spec,
@@ -32,6 +40,7 @@ from repro.scenario.factories import (
     multi_sco_piconet_spec,
     multi_sco_spec,
 )
+from repro.scenario.timeline import install_timeline
 from repro.scenario.overrides import (
     SCENARIO_PARAM,
     apply_overrides,
@@ -44,10 +53,12 @@ from repro.scenario.specs import (
     ADMISSION_MODES,
     BASELINE_POLLER_KINDS,
     CHANNEL_MODELS,
+    EVENT_KINDS,
     POLLER_KINDS,
     AdmissionSpec,
     BridgeSpec,
     ChannelSpec,
+    EventSpec,
     FlowSpec,
     ImprovementsSpec,
     InterferenceSpec,
@@ -55,6 +66,7 @@ from repro.scenario.specs import (
     PollerSpec,
     ScenarioSpec,
     ScoSpec,
+    TimelineSpec,
 )
 
 __all__ = [
@@ -68,6 +80,8 @@ __all__ = [
     "ChannelSpec",
     "CompiledPiconet",
     "CompiledScenario",
+    "EVENT_KINDS",
+    "EventSpec",
     "FlowSpec",
     "ImprovementsSpec",
     "InterferenceSpec",
@@ -75,12 +89,15 @@ __all__ = [
     "PollerSpec",
     "ScenarioSpec",
     "ScoSpec",
+    "TimelineSpec",
     "apply_overrides",
     "baseline_poller_factories",
     "bridge_split_spec",
+    "churn_recovery_spec",
     "compile_channel",
     "compile_scenario",
     "coupled_room_spec",
+    "install_timeline",
     "describe_link_budgets",
     "figure4_piconet_spec",
     "forbid_overrides",

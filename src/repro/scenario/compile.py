@@ -52,6 +52,7 @@ from repro.scenario.specs import (
     PollerSpec,
     ScenarioSpec,
 )
+from repro.scenario.timeline import install_timeline
 from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
 from repro.traffic.sources import CBRSource, TrafficSource
@@ -292,6 +293,9 @@ class CompiledPiconet:
     #: the common requested delay bound of the GS flows (None when the
     #: flows requested explicit rates or disagree on the bound)
     delay_requirement: Optional[float] = None
+    #: GS setups withdrawn by a timeline ``park`` event, re-submitted to
+    #: admission at ``unpark`` (see :mod:`repro.scenario.timeline`)
+    parked_gs_setups: Dict[int, GSFlowSetup] = field(default_factory=dict)
 
     @property
     def all_gs_admitted(self) -> bool:
@@ -394,8 +398,8 @@ def _compile_poller(spec: PollerSpec, piconet: Piconet,
 def _compile_piconet(spec: PiconetSpec, seed: int,
                      env: Optional[Environment],
                      channel,
-                     link_budgets: Optional[Dict[tuple, LinkBudget]] = None
-                     ) -> CompiledPiconet:
+                     link_budgets: Optional[Dict[tuple, LinkBudget]] = None,
+                     observe_links: bool = False) -> CompiledPiconet:
     streams = RandomStreams(seed)
     if spec.rng_namespace:
         streams = streams.child(spec.rng_namespace)
@@ -449,10 +453,13 @@ def _compile_piconet(spec: PiconetSpec, seed: int,
             link_budgets=link_budgets,
             estimator_alpha=spec.admission.estimator_alpha,
             estimator_initial_loss=spec.admission.estimator_seed_loss)
-        if link_budgets:
+        if link_budgets or observe_links:
             # budget-aware feedback: every observed data transmission
             # updates the manager's per-link loss estimators, so measured
-            # loss can be compared against the admitted budgets
+            # loss can be compared against the admitted budgets.  A
+            # timeline with flow-renegotiate events needs the same feed
+            # even under oblivious admission — flagged_flows() has nothing
+            # to compare without it.
             piconet.add_link_observer(manager.observe_link)
         for flow in managed:
             tspec = cbr_tspec(flow.interval_s, *flow.size_bounds)
@@ -513,6 +520,9 @@ class CompiledScenario:
     #: names of the interfering piconets registered in the field
     interferers: List[str] = field(default_factory=list)
     bridges: List[BridgeNode] = field(default_factory=list)
+    #: outcome records of fired timeline events, in firing order (see
+    #: :mod:`repro.scenario.timeline`)
+    timeline_log: List[dict] = field(default_factory=list)
 
     @property
     def primary(self) -> CompiledPiconet:
@@ -601,6 +611,13 @@ def compile_scenario(spec: ScenarioSpec, seed: int,
         # builds it inside the (single-iteration) loop only when the
         # victim's channel is not overridden
         interference_field, interferers = _compile_coupled_field(spec, seed)
+    # piconets whose timeline renegotiates flows need the link-loss feed
+    # even when their admission is oblivious (no budgets)
+    default_name = spec.piconets[0].name
+    renegotiating = {event.piconet if event.piconet is not None
+                     else default_name
+                     for event in spec.timeline.events
+                     if event.kind == "flow-renegotiate"}
     compiled: Dict[str, CompiledPiconet] = {}
     for piconet_spec in spec.piconets:
         channel = channel_overrides.get(piconet_spec.name)
@@ -620,7 +637,8 @@ def compile_scenario(spec: ScenarioSpec, seed: int,
         budgets = link_budgets_for(spec, piconet_spec) \
             if piconet_spec.admission.aware else None
         compiled[piconet_spec.name] = _compile_piconet(
-            piconet_spec, seed, build_env, channel, link_budgets=budgets)
+            piconet_spec, seed, build_env, channel, link_budgets=budgets,
+            observe_links=piconet_spec.name in renegotiating)
         if scatternet is not None:
             scatternet.adopt_piconet(piconet_spec.name,
                                      compiled[piconet_spec.name].piconet)
@@ -643,7 +661,9 @@ def compile_scenario(spec: ScenarioSpec, seed: int,
 
     environment = build_env if build_env is not None \
         else next(iter(compiled.values())).piconet.env
-    return CompiledScenario(
+    scenario = CompiledScenario(
         spec=spec, seed=seed, piconets=compiled, env=environment,
         scatternet=scatternet, interference_field=interference_field,
         interferers=interferers, bridges=bridges)
+    install_timeline(scenario)
+    return scenario

@@ -17,6 +17,7 @@ from repro.piconet.flows import BE, DOWNLINK, GS, UPLINK
 from repro.scenario.specs import (
     BridgeSpec,
     ChannelSpec,
+    EventSpec,
     FlowSpec,
     ImprovementsSpec,
     InterferenceSpec,
@@ -24,6 +25,7 @@ from repro.scenario.specs import (
     PollerSpec,
     ScenarioSpec,
     ScoSpec,
+    TimelineSpec,
 )
 
 #: GS source parameters of Section 4.1.
@@ -290,6 +292,57 @@ def coupled_room_spec(piconets: int,
             victim="p1",
             coupled=True,
             ber_per_collision=ber_per_collision))
+
+
+def churn_recovery_spec(interferers: int = 4,
+                        burst_start_s: float = 0.25,
+                        renegotiate_at_s: float = 0.5,
+                        renegotiate_flow_id: int = 1,
+                        tolerance: float = 0.02,
+                        min_observations: int = 10,
+                        max_retries: int = 8,
+                        backoff_s: float = 0.1,
+                        ber_per_collision: Optional[float] = None
+                        ) -> ScenarioSpec:
+    """The Section-4.1 piconet hit by a mid-run interference burst.
+
+    The timeline tells the story the ``churn_recovery`` experiment
+    measures: the scenario declares ``interferers`` saturated co-located
+    piconets, but switches them all *off* at time zero — the piconet
+    starts on a clean band, and (oblivious) admission reserves rates that
+    assume it stays clean.  At ``burst_start_s`` every interferer switches
+    on (a neighbour's scatternet waking up, a microwave oven), GS flows
+    start losing packets, and at ``renegotiate_at_s`` the manager is asked
+    to renegotiate ``renegotiate_flow_id`` once its measured loss exceeds
+    ``tolerance`` over at least ``min_observations`` observed
+    transmissions — retrying every ``backoff_s`` up to ``max_retries``
+    times while the evidence accumulates.  The renegotiation either
+    re-admits the flow with its budget raised to the measured loss, or
+    evicts it cleanly (freeing its reserved capacity for the others).
+    """
+    if interferers < 1:
+        raise ValueError(f"interferers must be >= 1, got {interferers}")
+    if burst_start_s > renegotiate_at_s:
+        raise ValueError(
+            f"the burst ({burst_start_s}s) must not start after the "
+            f"renegotiation check ({renegotiate_at_s}s)")
+    events = [EventSpec(at_s=0.0, kind="interferer-off", interferer=index)
+              for index in range(1, interferers + 1)]
+    events += [EventSpec(at_s=burst_start_s, kind="interferer-on",
+                         interferer=index)
+               for index in range(1, interferers + 1)]
+    events.append(EventSpec(
+        at_s=renegotiate_at_s, kind="flow-renegotiate",
+        flow_id=renegotiate_flow_id, tolerance=tolerance,
+        min_observations=min_observations, max_retries=max_retries,
+        backoff_s=backoff_s))
+    return ScenarioSpec(
+        piconets=(figure4_piconet_spec(name="victim"),),
+        interference=InterferenceSpec(
+            victim="victim",
+            interferer_duties=(1.0,) * interferers,
+            ber_per_collision=ber_per_collision),
+        timeline=TimelineSpec(events=tuple(events)))
 
 
 #: AM address of the bridge inside piconet A (carries GS flow 4).

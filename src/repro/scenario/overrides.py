@@ -6,6 +6,8 @@ instead of threading new keyword arguments through every layer::
     apply_overrides(spec, {"channel.ber": 1e-4})
     apply_overrides(spec, {"piconets.0.flows.2.delay_bound": 0.03})
     apply_overrides(spec, {"A.improvements.variable_interval": False})
+    apply_overrides(spec, {"timeline.events.0.at_s": 0.3})
+    apply_overrides(spec, {"timeline.events.8.tolerance": 0.05})
 
 Paths anchor at the :class:`~repro.scenario.specs.ScenarioSpec`; as a
 convenience, a leading segment that names a piconet routes into it, and —

@@ -49,6 +49,18 @@ BASELINE_POLLER_KINDS = (
 #: every poller kind a :class:`PollerSpec` may name
 POLLER_KINDS = ("pfp", "round_robin", "none") + BASELINE_POLLER_KINDS
 
+#: event kinds a :class:`EventSpec` may name
+EVENT_KINDS = (
+    "park",
+    "unpark",
+    "bridge-roam",
+    "flow-add",
+    "flow-remove",
+    "flow-renegotiate",
+    "interferer-on",
+    "interferer-off",
+)
+
 #: declarative packet size: a fixed size or an inclusive ``(min, max)``
 #: range drawn uniformly per packet (the distinction matters: a range
 #: consumes one RNG draw per packet even when ``min == max``)
@@ -639,6 +651,155 @@ class BridgeSpec:
 
 
 @dataclass(frozen=True)
+class EventSpec:
+    """One scheduled topology or load change on the scenario's timeline.
+
+    ``at_s`` is the simulation time (seconds from the start of the run) at
+    which the event fires; events at equal times fire in spec order.  The
+    fields a ``kind`` uses:
+
+    * ``"park"`` / ``"unpark"`` — ``slave`` (AM address) on ``piconet``.
+      Parking detaches the slave's flow states from the master loop (the
+      poller stops seeing them, arrivals keep queueing) and withdraws its
+      admitted GS flows from the manager; unparking reverses both.
+    * ``"bridge-roam"`` — ``bridge`` (a :class:`BridgeSpec` name) adopts a
+      new residency ``share_a``; presence re-registers on both masters.
+    * ``"flow-add"`` — ``flow`` (a full :class:`FlowSpec`) joins
+      ``piconet``: flow state, traffic source and (for GS flows) admission.
+    * ``"flow-remove"`` — ``flow_id`` leaves ``piconet``: source stopped,
+      admission withdrawn, flow state and queued segments detached.
+    * ``"flow-renegotiate"`` — renegotiate-on-violation for ``flow_id``:
+      when the flow's measured loss exceeds its admitted budget by
+      ``tolerance`` (after ``min_observations`` link observations), the GS
+      manager renegotiates at the measured loss; a flow not yet flagged is
+      re-checked up to ``max_retries`` times every ``backoff_s`` seconds.
+      A rejected renegotiation evicts the flow (clean detach).
+    * ``"interferer-on"`` / ``"interferer-off"`` — the 1-based
+      ``interferer`` of the scenario's interference field starts/stops
+      transmitting from the event slot forward (a microwave or Wi-Fi
+      burst schedule); occupancy blocks and victim caches rebuild from
+      the event slot.
+    """
+
+    at_s: float
+    kind: str
+    piconet: Optional[str] = None
+    slave: Optional[int] = None
+    bridge: Optional[str] = None
+    share_a: Optional[float] = None
+    flow: Optional[FlowSpec] = None
+    flow_id: Optional[int] = None
+    interferer: Optional[int] = None
+    max_retries: int = 3
+    backoff_s: float = 0.1
+    min_observations: int = 25
+    tolerance: float = 0.05
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.at_s, (int, float)) and self.at_s >= 0,
+                 f"at_s must be a non-negative time in seconds, got "
+                 f"{self.at_s!r}")
+        _require(self.kind in EVENT_KINDS,
+                 f"unknown event kind {self.kind!r}; known: "
+                 f"{', '.join(EVENT_KINDS)}")
+        if isinstance(self.flow, Mapping):
+            object.__setattr__(self, "flow", FlowSpec.from_dict(self.flow))
+        used = {name for name in ("slave", "bridge", "share_a", "flow",
+                                  "flow_id", "interferer")
+                if getattr(self, name) is not None}
+        needed = {
+            "park": {"slave"},
+            "unpark": {"slave"},
+            "bridge-roam": {"bridge", "share_a"},
+            "flow-add": {"flow"},
+            "flow-remove": {"flow_id"},
+            "flow-renegotiate": {"flow_id"},
+            "interferer-on": {"interferer"},
+            "interferer-off": {"interferer"},
+        }[self.kind]
+        extra = used - needed - {"piconet"}
+        _require(used >= needed,
+                 f"{self.kind!r} event needs {sorted(needed)} "
+                 f"(got {sorted(used) or 'nothing'})")
+        _require(not extra,
+                 f"{self.kind!r} event does not use {sorted(extra)}")
+        if self.slave is not None:
+            _require(isinstance(self.slave, int) and 1 <= self.slave <= 7,
+                     f"slave AM address must lie in 1..7, got {self.slave!r}")
+        if self.share_a is not None:
+            _require(0.0 <= self.share_a <= 1.0,
+                     f"share_a must lie within [0, 1], got {self.share_a}")
+        if self.flow_id is not None:
+            _require(isinstance(self.flow_id, int) and self.flow_id > 0,
+                     f"flow_id must be a positive integer, got "
+                     f"{self.flow_id!r}")
+        if self.interferer is not None:
+            _require(isinstance(self.interferer, int) and self.interferer >= 1,
+                     f"interferer must be a 1-based index, got "
+                     f"{self.interferer!r}")
+        _require(isinstance(self.max_retries, int) and self.max_retries >= 0,
+                 f"max_retries must be a non-negative integer, got "
+                 f"{self.max_retries!r}")
+        _require(self.backoff_s > 0,
+                 f"backoff_s must be positive, got {self.backoff_s}")
+        _require(isinstance(self.min_observations, int)
+                 and self.min_observations >= 1,
+                 f"min_observations must be a positive integer, got "
+                 f"{self.min_observations!r}")
+        _require(0.0 <= self.tolerance < 1.0,
+                 f"tolerance must lie within [0, 1), got {self.tolerance}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _spec_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EventSpec":
+        _reject_unknown(cls, data)
+        data = dict(data)
+        if isinstance(data.get("flow"), Mapping):
+            data["flow"] = FlowSpec.from_dict(data["flow"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class TimelineSpec:
+    """The scenario's ordered schedule of :class:`EventSpec` changes.
+
+    Events must be ordered by ``at_s`` (non-decreasing); equal-time events
+    fire in spec order.  An empty timeline is the default and compiles to
+    nothing at all — scenarios without one are byte-identical to the
+    pre-timeline behaviour.
+    """
+
+    events: Tuple[EventSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        events = _tuple_of(self.events, "events")
+        object.__setattr__(self, "events", tuple(
+            EventSpec.from_dict(event) if isinstance(event, Mapping)
+            else event
+            for event in events))
+        for event in self.events:
+            _require(isinstance(event, EventSpec),
+                     f"timeline events must be EventSpecs, got {event!r}")
+        times = [event.at_s for event in self.events]
+        _require(all(a <= b for a, b in zip(times, times[1:])),
+                 f"timeline events must be ordered by at_s, got {times}")
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TimelineSpec":
+        _reject_unknown(cls, data)
+        return cls(events=tuple(EventSpec.from_dict(event)
+                                for event in data.get("events", ())))
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete, serializable scenario: piconets, interference, bridges.
 
@@ -650,6 +811,7 @@ class ScenarioSpec:
     piconets: Tuple[PiconetSpec, ...] = (PiconetSpec(),)
     interference: Optional[InterferenceSpec] = None
     bridges: Tuple[BridgeSpec, ...] = ()
+    timeline: TimelineSpec = TimelineSpec()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "piconets",
@@ -684,6 +846,72 @@ class ScenarioSpec:
                      f"{self.interference.victim!r} must name the "
                      f"scenario's piconet {self.piconets[0].name!r} (so "
                      f"dotted overrides can anchor at it)")
+        if isinstance(self.timeline, Mapping):
+            object.__setattr__(self, "timeline",
+                               TimelineSpec.from_dict(self.timeline))
+        _require(isinstance(self.timeline, TimelineSpec),
+                 f"timeline must be a TimelineSpec, got {self.timeline!r}")
+        self._validate_timeline(by_name)
+
+    def _validate_timeline(self, by_name: Dict[str, PiconetSpec]) -> None:
+        """Cross-check every timeline event against the scenario members."""
+        bridge_names = {bridge.name for bridge in self.bridges}
+        bridge_slaves = {(bridge.piconet_a, bridge.slave_a)
+                         for bridge in self.bridges}
+        bridge_slaves |= {(bridge.piconet_b, bridge.slave_b)
+                          for bridge in self.bridges}
+        # flow ids known per piconet, updated as add/remove events apply
+        flow_ids = {name: {flow.flow_id for flow in piconet.flows}
+                    for name, piconet in by_name.items()}
+        gs_piconets = {name for name, piconet in by_name.items()
+                       if any(flow.gs_managed for flow in piconet.flows)}
+        for index, event in enumerate(self.timeline.events):
+            where = f"timeline event {index} ({event.kind!r})"
+            target = event.piconet or self.piconets[0].name
+            _require(target in by_name,
+                     f"{where} names unknown piconet {target!r}; known: "
+                     f"{', '.join(sorted(by_name))}")
+            piconet = by_name[target]
+            if event.kind in ("park", "unpark"):
+                _require(event.slave <= len(piconet.slaves),
+                         f"{where} addresses slave {event.slave} but piconet "
+                         f"{target!r} has {len(piconet.slaves)} slave(s)")
+                _require((target, event.slave) not in bridge_slaves,
+                         f"{where} would park bridge slave {event.slave} of "
+                         f"piconet {target!r}; roam the bridge instead")
+            elif event.kind == "bridge-roam":
+                _require(event.bridge in bridge_names,
+                         f"{where} names unknown bridge {event.bridge!r}; "
+                         f"known: {', '.join(sorted(bridge_names)) or 'none'}")
+            elif event.kind == "flow-add":
+                _require(event.flow.flow_id not in flow_ids[target],
+                         f"{where} re-uses flow id {event.flow.flow_id} "
+                         f"already present on piconet {target!r}")
+                _require(event.flow.slave <= len(piconet.slaves),
+                         f"{where} addresses slave {event.flow.slave} but "
+                         f"piconet {target!r} has {len(piconet.slaves)} "
+                         f"slave(s)")
+                _require(not event.flow.gs_managed or target in gs_piconets,
+                         f"{where} adds a GS flow but piconet {target!r} has "
+                         f"no GS manager (no statically admitted GS flows)")
+                flow_ids[target].add(event.flow.flow_id)
+            elif event.kind in ("flow-remove", "flow-renegotiate"):
+                _require(event.flow_id in flow_ids[target],
+                         f"{where} names unknown flow id {event.flow_id} on "
+                         f"piconet {target!r}")
+                if event.kind == "flow-remove":
+                    flow_ids[target].discard(event.flow_id)
+                else:
+                    _require(target in gs_piconets,
+                             f"{where} needs a GS manager on piconet "
+                             f"{target!r}")
+            else:  # interferer-on / interferer-off
+                _require(self.interference is not None,
+                         f"{where} needs an interference field")
+                count = len(self.interference.interferer_duties)
+                _require(event.interferer <= count,
+                         f"{where} names interferer {event.interferer} but "
+                         f"the field has {count} interferer(s)")
 
     def piconet(self, name: str) -> PiconetSpec:
         """The piconet spec called ``name``."""
@@ -699,6 +927,7 @@ class ScenarioSpec:
             "interference": (self.interference.to_dict()
                              if self.interference is not None else None),
             "bridges": [bridge.to_dict() for bridge in self.bridges],
+            "timeline": self.timeline.to_dict(),
         }
 
     @classmethod
@@ -711,8 +940,13 @@ class ScenarioSpec:
             interference = InterferenceSpec.from_dict(interference)
         bridges = tuple(BridgeSpec.from_dict(bridge)
                         for bridge in data.get("bridges", ()))
+        timeline = data.get("timeline")
+        if isinstance(timeline, Mapping):
+            timeline = TimelineSpec.from_dict(timeline)
+        elif timeline is None:
+            timeline = TimelineSpec()
         return cls(piconets=piconets, interference=interference,
-                   bridges=bridges)
+                   bridges=bridges, timeline=timeline)
 
     def compile(self, seed: int, env=None, channel_overrides=None):
         """Build the runtime objects of this scenario (see

@@ -156,6 +156,18 @@ class Poller:
     def on_arrival(self, flow_id: int, packet) -> None:
         """A higher-layer packet arrived at the queue of ``flow_id``."""
 
+    # -- topology lifecycle -----------------------------------------------------
+    def on_flows_attached(self, states) -> None:
+        """Flow states joined the piconet after :meth:`attach` (a timeline
+        ``flow-add`` or an unparked slave).  Pollers that cache per-flow
+        structures at attach time override this; the base class relies on
+        the piconet's per-slave caches being rebuilt and needs no work."""
+
+    def on_flows_detached(self, flow_ids) -> None:
+        """Flow states left the piconet (a timeline ``flow-remove``, a
+        parked slave, or a GS eviction).  Counterpart of
+        :meth:`on_flows_attached`."""
+
     # -- helpers shared by concrete pollers -----------------------------------
     def _require_attached(self) -> None:
         if self.piconet is None:

@@ -35,6 +35,7 @@ class TrafficSource:
         self.packets_generated = 0
         self.bytes_generated = 0
         self._process = None
+        self._stopped = False
 
     # -- packet sizes ----------------------------------------------------------
     def next_size(self) -> int:
@@ -48,6 +49,16 @@ class TrafficSource:
         """Start generating packets (idempotent)."""
         if self._process is None:
             self._process = self.piconet.env.process(self._run())
+
+    def stop(self) -> None:
+        """Stop generating packets (terminal; a timeline ``flow-remove``
+        or a GS eviction).
+
+        The generator returns at its next wake-up without emitting;
+        packets already offered stay wherever they are queued.  A stopped
+        source never restarts — :meth:`start` stays a no-op.
+        """
+        self._stopped = True
 
     def _emit(self) -> None:
         size = self.next_size()
@@ -77,6 +88,8 @@ class TrafficSource:
             yield self.piconet.env.timeout(_to_us(self.start_offset))
         target_us = float(self.piconet.env.now)
         for gap in self._intervals():
+            if self._stopped:
+                return
             self._emit()
             target_us += gap * _US_PER_SECOND
             # Cap how far the target may fall behind the clock at the 0.5 us
@@ -149,7 +162,7 @@ class OnOffSource(TrafficSource):
     def _run(self):
         if self.start_offset > 0:
             yield self.piconet.env.timeout(_to_us(self.start_offset))
-        while True:
+        while not self._stopped:
             on_duration = self.rng.expovariate(1.0 / self.mean_on)
             # Account the on-period in *simulated* time: the per-emission
             # delay is clamped to the 1 us resolution, so accumulating the
@@ -159,6 +172,8 @@ class OnOffSource(TrafficSource):
             on_started = self.piconet.env.now
             target_us = float(on_started)
             while self.piconet.env.now - on_started < _to_us(on_duration):
+                if self._stopped:
+                    return
                 self._emit()
                 target_us += self.interval * _US_PER_SECOND
                 target_us = max(target_us, self.piconet.env.now - 0.5)
@@ -188,6 +203,8 @@ class TraceSource(TrafficSource):
             delay = target - self.piconet.env.now
             if delay > 0:
                 yield self.piconet.env.timeout(delay)
+            if self._stopped:
+                return
             self.piconet.offer_packet(self.flow_id, size)
             self.packets_generated += 1
             self.bytes_generated += size

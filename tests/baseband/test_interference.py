@@ -319,3 +319,58 @@ def test_activity_and_observed_collision_fractions():
     observed = field.observed_collision_fraction("p1", 500)
     assert observed == pytest.approx(1.0 / HOP_CHANNELS, rel=0.8)
     assert field.observed_collision_fraction("p1", 0) == 0.0
+
+
+# ------------------------------------------------- interferer on/off switches
+
+def _switched_pair(seed=21):
+    """Two identically seeded fields: one always-on, one to be switched."""
+    fields = []
+    for _ in range(2):
+        field = InterferenceField(streams=seed)
+        field.register("victim")
+        field.register("other", duty_cycle=1.0)
+        fields.append(field)
+    return fields
+
+
+def test_interferer_switch_masks_without_redrawing():
+    always_on, switched = _switched_pair()
+    baseline = [always_on.collisions("victim", s) for s in range(600)]
+    switched.set_interferer_enabled("other", 200, False)
+    switched.set_interferer_enabled("other", 400, True)
+    masked = [switched.collisions("victim", s) for s in range(600)]
+    # off-window silent; outside it the raw draws are untouched, so the
+    # pattern is identical to the always-on field slot for slot
+    assert masked[:200] == baseline[:200]
+    assert masked[200:400] == [0] * 200
+    assert masked[400:] == baseline[400:]
+
+
+def test_interferer_switch_invalidates_prebuilt_caches():
+    always_on, switched = _switched_pair()
+    # build occupancy rows and victim caches past the switch point first
+    assert switched.count_collisions("victim", 600) \
+        == always_on.count_collisions("victim", 600)
+    switched.set_interferer_enabled("other", 200, False)
+    rebuilt = [switched.collisions("victim", s) for s in range(600)]
+    assert rebuilt[200:] == [0] * 400
+    assert rebuilt[:200] == [always_on.collisions("victim", s)
+                             for s in range(200)]
+
+
+def test_interferer_switches_must_not_move_backwards():
+    _, field = _switched_pair()
+    field.set_interferer_enabled("other", 300, False)
+    with pytest.raises(ValueError, match="non-decreasing"):
+        field.member("other").set_enabled(100, True)
+    # an equal-slot switch replaces the breakpoint instead
+    field.set_interferer_enabled("other", 300, True)
+    assert field.member("other").enabled_at(300)
+
+
+def test_interferer_switch_rejects_coupled_members():
+    field = InterferenceField(streams=23)
+    field.register_coupled("p1")
+    with pytest.raises(TypeError, match="coupled"):
+        field.set_interferer_enabled("p1", 0, False)

@@ -259,3 +259,42 @@ def test_scatternet_adopt_rejects_foreign_piconet():
         scatternet.adopt_piconet("A", Piconet(env=Environment()))
     with pytest.raises(KeyError, match="unknown piconet"):
         scatternet.piconet("A")
+
+
+# ------------------------------------------------------------ bridge roaming
+
+def test_set_bridge_presence_roam_resets_the_slaves_accounting():
+    env = Environment()
+    piconet = build_single_slave_piconet(env)
+    piconet.set_bridge_presence(1, lambda slot: False)  # blind, never there
+    sources = [CBRSource(piconet, fid, 0.005, 176) for fid in (1, 2)]
+    for source in sources:
+        source.start()
+    piconet.run(0.3)
+    assert piconet.bridge_absent_polls > 0
+    # the roam re-registers the same slave with a new schedule: the old
+    # schedule's absent-poll history is dropped, not layered under the new
+    piconet.set_bridge_presence(1, lambda slot: True)
+    assert piconet.bridge_absent_polls == 0
+    assert piconet.topology_changes == 1  # a roam is a topology change
+    piconet.run(0.3)
+    assert piconet.bridge_absent_polls == 0
+    assert piconet.total_throughput_bps() > 0  # present bridge serves again
+
+
+def test_scatternet_roam_bridge_reregisters_both_masters():
+    scatternet, piconets, sources = build_bridged_pair(share_a=0.5)
+    for source in sources:
+        source.start()
+    scatternet.run(0.2)
+    bridge = scatternet.roam_bridge("bridge", 0.8)
+    assert bridge.schedule.share_a == 0.8
+    assert scatternet.bridge("bridge") is bridge
+    for piconet in piconets.values():
+        assert piconet.topology_changes == 1
+    scatternet.run(0.4)
+    # the bridge now spends most of the cycle in A: A outdelivers B
+    assert piconets["A"].total_throughput_bps() \
+        > piconets["B"].total_throughput_bps()
+    with pytest.raises(KeyError, match="unknown bridge"):
+        scatternet.roam_bridge("ghost", 0.5)

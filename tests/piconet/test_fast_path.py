@@ -133,7 +133,7 @@ def test_config_fast_path_false_disables_the_kernel():
         "enabled": True, "windows": 0, "transactions": 0,
         "idle_advances": 0,
         "bailouts": {"sco": 0, "bridge": 0, "horizon": 0,
-                     "adaptive_flip": 0}}
+                     "adaptive_flip": 0, "topology": 0}}
 
 
 def test_env_var_disables_the_kernel(monkeypatch):
@@ -204,3 +204,31 @@ def test_idle_kernel_window_on_pollerless_piconet():
 
 def test_idle_sentinel_repr():
     assert repr(BatchKernel.IDLE) == "<BatchKernel.IDLE>"
+
+
+def test_fast_path_stats_returns_an_independent_copy():
+    compiled = compile_scenario(_steady_spec(), seed=1)
+    compiled.run(0.2)
+    piconet = compiled.primary.piconet
+    stats = piconet.fast_path_stats()
+    stats["windows"] = -1
+    stats["bailouts"]["topology"] = 999
+    fresh = piconet.fast_path_stats()
+    assert fresh["windows"] >= 0
+    assert fresh["bailouts"]["topology"] == 0
+    assert piconet._batch_kernel.bailouts["topology"] == 0
+
+
+def test_topology_change_bails_out_of_the_current_window():
+    compiled = compile_scenario(_steady_spec(), seed=1)
+    compiled.run(0.2)
+    piconet = compiled.primary.piconet
+    before = piconet.fast_path_stats()["bailouts"]["topology"]
+    from repro.piconet.flows import FlowSpec as RuntimeFlowSpec
+    piconet.add_flow_runtime(RuntimeFlowSpec(
+        2, slave=1, direction=DOWNLINK, traffic_class=BE,
+        allowed_types=STEADY_TYPES))
+    compiled.run(0.2)
+    stats = piconet.fast_path_stats()
+    assert stats["bailouts"]["topology"] == before + 1
+    assert piconet.topology_changes == 1

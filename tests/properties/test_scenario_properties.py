@@ -18,6 +18,7 @@ from repro.scenario import (
     BASELINE_POLLER_KINDS,
     BridgeSpec,
     ChannelSpec,
+    EventSpec,
     FlowSpec,
     ImprovementsSpec,
     InterferenceSpec,
@@ -163,6 +164,79 @@ def test_spec_round_trips_through_json(spec):
     assert json.dumps(spec.to_dict(), sort_keys=True) == wire
 
 
+@st.composite
+def timeline_events(draw):
+    """Valid events against the figure-4 victim piconet of
+    :func:`churn_recovery_spec` (GS flows 1-4 on slaves 1-3, BE slaves
+    4-7, a 4-interferer field)."""
+    kind = draw(st.sampled_from(
+        ["park-cycle", "interferer", "flow-renegotiate", "flow-remove"]))
+    at_s = draw(small_floats)
+    if kind == "park-cycle":
+        slave = draw(st.integers(4, 7))  # BE slaves: no GS bookkeeping ties
+        return [EventSpec(at_s=at_s, kind="park", slave=slave),
+                EventSpec(at_s=at_s + draw(small_floats), kind="unpark",
+                          slave=slave)]
+    if kind == "interferer":
+        return [EventSpec(
+            at_s=at_s,
+            kind=draw(st.sampled_from(["interferer-on", "interferer-off"])),
+            interferer=draw(st.integers(1, 4)))]
+    if kind == "flow-remove":
+        return [EventSpec(at_s=at_s, kind="flow-remove",
+                          flow_id=draw(st.integers(5, 12)))]
+    return [EventSpec(
+        at_s=at_s, kind="flow-renegotiate",
+        flow_id=draw(st.integers(1, 4)),
+        max_retries=draw(st.integers(0, 5)),
+        backoff_s=draw(small_floats),
+        min_observations=draw(st.integers(1, 50)),
+        tolerance=draw(st.floats(0.0, 0.5)))]
+
+
+@st.composite
+def timeline_scenario_specs(draw):
+    from dataclasses import replace
+
+    from repro.scenario import TimelineSpec, churn_recovery_spec
+
+    events = [event
+              for group in draw(st.lists(timeline_events(), max_size=5))
+              for event in group]
+    removed = set()
+    deduped = []
+    for event in sorted(events, key=lambda event: event.at_s):
+        # a flow id can only be removed once, and parking the same slave
+        # twice needs an interleaved unpark the flat sort cannot promise —
+        # keep one park/unpark cycle per slave
+        if event.kind == "flow-remove":
+            if event.flow_id in removed:
+                continue
+            removed.add(event.flow_id)
+        deduped.append(event)
+    seen_slaves = set()
+    kept = []
+    for event in deduped:
+        if event.kind in ("park", "unpark"):
+            if event.kind == "park" and event.slave in seen_slaves:
+                continue
+            if event.kind == "park":
+                seen_slaves.add(event.slave)
+            elif event.slave not in seen_slaves:
+                continue
+        kept.append(event)
+    return replace(churn_recovery_spec(),
+                   timeline=TimelineSpec(events=tuple(kept)))
+
+
+@given(timeline_scenario_specs())
+@settings(max_examples=40, deadline=None)
+def test_timeline_spec_round_trips_through_json(spec):
+    wire = json.dumps(spec.to_dict(), sort_keys=True)
+    assert ScenarioSpec.from_dict(json.loads(wire)) == spec
+    assert json.dumps(spec.to_dict(), sort_keys=True) == wire
+
+
 def test_compile_rows_byte_identical_across_backends_via_payload():
     """Same serialized spec + seed => byte-identical aggregated rows on the
     serial, process and batch backends (the payload travels as a plain
@@ -181,5 +255,33 @@ def test_compile_rows_byte_identical_across_backends_via_payload():
     serial = results["serial"]
     assert serial.rows
     assert serial.rows[0]["mean"]["admitted"] is True
+    assert serial.to_json() == results["process"].to_json()
+    assert serial.to_json() == results["batch"].to_json()
+
+
+def test_timeline_rows_byte_identical_across_backends():
+    """A park/unpark timeline ships inside the scenario payload and fires
+    identically on every backend (worker processes re-install it from the
+    serialized spec)."""
+    from dataclasses import replace
+
+    from repro.scenario import TimelineSpec
+
+    spec = replace(
+        figure4_spec(delay_requirement=0.04),
+        timeline=TimelineSpec(events=(
+            EventSpec(at_s=0.2, kind="park", slave=1),
+            EventSpec(at_s=0.4, kind="unpark", slave=1))))
+    overrides = {
+        "scenario": spec.to_dict(),
+        "delay_requirement": [0.04],
+        "duration_seconds": 0.6,
+    }
+    results = {
+        name: SweepRunner(max_workers=2, backend=name).run(
+            "figure5", overrides=overrides, master_seed=7)
+        for name in ("serial", "process", "batch")}
+    serial = results["serial"]
+    assert serial.rows
     assert serial.to_json() == results["process"].to_json()
     assert serial.to_json() == results["batch"].to_json()

@@ -27,6 +27,7 @@ EXAMPLE_ARGS = {
     "parallel_sweep.py": ["--duration", "0.2", "--workers", "2"],
     "poller_comparison.py": ["0.3"],
     "quickstart.py": ["--duration", "0.4"],
+    "timeline_churn_demo.py": ["0.8"],
 }
 
 

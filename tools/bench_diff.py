@@ -17,6 +17,20 @@ or variants present on only one side are reported but never gate (new
 benchmarks appear, retired ones disappear).  A machine-fingerprint
 mismatch prints a warning — numbers from different hosts are not one
 series — and can be escalated to an error with ``--require-same-machine``.
+
+To check a single scenario, regenerate the artifact into a scratch dir
+and diff it against the baseline — e.g. the dynamic-topology scenario
+recorded by ``test_bench_churn_recovery_timeline``::
+
+    REPRO_BENCH_DIR=/tmp PYTHONPATH=src python -m pytest \\
+        benchmarks/test_bench_master_loop.py::test_bench_churn_recovery_timeline
+    python tools/bench_diff.py BENCH_master_loop.json /tmp/BENCH_master_loop.json
+
+Only the freshly recorded ``churn_recovery_timeline`` rows appear on the
+new side; the others print as one-sided and never gate.  The fast
+variant's ``fast_path_stats`` ride along in the artifact (not diffed
+here), so a rate drop can be read against its bailout counters — e.g. a
+``topology`` count says the kernel kept bailing for timeline events.
 """
 
 from __future__ import annotations
