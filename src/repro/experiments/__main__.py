@@ -12,13 +12,19 @@ Usage::
         --set bit_error_rate='[0.0,1e-3]' --set duration_seconds=2.0
     python -m repro.experiments run figure5 --set channel.ber=1e-4 \
         --set channel.model=iid
+    python -m repro.experiments run figure5 --backend remote --workers 4 \
+        --resume
+    python -m repro.experiments analyze churn_recovery
     python -m repro.experiments regen-golden [EXPERIMENT ...]
 
 ``run`` caches raw task results under ``--cache-dir`` (default
 ``.repro-cache``), so repeated invocations only execute new
 (experiment, params, seed) combinations.  ``--backend`` selects how tasks
-execute (``serial``, ``process``, or chunked ``batch``); ``--progress``
-logs one line per completed task to stderr.
+execute (``serial``, ``process``, chunked ``batch``, or ``remote`` on
+fabric workers); ``--progress`` logs one line per completed task to
+stderr.  ``--resume`` records a sweep manifest and re-executes only the
+points missing from the result store; ``analyze`` scans a sweep's rows
+through the :mod:`repro.fabric.analysis` rule registry.
 
 ``--set`` overrides a grid axis or a fixed parameter by flat key; a
 *dotted* key (``channel.ber=1e-4``) addresses a field of the experiment's
@@ -36,6 +42,7 @@ import logging
 import sys
 from typing import Dict, List, Optional
 
+import repro.fabric.backend  # noqa: F401  — registers the "remote" backend
 from repro.experiments.orchestrator import (
     BACKENDS,
     SweepRunner,
@@ -218,7 +225,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = runner.run(args.experiment,
                         overrides=overrides,
                         replications=args.replications,
-                        master_seed=args.seed)
+                        master_seed=args.seed,
+                        resume=getattr(args, "resume", False))
     if args.json:
         if args.json == "-":
             print(result.to_json())
@@ -227,7 +235,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 handle.write(result.to_json() + "\n")
     if args.json != "-":
         print(format_sweep(result))
+        if result.resumed:
+            print(f"(resumed: {result.cache_hits} of {result.tasks_total} "
+                  f"task(s) already in the store)", file=sys.stderr)
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.fabric.analysis import (analyze_payload, analyze_result,
+                                       format_report)
+
+    rules = args.rule or None
+    if args.from_json:
+        if args.from_json == "-":
+            payload = json.load(sys.stdin)
+        else:
+            with open(args.from_json, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        report = analyze_payload(payload, rules)
+    else:
+        if not args.experiment:
+            raise SystemExit(
+                "analyze needs an experiment name (or --from-json PATH)")
+        runner = SweepRunner(
+            max_workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            backend=args.backend)
+        result = runner.run(args.experiment,
+                            overrides=_parse_overrides(args.set),
+                            replications=args.replications,
+                            master_seed=args.seed,
+                            resume=not args.no_cache)
+        report = analyze_result(result, rules)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(format_report(report))
+    return 2 if report.critical and args.strict else 0
 
 
 def _cmd_regen_golden(args: argparse.Namespace) -> int:
@@ -282,6 +326,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                                  "(default: %(default)s)")
     run_parser.add_argument("--no-cache", action="store_true",
                             help="disable the on-disk result cache")
+    run_parser.add_argument("--resume", action="store_true",
+                            help="resume an interrupted sweep: record a "
+                                 "manifest of requested vs completed "
+                                 "points and re-execute only the points "
+                                 "missing from the result store")
     run_parser.add_argument("--no-fast-path", action="store_true",
                             help="force the per-slot reference event loop "
                                  "(disables the batch kernel everywhere, "
@@ -294,6 +343,45 @@ def main(argv: Optional[List[str]] = None) -> int:
                                  "dotted key like channel.ber=1e-4 "
                                  "overrides the scenario spec — a JSON "
                                  "list value sweeps it as an extra axis")
+
+    analyze_parser = commands.add_parser(
+        "analyze",
+        help="run an experiment (store-backed) and scan its rows for "
+             "anomalies: violated GS bounds, compliance cliffs, starved "
+             "flows, zero goodput, CI blowups")
+    analyze_parser.add_argument("experiment", nargs="?", default=None,
+                                help="registered experiment name")
+    analyze_parser.add_argument("--from-json", metavar="PATH",
+                                help="analyze a saved `run --json` payload "
+                                     "instead of running the sweep "
+                                     "('-' for stdin)")
+    analyze_parser.add_argument("--rule", action="append", default=[],
+                                metavar="NAME",
+                                help="run only this rule (repeatable; "
+                                     "default: every registered rule)")
+    analyze_parser.add_argument("--json", action="store_true",
+                                help="emit the findings report as JSON")
+    analyze_parser.add_argument("--strict", action="store_true",
+                                help="exit 2 when any critical finding is "
+                                     "flagged")
+    analyze_parser.add_argument("--workers", type=int, default=1,
+                                help="worker processes (1 = run inline)")
+    analyze_parser.add_argument("--backend", choices=sorted(BACKENDS),
+                                default=None,
+                                help="execution backend for the sweep")
+    analyze_parser.add_argument("--replications", type=int, default=None,
+                                help="seed replications per sweep point")
+    analyze_parser.add_argument("--seed", type=int, default=0,
+                                help="master seed for replication seeds")
+    analyze_parser.add_argument("--cache-dir", default=".repro-cache",
+                                help="result store directory "
+                                     "(default: %(default)s)")
+    analyze_parser.add_argument("--no-cache", action="store_true",
+                                help="disable the on-disk result store")
+    analyze_parser.add_argument("--set", action="append", default=[],
+                                metavar="KEY=VALUE",
+                                help="override a grid axis or fixed "
+                                     "parameter before analyzing")
 
     regen_parser = commands.add_parser(
         "regen-golden",
@@ -310,6 +398,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_regen_golden(args)
         if args.command == "describe":
             return _cmd_describe(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
         return _cmd_run(args)
     except (KeyError, TypeError, ValueError) as error:
         # registry misses (unknown experiment), bad parameter values and

@@ -21,12 +21,12 @@ backend executed it or how many workers it used.
 from __future__ import annotations
 
 import contextlib
-import hashlib
 import json
 import logging
 import math
 import multiprocessing
 import os
+import socket
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -35,15 +35,23 @@ from typing import (Callable, ClassVar, Dict, Iterator, List, Mapping,
                     Optional, Sequence, Tuple, Union)
 
 from repro.analysis.stats import aggregate_mean_ci
+from repro.fabric.store import (ResultCache, SweepManifest, canonical_params,
+                                entry_digest)
 from repro.sim.rng import derive_seed
 
 from repro.experiments.registry import ExperimentSpec, get_experiment
 
 
-def canonical_params(params: Mapping[str, object]) -> str:
-    """A canonical JSON rendering of a parameter dict (sorted, compact)."""
-    return json.dumps(params, sort_keys=True, separators=(",", ":"),
-                      default=str)
+def worker_identity() -> str:
+    """``host/pid`` of the current process — who executed a task.
+
+    Progress events carry it (:attr:`SweepProgress.worker`) so
+    :func:`log_progress` can show *where* each point ran: the parent
+    process for the serial backend, a pool process for ``process`` /
+    ``batch``, a named fabric worker (possibly on another host) for
+    ``remote``.
+    """
+    return f"{socket.gethostname()}/{os.getpid()}"
 
 
 def point_seed(master_seed: int, experiment: str,
@@ -64,46 +72,12 @@ class SweepTask:
     seed: int
 
 
-class ResultCache:
-    """On-disk JSON cache of raw task results keyed by (experiment, params,
-    seed).
-
-    One file per task under ``directory/<experiment>/<sha256>.json``; the key
-    hash covers the experiment name, the canonical parameter JSON and the
-    seed, so any parameter change misses cleanly.
-    """
-
-    def __init__(self, directory: str):
-        self.directory = directory
-
-    def _path(self, experiment: str, params: Mapping[str, object],
-              seed: int) -> str:
-        key = f"{experiment}|{canonical_params(params)}|{seed}"
-        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
-        return os.path.join(self.directory, experiment, digest + ".json")
-
-    def get(self, experiment: str, params: Mapping[str, object],
-            seed: int) -> Optional[List[Dict]]:
-        path = self._path(experiment, params, seed)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
-            return None
-        # a corrupted / foreign / older-format file is a miss, not a crash
-        rows = payload.get("rows") if isinstance(payload, dict) else None
-        return rows if isinstance(rows, list) else None
-
-    def put(self, experiment: str, params: Mapping[str, object], seed: int,
-            rows: List[Dict]) -> None:
-        path = self._path(experiment, params, seed)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        payload = {"experiment": experiment, "params": dict(params),
-                   "seed": seed, "rows": rows}
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, sort_keys=True)
-        os.replace(tmp, path)
+# ``ResultCache`` (the on-disk cache of raw task results, historically
+# defined here) is now the content-addressed result store of the fabric:
+# same layout, same addressing, plus atomic-write/quarantine/gc semantics
+# and hit/miss counters.  See :mod:`repro.fabric.store`; re-imported above
+# so ``from repro.experiments.orchestrator import ResultCache`` keeps
+# working.
 
 
 def execute_point(experiment: str, params: Dict[str, object],
@@ -122,12 +96,19 @@ def execute_point(experiment: str, params: Dict[str, object],
     return list(rows)
 
 
+def execute_point_identified(experiment: str, params: Dict[str, object],
+                             seed: int) -> Tuple[str, List[Dict]]:
+    """Pool entry point: one task's rows plus the executing worker's id."""
+    return worker_identity(), execute_point(experiment, params, seed)
+
+
 def execute_point_reporting(start_queue, token: int, experiment: str,
                             params: Dict[str, object], seed: int
-                            ) -> List[Dict]:
+                            ) -> Tuple[str, List[Dict]]:
     """Worker entry point announcing the task's start on ``start_queue``."""
-    start_queue.put(token)
-    return execute_point(experiment, params, seed)
+    identity = worker_identity()
+    start_queue.put((token, identity))
+    return identity, execute_point(experiment, params, seed)
 
 
 def execute_batch(tasks: Sequence[Tuple[str, Dict[str, object], int]],
@@ -141,18 +122,27 @@ def execute_batch(tasks: Sequence[Tuple[str, Dict[str, object], int]],
     so the parent's progress reporting ticks while long points run.
     """
     results = []
+    identity = worker_identity()
     for index, (experiment, params, seed) in enumerate(tasks):
         if start_queue is not None:
-            start_queue.put(start_tokens[index])
+            start_queue.put((start_tokens[index], identity))
         results.append(execute_point(experiment, params, seed))
     return results
+
+
+def execute_batch_identified(
+        tasks: Sequence[Tuple[str, Dict[str, object], int]],
+        start_queue=None, start_tokens: Optional[Sequence[int]] = None
+        ) -> Tuple[str, List[List[Dict]]]:
+    """:func:`execute_batch` plus the executing worker's identity."""
+    return worker_identity(), execute_batch(tasks, start_queue, start_tokens)
 
 
 def execute_batch_timed(tasks: Sequence[Tuple[str, Dict[str, object], int]],
                         start_queue=None,
                         start_tokens: Optional[Sequence[int]] = None
-                        ) -> Tuple[List[List[Dict]], float]:
-    """Like :func:`execute_batch`, also reporting the worker-side seconds.
+                        ) -> Tuple[str, List[List[Dict]], float]:
+    """Like :func:`execute_batch_identified`, also with worker-side seconds.
 
     The adaptive batching backend sizes future chunks from this
     measurement; timing inside the worker excludes the time the chunk
@@ -160,8 +150,9 @@ def execute_batch_timed(tasks: Sequence[Tuple[str, Dict[str, object], int]],
     cost estimate by roughly the oversubscription factor.
     """
     started = time.monotonic()
-    results = execute_batch(tasks, start_queue, start_tokens)
-    return results, time.monotonic() - started
+    identity, results = execute_batch_identified(tasks, start_queue,
+                                                 start_tokens)
+    return identity, results, time.monotonic() - started
 
 
 class _StartReporter:
@@ -177,7 +168,7 @@ class _StartReporter:
     progress callback is attached.
     """
 
-    def __init__(self, callback: Callable[[int], None]):
+    def __init__(self, callback: Callable[[int, Optional[str]], None]):
         self._callback = callback
         self._manager = multiprocessing.Manager()
         self.queue = self._manager.Queue()
@@ -193,8 +184,11 @@ class _StartReporter:
             token = self.queue.get()
             if token is None:
                 return
+            # workers put ``(slot, worker_identity)`` pairs
+            slot, worker = token if isinstance(token, tuple) else (token,
+                                                                   None)
             try:
-                self._callback(token)
+                self._callback(slot, worker)
             except Exception:  # never let a callback kill the drain thread
                 progress_logger.exception("start-progress callback failed")
 
@@ -214,17 +208,19 @@ def _optional(context_manager):
 
 #: what a backend consumes: ``(result slot, task)`` pairs
 PendingTasks = Sequence[Tuple[int, SweepTask]]
-#: what a backend yields: ``(result slot, task, result rows)``
-CompletedTask = Tuple[int, SweepTask, List[Dict]]
+#: what a backend yields: ``(result slot, task, result rows, worker id)``
+CompletedTask = Tuple[int, SweepTask, List[Dict], Optional[str]]
 
 
 class ExecutionBackend:
     """Strategy that executes a sweep's pending tasks.
 
-    Implementations must yield one ``(slot, task, rows)`` triple per pending
-    task, **in the order the tasks were submitted** — the runner aggregates
-    (and serialises cache writes) in yield order, which keeps sweep results
-    byte-identical across backends.
+    Implementations must yield one ``(slot, task, rows, worker)`` tuple per
+    pending task, **in the order the tasks were submitted** — the runner
+    aggregates (and serialises cache writes) in yield order, which keeps
+    sweep results byte-identical across backends.  ``worker`` names where
+    the task ran (``host/pid`` or a fabric worker name) and is display-only:
+    it never reaches the cached rows or the aggregated result.
 
     Every backend accepts ``max_workers`` (ignored by backends without a
     worker pool), so :func:`make_backend` can instantiate any registered
@@ -238,8 +234,10 @@ class ExecutionBackend:
         self.max_workers = max_workers
         #: when set (the runner wires it to its progress reporting), the
         #: backend announces each task as it *starts* executing — from a
-        #: helper thread for the process-pool backends
-        self.start_callback: Optional[Callable[["SweepTask"], None]] = None
+        #: helper thread for the process-pool backends — together with the
+        #: executing worker's identity when known
+        self.start_callback: Optional[
+            Callable[["SweepTask", Optional[str]], None]] = None
 
     def execute(self, pending: PendingTasks) -> Iterator[CompletedTask]:
         raise NotImplementedError
@@ -251,7 +249,8 @@ class ExecutionBackend:
             return None
         tasks_by_slot = {slot: task for slot, task in pending}
         callback = self.start_callback
-        return _StartReporter(lambda slot: callback(tasks_by_slot[slot]))
+        return _StartReporter(
+            lambda slot, worker: callback(tasks_by_slot[slot], worker))
 
 
 class SerialBackend(ExecutionBackend):
@@ -264,11 +263,12 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def execute(self, pending: PendingTasks) -> Iterator[CompletedTask]:
+        me = worker_identity()
         for slot, task in pending:
             if self.start_callback is not None:
-                self.start_callback(task)
+                self.start_callback(task, me)
             yield slot, task, execute_point(task.experiment, task.params,
-                                            task.seed)
+                                            task.seed), me
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -287,15 +287,16 @@ class ProcessPoolBackend(ExecutionBackend):
             if queue is not None:
                 return pool.submit(execute_point_reporting, queue, slot,
                                    task.experiment, task.params, task.seed)
-            return pool.submit(execute_point, task.experiment, task.params,
-                               task.seed)
+            return pool.submit(execute_point_identified, task.experiment,
+                               task.params, task.seed)
 
         with _optional(reporter), ProcessPoolExecutor(
                 max_workers=self.max_workers) as pool:
             futures = [(slot, task, submit(pool, slot, task))
                        for slot, task in pending]
             for slot, task, future in futures:
-                yield slot, task, future.result()
+                worker, rows = future.result()
+                yield slot, task, rows, worker
 
 
 class BatchingProcessBackend(ExecutionBackend):
@@ -382,15 +383,16 @@ class BatchingProcessBackend(ExecutionBackend):
                 max_workers=self.max_workers) as pool:
             futures = [
                 (batch,
-                 pool.submit(execute_batch,
+                 pool.submit(execute_batch_identified,
                              [(task.experiment, task.params, task.seed)
                               for _, task in batch],
                              queue,
                              [slot for slot, _ in batch] if queue else None))
                 for batch in batches]
             for batch, future in futures:
-                for (slot, task), rows in zip(batch, future.result()):
-                    yield slot, task, rows
+                worker, results = future.result()
+                for (slot, task), rows in zip(batch, results):
+                    yield slot, task, rows, worker
 
     # ------------------------------------------------------- adaptive mode
     def _observe_batch(self, batch_seconds: float, batch_size: int) -> None:
@@ -439,12 +441,12 @@ class BatchingProcessBackend(ExecutionBackend):
                 submit_one()
             while inflight:
                 batch, future = inflight.pop(0)
-                results, worker_seconds = future.result()
+                worker, results, worker_seconds = future.result()
                 self._observe_batch(worker_seconds, len(batch))
                 while next_index < len(pending) and len(inflight) < window:
                     submit_one()
                 for (slot, task), rows in zip(batch, results):
-                    yield slot, task, rows
+                    yield slot, task, rows, worker
 
     def execute(self, pending: PendingTasks) -> Iterator[CompletedTask]:
         if not pending:
@@ -464,11 +466,18 @@ BACKENDS: Dict[str, type] = {
 
 def make_backend(name: str,
                  max_workers: Optional[int] = None) -> ExecutionBackend:
-    """Instantiate a backend by registry name (``serial``/``process``/...)."""
+    """Instantiate a backend by registry name (``serial``/``process``/...).
+
+    The fabric's ``remote`` backend registers itself on import; asking for
+    it by name imports :mod:`repro.fabric.backend` on demand, so the
+    orchestrator stays importable without the fabric and vice versa.
+    """
+    if name not in BACKENDS and name == "remote":
+        import repro.fabric.backend  # noqa: F401  (registers "remote")
     try:
         backend_cls = BACKENDS[name]
     except KeyError:
-        known = ", ".join(sorted(BACKENDS))
+        known = ", ".join(sorted(set(BACKENDS) | {"remote"}))
         raise ValueError(
             f"unknown execution backend {name!r}; known: {known}") from None
     return backend_cls(max_workers=max_workers)
@@ -510,6 +519,10 @@ class SweepProgress:
     cached: bool = False
     #: :data:`EVENT_START` or :data:`EVENT_DONE`
     event: str = EVENT_DONE
+    #: where the task ran — ``host/pid`` (serial and pool backends) or the
+    #: fabric worker's name (remote backend); ``None`` for cache hits and
+    #: backends that cannot attribute the task
+    worker: Optional[str] = None
 
 
 #: invoked once per progress event (task started / completed / cache-served)
@@ -525,19 +538,21 @@ def log_progress(progress: SweepProgress) -> None:
     ``--progress`` flag; it logs to the ``repro.experiments.progress``
     logger at INFO level, one line per task start and one per completion.
     """
+    where = f" on {progress.worker}" if progress.worker else ""
     if progress.event == EVENT_START:
         progress_logger.info(
-            "%s: task started (point %d, replication %d; %d/%d done) "
+            "%s: task started%s (point %d, replication %d; %d/%d done) "
             "after %.2fs",
-            progress.experiment, progress.point_index,
+            progress.experiment, where, progress.point_index,
             progress.replication, progress.completed, progress.total,
             progress.elapsed_seconds)
         return
     progress_logger.info(
-        "%s: task %d/%d done (point %d, replication %d%s) after %.2fs",
+        "%s: task %d/%d done (point %d, replication %d%s%s) after %.2fs",
         progress.experiment, progress.completed, progress.total,
         progress.point_index, progress.replication,
-        ", cached" if progress.cached else "", progress.elapsed_seconds)
+        ", cached" if progress.cached else "", where,
+        progress.elapsed_seconds)
 
 
 @dataclass
@@ -560,6 +575,12 @@ class SweepResult:
     #: JSON rendering deliberately omits it so results stay byte-identical
     #: across backends)
     backend: str = SerialBackend.name
+    #: True when the run was asked to resume an interrupted sweep
+    resumed: bool = False
+    #: address of the sweep's manifest in the result store (None when the
+    #: store is disabled); the manifest records requested vs completed
+    #: task digests, so an interrupted sweep's remainder is inspectable
+    manifest_digest: Optional[str] = None
 
     def to_json(self) -> str:
         """Deterministic JSON rendering (byte-identical across runs)."""
@@ -736,19 +757,37 @@ class SweepRunner:
 
     # ------------------------------------------------------------ execution
 
+    #: completed-task flush cadence of the sweep manifest (a killed sweep
+    #: loses at most this many completion marks — the store still has the
+    #: rows, so resume only re-reads, never re-executes them)
+    MANIFEST_FLUSH_EVERY = 16
+
     def run(self, experiment: str,
             overrides: Optional[Mapping[str, object]] = None,
             replications: Optional[int] = None,
-            master_seed: int = 0) -> SweepResult:
-        """Run one sweep and return its aggregated result."""
+            master_seed: int = 0,
+            resume: bool = False) -> SweepResult:
+        """Run one sweep and return its aggregated result.
+
+        With ``resume=True`` (CLI: ``run --resume``) the runner requires
+        the result store, loads the sweep's manifest if one exists, and —
+        because every task is content-addressed — re-executes *only* the
+        points whose rows are missing from the store; the refreshed
+        manifest and the result's ``cache_hits``/``tasks_run`` counters
+        record exactly what was reused vs re-run.
+        """
         spec = get_experiment(experiment)
+        if resume and self.cache is None:
+            raise ValueError(
+                "resume requires the on-disk result store (cache_dir)")
         replication_count = self._replication_count(spec, replications)
         tasks = self.tasks_for(spec, overrides, replication_count,
                                master_seed)
         started = time.monotonic()
         completed = 0
 
-        def report(task: SweepTask, cached: bool) -> None:
+        def report(task: SweepTask, cached: bool,
+                   worker: Optional[str] = None) -> None:
             nonlocal completed
             completed += 1
             if self.progress is not None:
@@ -757,9 +796,9 @@ class SweepRunner:
                     total=len(tasks), point_index=task.point_index,
                     replication=task.replication, params=dict(task.params),
                     elapsed_seconds=time.monotonic() - started,
-                    cached=cached))
+                    cached=cached, worker=worker))
 
-        def report_start(task: SweepTask) -> None:
+        def report_start(task: SweepTask, worker: Optional[str]) -> None:
             # called by the backend — possibly from its reporter thread —
             # the moment a worker picks the task up
             self.progress(SweepProgress(
@@ -767,7 +806,7 @@ class SweepRunner:
                 total=len(tasks), point_index=task.point_index,
                 replication=task.replication, params=dict(task.params),
                 elapsed_seconds=time.monotonic() - started,
-                event=EVENT_START))
+                event=EVENT_START, worker=worker))
 
         self.backend.start_callback = \
             report_start if self.progress is not None else None
@@ -775,6 +814,9 @@ class SweepRunner:
         # the cache key carries the spec's result-schema version so bumping
         # it after a run_point change invalidates stale entries
         cache_name = f"{spec.name}@v{spec.version}"
+        manifest = self._open_manifest(cache_name, tasks, master_seed,
+                                       replication_count, resume)
+        done_digests = set(manifest.completed) if manifest else set()
         results: Dict[int, List[Dict]] = {}
         pending: List[Tuple[int, SweepTask]] = []
         cache_hits = 0
@@ -784,15 +826,34 @@ class SweepRunner:
             if cached is not None:
                 results[slot] = cached
                 cache_hits += 1
+                if manifest is not None:
+                    done_digests.add(manifest.task_digests[slot])
                 report(task, cached=True)
             else:
                 pending.append((slot, task))
+        if manifest is not None:
+            manifest.completed = sorted(done_digests)
+            self.cache.save_manifest(manifest)
 
-        for slot, task, rows in self._execute(pending):
+        since_flush = 0
+        for slot, task, rows, worker in self._execute(pending):
             if self.cache is not None:
                 self.cache.put(cache_name, task.params, task.seed, rows)
             results[slot] = rows
-            report(task, cached=False)
+            if manifest is not None:
+                done_digests.add(manifest.task_digests[slot])
+                since_flush += 1
+                if since_flush >= self.MANIFEST_FLUSH_EVERY:
+                    manifest.completed = sorted(done_digests)
+                    self.cache.save_manifest(manifest)
+                    since_flush = 0
+            report(task, cached=False, worker=worker)
+
+        if manifest is not None:
+            manifest.completed = sorted(done_digests)
+            manifest.status = "complete" if len(done_digests) == len(tasks) \
+                else "running"
+            self.cache.save_manifest(manifest)
 
         # aggregate per point, in point order
         aggregated: List[Dict] = []
@@ -809,11 +870,34 @@ class SweepRunner:
             replications=replication_count, confidence=self.confidence,
             rows=aggregated, tasks_total=len(tasks),
             tasks_run=len(pending), cache_hits=cache_hits,
+            backend=self.backend.name, resumed=resume,
+            manifest_digest=manifest.sweep_digest() if manifest else None)
+
+    def _open_manifest(self, cache_name: str, tasks: Sequence[SweepTask],
+                       master_seed: int, replication_count: int,
+                       resume: bool) -> Optional[SweepManifest]:
+        """The sweep's manifest (fresh or, when resuming, the saved one)."""
+        if self.cache is None:
+            return None
+        digests = [entry_digest(cache_name, task.params, task.seed)
+                   for task in tasks]
+        manifest = SweepManifest(
+            experiment=cache_name, master_seed=master_seed,
+            replications=replication_count, task_digests=digests,
             backend=self.backend.name)
+        if resume:
+            existing = self.cache.load_manifest(manifest.sweep_digest())
+            if existing is not None:
+                # keep its completion marks; the store scan below re-proves
+                # them (a mark without a store entry is simply re-executed)
+                manifest = existing
+                manifest.backend = self.backend.name
+        manifest.status = "running"
+        return manifest
 
     def _execute(self, pending: Sequence[Tuple[int, SweepTask]]
                  ) -> Iterator[CompletedTask]:
-        """Yield ``(slot, task, rows)`` for every pending task (in order)."""
+        """Yield ``(slot, task, rows, worker)`` per pending task, in order."""
         yield from self.backend.execute(pending)
 
 

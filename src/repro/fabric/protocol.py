@@ -1,0 +1,167 @@
+"""Length-prefixed JSON message framing for the sweep fabric.
+
+Workers and the coordinator speak the simplest protocol that can carry
+sweep tasks: every message is one UTF-8 JSON object prefixed by its byte
+length as a 4-byte big-endian unsigned integer.  JSON because sweep tasks
+(``(experiment, params, seed)`` triples) and result rows are already plain
+JSON-serialisable data — the same payloads the result store persists — and
+length prefixing because it makes message boundaries explicit over TCP
+without sentinel scanning.
+
+Message types (the ``type`` field):
+
+========================  =======================  =========================
+type                      direction                payload
+========================  =======================  =========================
+``register``              worker -> coordinator    ``name``
+``registered``            coordinator -> worker    ``name`` (as accepted)
+``chunk``                 coordinator -> worker    ``chunk_id``, ``tasks``
+                                                   (list of task triples)
+``task_start``            worker -> coordinator    ``chunk_id``, ``index``
+``chunk_result``          worker -> coordinator    ``chunk_id``, ``results``
+                                                   (rows per task)
+``chunk_error``           worker -> coordinator    ``chunk_id``, ``error``
+``heartbeat``             worker -> coordinator    —
+``shutdown``              coordinator -> worker    —
+``goodbye``               worker -> coordinator    —
+========================  =======================  =========================
+
+:class:`MessageSocket` wraps a connected socket with ``send``/``recv`` of
+whole messages; a frame larger than :data:`MAX_FRAME_BYTES` raises
+:class:`ProtocolError` instead of letting a corrupt length prefix allocate
+gigabytes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Optional
+
+#: frames above this size indicate corruption (or a result that should
+#: have been chunked smaller); 64 MiB comfortably holds any real chunk
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+# message type constants (see the module docstring's table)
+REGISTER = "register"
+REGISTERED = "registered"
+CHUNK = "chunk"
+TASK_START = "task_start"
+CHUNK_RESULT = "chunk_result"
+CHUNK_ERROR = "chunk_error"
+HEARTBEAT = "heartbeat"
+SHUTDOWN = "shutdown"
+GOODBYE = "goodbye"
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame (bad length, bad JSON, or a non-object payload)."""
+
+
+class MessageSocket:
+    """A connected socket that sends and receives whole JSON messages."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._buffer = b""
+
+    # -------------------------------------------------------------- sending
+
+    def send(self, message: Dict[str, object]) -> None:
+        """Serialise and send one message (raises on oversized frames)."""
+        body = json.dumps(message, separators=(",", ":"),
+                          default=str).encode("utf-8")
+        if len(body) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"refusing to send a {len(body)}-byte frame "
+                f"(limit {MAX_FRAME_BYTES})")
+        self._sock.sendall(_LENGTH.pack(len(body)) + body)
+
+    # ------------------------------------------------------------ receiving
+
+    def _read_exact(self, count: int) -> Optional[bytes]:
+        """``count`` bytes from the stream, or ``None`` on a clean EOF.
+
+        EOF in the middle of a frame is a :class:`ProtocolError` — the
+        peer died mid-message, which callers must not confuse with an
+        orderly close between messages.
+        """
+        while len(self._buffer) < count:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                if self._buffer:
+                    raise ProtocolError("connection closed mid-frame")
+                return None
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:count], self._buffer[count:]
+        return data
+
+    def recv(self, timeout: Optional[float] = None
+             ) -> Optional[Dict[str, object]]:
+        """The next message, or ``None`` when the peer closed cleanly.
+
+        ``timeout`` bounds the wait (``socket.timeout`` propagates); the
+        previous timeout is restored afterwards, so blocking and polling
+        callers can share the socket.
+        """
+        previous = self._sock.gettimeout()
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            header = self._read_exact(_LENGTH.size)
+            if header is None:
+                return None
+            (length,) = _LENGTH.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"incoming frame claims {length} bytes "
+                    f"(limit {MAX_FRAME_BYTES})")
+            body = self._read_exact(length)
+            if body is None:
+                raise ProtocolError("connection closed mid-frame")
+            try:
+                message = json.loads(body.decode("utf-8"))
+            except ValueError as error:
+                raise ProtocolError(f"undecodable frame: {error}") from None
+            if not isinstance(message, dict):
+                raise ProtocolError(
+                    f"frame is not a JSON object: {type(message).__name__}")
+            return message
+        finally:
+            if timeout is not None:
+                self._sock.settimeout(previous)
+
+    # ---------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def abort(self) -> None:
+        """Drop the connection without the FIN handshake (crash simulation
+        and impatient teardown paths)."""
+        self._sock.close()
+
+
+def connect(host: str, port: int, timeout: float = 10.0) -> MessageSocket:
+    """Open a :class:`MessageSocket` to ``host:port``."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    return MessageSocket(sock)
+
+
+def parse_address(address: str) -> tuple:
+    """Split ``host:port`` (the CLI's ``--connect`` format)."""
+    host, separator, port = address.rpartition(":")
+    if not separator or not host:
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"invalid port in {address!r}") from None

@@ -463,6 +463,19 @@ def test_cli_run_writes_json_and_hits_cache(tmp_path):
     assert payload["rows"]
 
 
+def test_cli_run_resume_notes_store_hits(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+    env_args = ["run", "admission_capacity", "--resume",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--json", str(tmp_path / "out.json")]
+    assert main(env_args) == 0
+    capsys.readouterr()
+    assert main(env_args) == 0
+    err = capsys.readouterr().err
+    grid = get_experiment("admission_capacity").grid["rate_bytes_per_second"]
+    assert f"resumed: {len(grid)} of {len(grid)} task(s)" in err
+
+
 @pytest.mark.slow
 def test_cli_figure5_parallel_replicated_acceptance(tmp_path):
     """The ISSUE acceptance path: figure5 --workers 4 --replications 3."""

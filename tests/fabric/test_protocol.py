@@ -1,0 +1,118 @@
+"""Tests of the length-prefixed JSON framing the fabric speaks."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.fabric import protocol
+from repro.fabric.protocol import (
+    MAX_FRAME_BYTES,
+    MessageSocket,
+    ProtocolError,
+    parse_address,
+)
+
+
+@pytest.fixture
+def pair():
+    left_raw, right_raw = socket.socketpair()
+    left, right = MessageSocket(left_raw), MessageSocket(right_raw)
+    yield left, right
+    left.abort()
+    right.abort()
+
+
+def test_roundtrip_preserves_payloads(pair):
+    left, right = pair
+    message = {"type": protocol.CHUNK, "chunk_id": 3,
+               "tasks": [["toy", {"x": 1.5, "nested": {"a": [1, 2]}}, 9]]}
+    left.send(message)
+    assert right.recv() == message
+
+
+def test_messages_are_framed_not_merged(pair):
+    left, right = pair
+    for index in range(5):
+        left.send({"index": index})
+    assert [right.recv()["index"] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_clean_close_reads_as_none(pair):
+    left, right = pair
+    left.send({"type": protocol.GOODBYE})
+    left.close()
+    assert right.recv() == {"type": protocol.GOODBYE}
+    assert right.recv() is None
+
+
+def test_eof_mid_frame_raises(pair):
+    left, right = pair
+    # a frame header promising more bytes than will ever arrive
+    left._sock.sendall(struct.pack(">I", 100) + b'{"half":')
+    left.abort()
+    with pytest.raises(ProtocolError, match="mid-frame"):
+        right.recv()
+
+
+def test_oversized_incoming_frame_raises(pair):
+    left, right = pair
+    left._sock.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+    with pytest.raises(ProtocolError, match="claims"):
+        right.recv()
+
+
+def test_undecodable_and_non_object_frames_raise(pair):
+    left, right = pair
+    body = b"\xff\xfe not json"
+    left._sock.sendall(struct.pack(">I", len(body)) + body)
+    with pytest.raises(ProtocolError, match="undecodable"):
+        right.recv()
+    body = b"[1,2,3]"
+    left._sock.sendall(struct.pack(">I", len(body)) + body)
+    with pytest.raises(ProtocolError, match="not a JSON object"):
+        right.recv()
+
+
+def test_recv_timeout_propagates_and_socket_timeout_is_restored(pair):
+    left, right = pair
+    right._sock.settimeout(None)
+    with pytest.raises(socket.timeout):
+        right.recv(timeout=0.05)
+    assert right._sock.gettimeout() is None
+    left.send({"late": True})
+    assert right.recv() == {"late": True}
+
+
+def test_connect_dials_a_listener():
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    host, port = listener.getsockname()[:2]
+    accepted = []
+
+    def accept():
+        raw, _ = listener.accept()
+        accepted.append(MessageSocket(raw))
+
+    thread = threading.Thread(target=accept)
+    thread.start()
+    client = protocol.connect(host, port)
+    thread.join(timeout=5)
+    try:
+        client.send({"type": protocol.REGISTER, "name": "t"})
+        assert accepted[0].recv() == {"type": protocol.REGISTER, "name": "t"}
+    finally:
+        client.close()
+        accepted[0].close()
+        listener.close()
+
+
+def test_parse_address():
+    assert parse_address("localhost:9000") == ("localhost", 9000)
+    assert parse_address("::1:9000") == ("::1", 9000)
+    with pytest.raises(ValueError, match="HOST:PORT"):
+        parse_address("localhost")
+    with pytest.raises(ValueError, match="invalid port"):
+        parse_address("localhost:http")

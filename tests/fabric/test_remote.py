@@ -1,0 +1,246 @@
+"""Failure-matrix tests of the fabric: coordinator, workers, RemoteBackend.
+
+Workers here run as *threads* (``run_worker`` against a loopback
+coordinator), so the toy experiment registered by the test process is
+visible to them and the whole matrix — crash mid-chunk, silent worker,
+worker-side exceptions, clean drain — runs in well under a second.  Real
+subprocess workers (spawned ``python -m repro.fabric worker`` processes)
+are covered by the slow tests in ``test_remote_subprocess.py``.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.experiments.orchestrator import (
+    EVENT_DONE,
+    EVENT_START,
+    SweepRunner,
+    make_backend,
+    worker_identity,
+)
+from repro.experiments.registry import ExperimentSpec, register, unregister
+from repro.fabric import protocol
+from repro.fabric.backend import RemoteBackend
+from repro.fabric.coordinator import Coordinator, FabricError
+from repro.fabric.worker import run_worker
+
+
+def fabric_run_point(params, seed):
+    noise = (seed % 1000) / 1000.0
+    return [{"x": params["x"], "label": f"x={params['x']}",
+             "value": params["x"] * 10.0 + noise}]
+
+
+def failing_run_point(params, seed):
+    raise RuntimeError(f"boom at x={params['x']}")
+
+
+@pytest.fixture
+def fabric_experiment():
+    spec = register(ExperimentSpec(
+        name="fabric_toy", description="deterministic eight-point toy",
+        run_point=fabric_run_point, grid={"x": list(range(8))},
+        defaults={"duration_seconds": 0.0}))
+    yield spec
+    unregister("fabric_toy")
+
+
+@pytest.fixture
+def coordinator():
+    coord = Coordinator(heartbeat_timeout=2.0, per_task_timeout=10.0,
+                        backoff_base=0.01, worker_wait_timeout=5.0).start()
+    yield coord
+    coord.shutdown(drain_timeout=1.0)
+
+
+def start_worker(coord, name, **kwargs):
+    """Run a fabric worker in a thread; returns (thread, result holder)."""
+    host, port = coord.address
+    outcome = {}
+
+    def serve():
+        outcome["chunks"] = run_worker(host, port, name=name,
+                                       heartbeat_interval=0.2, **kwargs)
+
+    thread = threading.Thread(target=serve, name=f"test-worker-{name}",
+                              daemon=True)
+    thread.start()
+    return thread, outcome
+
+
+def rows_of(result):
+    return json.loads(result.to_json())["rows"]
+
+
+# -------------------------------------------------------- the happy path
+
+def test_remote_rows_byte_identical_to_serial(fabric_experiment,
+                                              coordinator):
+    start_worker(coordinator, "w1")
+    start_worker(coordinator, "w2")
+    coordinator.wait_for_workers(2, timeout=5)
+    backend = RemoteBackend(chunk_size=2, spawn_workers=0,
+                            coordinator=coordinator)
+    remote = SweepRunner(backend=backend).run("fabric_toy", replications=2,
+                                              master_seed=3)
+    serial = SweepRunner(max_workers=1).run("fabric_toy", replications=2,
+                                            master_seed=3)
+    assert rows_of(remote) == rows_of(serial)
+    assert backend.last_stats["chunks_dispatched"] >= 4
+    assert backend.last_stats["workers_lost"] == 0
+
+
+def test_worker_registration_names_are_deduplicated(coordinator):
+    start_worker(coordinator, "twin")
+    coordinator.wait_for_workers(1, timeout=5)
+    start_worker(coordinator, "twin")
+    coordinator.wait_for_workers(2, timeout=5)
+    names = set(coordinator.live_workers())
+    assert len(names) == 2
+    assert "twin" in names  # the second got a distinct suffixed name
+
+
+# ------------------------------------------------------------- failures
+
+def test_killed_worker_mid_chunk_is_stolen_and_rows_identical(
+        fabric_experiment, coordinator):
+    """A worker dying mid-chunk must not lose or duplicate any task."""
+    start_worker(coordinator, "doomed", crash_after_chunks=1)
+    start_worker(coordinator, "survivor")
+    coordinator.wait_for_workers(2, timeout=5)
+    backend = RemoteBackend(chunk_size=2, spawn_workers=0,
+                            coordinator=coordinator)
+    remote = SweepRunner(backend=backend).run("fabric_toy", master_seed=0)
+    serial = SweepRunner(max_workers=1).run("fabric_toy", master_seed=0)
+    assert rows_of(remote) == rows_of(serial)
+    assert coordinator.stats["workers_lost"] >= 1
+    assert coordinator.stats["chunks_stolen"] >= 1
+
+
+def test_silent_worker_times_out_and_its_chunk_redispatches(
+        fabric_experiment):
+    """A registered worker that never heartbeats is reaped on timeout."""
+    coord = Coordinator(heartbeat_timeout=0.4, per_task_timeout=10.0,
+                        backoff_base=0.01, worker_wait_timeout=5.0).start()
+    zombie = None
+    try:
+        zombie = protocol.connect(*coord.address)
+        zombie.send({"type": protocol.REGISTER, "name": "zombie"})
+        greeting = zombie.recv(timeout=5.0)
+        assert greeting["type"] == protocol.REGISTERED
+        # the zombie now ignores its chunks and sends nothing, ever
+        start_worker(coord, "healthy")
+        coord.wait_for_workers(2, timeout=5)
+        backend = RemoteBackend(chunk_size=1, spawn_workers=0,
+                                coordinator=coord)
+        remote = SweepRunner(backend=backend).run("fabric_toy",
+                                                  master_seed=1)
+        serial = SweepRunner(max_workers=1).run("fabric_toy", master_seed=1)
+        assert rows_of(remote) == rows_of(serial)
+        assert coord.stats["workers_lost"] >= 1
+        assert coord.stats["chunks_stolen"] >= 1
+        assert "zombie" not in coord.live_workers()
+    finally:
+        if zombie is not None:
+            zombie.abort()
+        coord.shutdown(drain_timeout=1.0)
+
+
+def test_worker_side_exception_exhausts_retries_with_the_traceback(
+        coordinator):
+    register(ExperimentSpec(
+        name="fabric_fail", description="always raises",
+        run_point=failing_run_point, grid={"x": [1, 2]},
+        defaults={"duration_seconds": 0.0}))
+    try:
+        start_worker(coordinator, "w1")
+        coordinator.wait_for_workers(1, timeout=5)
+        coordinator.max_retries = 1
+        backend = RemoteBackend(chunk_size=1, spawn_workers=0,
+                                coordinator=coordinator)
+        with pytest.raises(FabricError, match="boom at x="):
+            SweepRunner(backend=backend).run("fabric_fail")
+        assert coordinator.stats["chunks_retried"] >= 1
+        # the worker survives its own task exceptions
+        assert coordinator.live_workers() == ["w1"]
+    finally:
+        unregister("fabric_fail")
+
+
+def test_no_workers_at_all_gives_up_after_the_wait_timeout(
+        fabric_experiment):
+    coord = Coordinator(worker_wait_timeout=0.3).start()
+    try:
+        backend = RemoteBackend(chunk_size=1, spawn_workers=0,
+                                coordinator=coord)
+        with pytest.raises(FabricError, match="no live workers"):
+            SweepRunner(backend=backend).run("fabric_toy")
+    finally:
+        coord.shutdown(drain_timeout=0.5)
+
+
+# ----------------------------------------------------------- clean drain
+
+def test_shutdown_drains_workers_cleanly(fabric_experiment, coordinator):
+    thread, outcome = start_worker(coordinator, "w1")
+    coordinator.wait_for_workers(1, timeout=5)
+    backend = RemoteBackend(chunk_size=2, spawn_workers=0,
+                            coordinator=coordinator)
+    SweepRunner(backend=backend).run("fabric_toy")
+    coordinator.shutdown(drain_timeout=2.0)
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+    # run_worker returned its completed-chunk count: the clean-exit path
+    assert outcome["chunks"] == 4  # 8 tasks / chunk_size 2
+
+
+# ------------------------------------------------------ worker attribution
+
+def test_serial_progress_events_carry_the_local_identity(fabric_experiment):
+    events = []
+    SweepRunner(max_workers=1, progress=events.append).run("fabric_toy")
+    done = [e for e in events if e.event == EVENT_DONE]
+    assert len(done) == 8
+    assert {e.worker for e in done} == {worker_identity()}
+    starts = [e for e in events if e.event == EVENT_START]
+    assert {e.worker for e in starts} == {worker_identity()}
+
+
+def test_remote_progress_events_name_the_executing_worker(
+        fabric_experiment, coordinator):
+    start_worker(coordinator, "w1")
+    start_worker(coordinator, "w2")
+    coordinator.wait_for_workers(2, timeout=5)
+    events = []
+    backend = RemoteBackend(chunk_size=1, spawn_workers=0,
+                            coordinator=coordinator)
+    SweepRunner(backend=backend, progress=events.append).run("fabric_toy")
+    done = [e for e in events if e.event == EVENT_DONE]
+    assert len(done) == 8
+    assert {e.worker for e in done} <= {"w1", "w2"}
+    assert all(e.worker for e in done)
+    starts = [e for e in events if e.event == EVENT_START]
+    assert starts and all(e.worker in {"w1", "w2"} for e in starts)
+
+
+def test_log_progress_renders_the_worker(fabric_experiment, caplog):
+    import logging
+
+    from repro.experiments.orchestrator import log_progress
+
+    events = []
+    SweepRunner(max_workers=1, progress=events.append).run("fabric_toy")
+    with caplog.at_level(logging.INFO, "repro.experiments.progress"):
+        log_progress(events[-1])
+    assert f" on {worker_identity()}" in caplog.text
+
+
+# ------------------------------------------------------------ make_backend
+
+def test_make_backend_resolves_remote_lazily():
+    backend = make_backend("remote", 2)
+    assert isinstance(backend, RemoteBackend)
+    with pytest.raises(ValueError, match="remote"):
+        make_backend("nonsense", 1)

@@ -1,0 +1,81 @@
+"""Slow fabric tests with *real* worker subprocesses.
+
+The fast failure matrix in ``test_remote.py`` drives thread workers; here
+the workers are genuine ``python -m repro.fabric worker`` processes — the
+deployment shape — including one being killed (SIGKILL) mid-sweep.
+"""
+
+import json
+import subprocess
+
+import pytest
+
+from repro.experiments.orchestrator import EVENT_START, SweepRunner
+from repro.fabric.backend import (
+    RemoteBackend,
+    _worker_command,
+    _worker_environment,
+)
+from repro.fabric.coordinator import Coordinator
+
+pytestmark = pytest.mark.slow
+
+#: a small real-simulation sweep: four lossy-channel points, each long
+#: enough (~hundreds of ms of wall clock) that a worker killed on its
+#: first task start is reliably mid-computation
+SWEEP = dict(overrides={"bit_error_rate": [0.0, 3e-4, 1e-3, 3e-3],
+                        "duration_seconds": 0.5},
+             replications=1, master_seed=0)
+
+
+def rows_of(result):
+    return json.loads(result.to_json())["rows"]
+
+
+def test_spawned_workers_match_serial_byte_for_byte():
+    backend = RemoteBackend(max_workers=2, chunk_size=1)
+    remote = SweepRunner(backend=backend).run("lossy_channel", **SWEEP)
+    serial = SweepRunner(max_workers=1).run("lossy_channel", **SWEEP)
+    assert rows_of(remote) == rows_of(serial)
+    assert backend.last_stats["workers_joined"] == 2
+
+
+def test_sigkilled_worker_process_does_not_perturb_the_rows():
+    coordinator = Coordinator(heartbeat_timeout=2.0, per_task_timeout=30.0,
+                              backoff_base=0.05).start()
+    host, port = coordinator.address
+    processes = {
+        name: subprocess.Popen(_worker_command(host, port, name),
+                               env=_worker_environment(),
+                               stdout=subprocess.DEVNULL,
+                               stderr=subprocess.DEVNULL)
+        for name in ("victim", "helper")}
+    killed = []
+
+    def kill_victim_on_first_start(progress):
+        if (progress.event == EVENT_START and progress.worker == "victim"
+                and not killed):
+            processes["victim"].kill()
+            killed.append(progress.worker)
+
+    try:
+        coordinator.wait_for_workers(2, timeout=30)
+        backend = RemoteBackend(chunk_size=1, spawn_workers=0,
+                                coordinator=coordinator)
+        remote = SweepRunner(backend=backend,
+                             progress=kill_victim_on_first_start).run(
+            "lossy_channel", **SWEEP)
+        serial = SweepRunner(max_workers=1).run("lossy_channel", **SWEEP)
+        assert rows_of(remote) == rows_of(serial)
+        assert killed == ["victim"]
+        assert processes["victim"].wait(timeout=10) != 0
+        assert coordinator.stats["workers_lost"] >= 1
+        assert coordinator.stats["chunks_stolen"] >= 1
+    finally:
+        coordinator.shutdown(drain_timeout=2.0)
+        for process in processes.values():
+            try:
+                process.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=5)

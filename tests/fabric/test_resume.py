@@ -1,0 +1,136 @@
+"""Tests of resumable sweeps: manifests + the store-backed ``--resume``."""
+
+import os
+
+import pytest
+
+from repro.experiments.orchestrator import SweepRunner
+from repro.experiments.registry import ExperimentSpec, register, unregister
+from repro.fabric.store import ResultStore
+
+CALLS = []
+
+
+def counted_run_point(params, seed):
+    CALLS.append((dict(params), seed))
+    return [{"x": params["x"], "value": params["x"] * 10.0 + seed % 7}]
+
+
+@pytest.fixture
+def resumable_experiment():
+    spec = register(ExperimentSpec(
+        name="resume_toy", description="counts its executions",
+        run_point=counted_run_point, grid={"x": [1, 2, 3]},
+        defaults={"duration_seconds": 0.0}))
+    CALLS.clear()
+    yield spec
+    unregister("resume_toy")
+
+
+def test_resume_requires_the_store(resumable_experiment):
+    with pytest.raises(ValueError, match="resume requires"):
+        SweepRunner(max_workers=1).run("resume_toy", resume=True)
+
+
+def test_cached_run_writes_a_complete_manifest(resumable_experiment,
+                                               tmp_path):
+    runner = SweepRunner(max_workers=1, cache_dir=str(tmp_path))
+    result = runner.run("resume_toy", replications=2, master_seed=5)
+    assert result.manifest_digest is not None
+    assert result.resumed is False
+    manifest = ResultStore(str(tmp_path)).load_manifest(
+        result.manifest_digest)
+    assert manifest is not None
+    assert manifest.status == "complete"
+    assert manifest.requested == 6
+    assert sorted(manifest.completed) == sorted(manifest.task_digests)
+    assert manifest.missing() == []
+    assert manifest.backend == "serial"
+
+
+def test_resume_reexecutes_only_the_missing_points(resumable_experiment,
+                                                   tmp_path):
+    runner = SweepRunner(max_workers=1, cache_dir=str(tmp_path))
+    first = runner.run("resume_toy", replications=2, master_seed=5)
+    assert first.tasks_run == 6
+
+    # simulate an interrupted sweep: two task entries vanish from the
+    # store and the manifest claims the sweep is still running
+    store = ResultStore(str(tmp_path))
+    manifest = store.load_manifest(first.manifest_digest)
+    victims = manifest.task_digests[1:3]
+    for digest in victims:
+        os.remove(os.path.join(str(tmp_path), "resume_toy@v1",
+                               digest + ".json"))
+    manifest.status = "running"
+    manifest.completed = [d for d in manifest.task_digests
+                          if d not in victims]
+    store.save_manifest(manifest)
+
+    CALLS.clear()
+    resumed = SweepRunner(max_workers=1, cache_dir=str(tmp_path)).run(
+        "resume_toy", replications=2, master_seed=5, resume=True)
+    # exactly the two missing points re-executed, nothing else
+    assert len(CALLS) == 2
+    assert resumed.tasks_run == 2
+    assert resumed.cache_hits == 4
+    assert resumed.resumed is True
+    assert resumed.manifest_digest == first.manifest_digest
+    refreshed = store.load_manifest(first.manifest_digest)
+    assert refreshed.status == "complete"
+    assert refreshed.missing() == []
+    # and the aggregated rows match the uninterrupted run byte for byte
+    assert resumed.to_json() == first.to_json()
+
+
+def test_stale_completion_marks_are_reproved_by_the_store(
+        resumable_experiment, tmp_path):
+    """A manifest mark without a store entry must re-execute, not trust."""
+    runner = SweepRunner(max_workers=1, cache_dir=str(tmp_path))
+    first = runner.run("resume_toy", master_seed=2)
+    store = ResultStore(str(tmp_path))
+    manifest = store.load_manifest(first.manifest_digest)
+    # every entry vanishes but the manifest still claims completion
+    for digest in manifest.task_digests:
+        os.remove(os.path.join(str(tmp_path), "resume_toy@v1",
+                               digest + ".json"))
+    store.save_manifest(manifest)
+
+    CALLS.clear()
+    resumed = SweepRunner(max_workers=1, cache_dir=str(tmp_path)).run(
+        "resume_toy", master_seed=2, resume=True)
+    assert len(CALLS) == 3
+    assert resumed.cache_hits == 0
+    assert resumed.to_json() == first.to_json()
+
+
+def test_different_sweep_parameters_get_different_manifests(
+        resumable_experiment, tmp_path):
+    runner = SweepRunner(max_workers=1, cache_dir=str(tmp_path))
+    base = runner.run("resume_toy", master_seed=0)
+    other_seed = runner.run("resume_toy", master_seed=1)
+    shrunk = runner.run("resume_toy", overrides={"x": [1, 2]},
+                        master_seed=0)
+    digests = {base.manifest_digest, other_seed.manifest_digest,
+               shrunk.manifest_digest}
+    assert len(digests) == 3
+
+
+def test_corrupt_store_entry_is_recomputed_on_resume(resumable_experiment,
+                                                     tmp_path):
+    runner = SweepRunner(max_workers=1, cache_dir=str(tmp_path))
+    first = runner.run("resume_toy", master_seed=9)
+    store = ResultStore(str(tmp_path))
+    manifest = store.load_manifest(first.manifest_digest)
+    victim = os.path.join(str(tmp_path), "resume_toy@v1",
+                          manifest.task_digests[0] + ".json")
+    with open(victim, "w", encoding="utf-8") as handle:
+        handle.write('{"rows": [truncat')
+
+    CALLS.clear()
+    resumed = SweepRunner(max_workers=1, cache_dir=str(tmp_path)).run(
+        "resume_toy", master_seed=9, resume=True)
+    assert len(CALLS) == 1  # quarantined entry recomputed, others reused
+    assert os.path.exists(victim + ".corrupt")
+    assert resumed.to_json() == first.to_json()
+    assert os.path.exists(victim)  # the recompute re-populated the slot

@@ -1,0 +1,83 @@
+"""Smoke tests of ``tools/fabric_doctor.py``."""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import fabric_doctor  # noqa: E402
+
+from repro.fabric.coordinator import Coordinator  # noqa: E402
+from repro.fabric.store import ResultStore  # noqa: E402
+
+
+def test_store_checks_pass_on_a_healthy_store(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    store.put("toy@v1", {"x": 1}, 0, [{"value": 1.0}])
+    checks = fabric_doctor.check_store(store.directory)
+    assert [(name, ok) for name, ok, _ in checks] \
+        == [("store round-trip", True), ("store hygiene", True)]
+
+
+def test_store_hygiene_flags_corruption(tmp_path):
+    store = ResultStore(str(tmp_path))
+    path = store.put("toy@v1", {"x": 1}, 0, [{"value": 1.0}])
+    os.rename(path, path + ".corrupt")
+    checks = dict((name, (ok, detail))
+                  for name, ok, detail in fabric_doctor.check_store(
+                      str(tmp_path)))
+    ok, detail = checks["store hygiene"]
+    assert not ok
+    assert "1 corrupt" in detail
+    assert "gc" in detail
+
+
+def test_coordinator_ping_round_trips():
+    coordinator = Coordinator().start()
+    try:
+        host, port = coordinator.address
+        name, ok, detail = fabric_doctor.ping_coordinator(f"{host}:{port}")
+        assert ok, detail
+        assert "fabric-doctor" in detail
+        assert "ms" in detail
+    finally:
+        coordinator.shutdown(drain_timeout=0.5)
+
+
+def test_coordinator_ping_reports_a_dead_address():
+    name, ok, detail = fabric_doctor.ping_coordinator("127.0.0.1:9",
+                                                      timeout=0.5)
+    assert not ok
+
+
+def test_main_reports_and_exits_cleanly(tmp_path, capsys):
+    code = fabric_doctor.main(["--store", str(tmp_path / "store"),
+                               "--skip-loopback"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "store round-trip" in out
+    assert "all 2 check(s) passed" in out
+
+
+def test_main_exit_code_reflects_failures(tmp_path, capsys):
+    store = ResultStore(str(tmp_path))
+    path = store.put("toy@v1", {"x": 1}, 0, [{"value": 1.0}])
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("garbage")  # valid path, corrupt content
+    assert store.get("toy@v1", {"x": 1}, 0) is None  # quarantines it
+    code = fabric_doctor.main(["--store", str(tmp_path),
+                               "--skip-loopback"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL" in out
+
+
+@pytest.mark.slow
+def test_loopback_check_spawns_a_real_worker():
+    name, ok, detail = fabric_doctor.loopback_check()
+    assert ok, detail
+    assert "byte-for-byte" in detail

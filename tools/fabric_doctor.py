@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Health checks for the distributed sweep fabric.
+
+Run it before (or instead of) debugging a misbehaving distributed sweep::
+
+    PYTHONPATH=src python tools/fabric_doctor.py
+    PYTHONPATH=src python tools/fabric_doctor.py --store /shared/cache \\
+        --coordinator 10.0.0.5:9000
+
+Checks, in order:
+
+* **store round-trip** — write, re-read and delete a probe entry in the
+  result store (catches permission/filesystem problems immediately);
+* **store hygiene** — entry/corrupt/orphan counts from
+  :meth:`repro.fabric.store.ResultStore.stats` (corrupt or orphaned
+  entries mean ``python -m repro.fabric gc`` is due);
+* **coordinator ping** (with ``--coordinator``) — register a throwaway
+  worker against a live coordinator and report the handshake round-trip
+  time;
+* **worker loopback** (skippable with ``--skip-loopback``) — spawn one
+  real ``python -m repro.fabric worker`` subprocess, run a one-point
+  sweep through it and compare the result byte-for-byte against the
+  serial backend.
+
+Exit status 0 when every check passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+#: one check outcome: (name, passed, human detail)
+Check = Tuple[str, bool, str]
+
+
+def check_store(directory: str) -> List[Check]:
+    """Probe the result store for writability and hygiene."""
+    from repro.fabric.store import ResultStore
+
+    store = ResultStore(directory)
+    checks: List[Check] = []
+    try:
+        ok = store.verify_roundtrip()
+        checks.append(("store round-trip", ok,
+                       f"{directory}: probe entry "
+                       f"{'matched' if ok else 'DID NOT match'} after "
+                       f"write/read"))
+    except OSError as error:
+        checks.append(("store round-trip", False,
+                       f"{directory}: {error}"))
+        return checks
+    stats = store.stats()
+    healthy = stats.corrupt == 0 and stats.orphans == 0
+    checks.append((
+        "store hygiene", healthy,
+        f"{stats.entries} entries ({stats.bytes} bytes) across "
+        f"{len(stats.experiments)} experiment(s); {stats.corrupt} "
+        f"corrupt, {stats.orphans} orphan(s)"
+        + ("" if healthy else " — run `python -m repro.fabric gc`")))
+    return checks
+
+
+def ping_coordinator(address: str, timeout: float = 5.0) -> Check:
+    """Register a throwaway worker against a live coordinator."""
+    from repro.fabric import protocol
+
+    try:
+        host, port = protocol.parse_address(address)
+        started = time.perf_counter()
+        sock = protocol.connect(host, port, timeout=timeout)
+    except (OSError, ValueError) as error:
+        return ("coordinator ping", False, f"{address}: {error}")
+    try:
+        sock.send({"type": protocol.REGISTER, "name": "fabric-doctor"})
+        reply = sock.recv(timeout=timeout)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        if reply is not None and reply.get("type") == protocol.REGISTERED:
+            return ("coordinator ping", True,
+                    f"{address}: registered as {reply.get('name')!r} "
+                    f"in {elapsed_ms:.1f} ms")
+        return ("coordinator ping", False,
+                f"{address}: unexpected reply {reply!r}")
+    except (OSError, protocol.ProtocolError) as error:
+        return ("coordinator ping", False, f"{address}: {error}")
+    finally:
+        sock.close()
+
+
+def loopback_check(timeout: float = 60.0) -> Check:
+    """One-point sweep through a real spawned worker vs the serial path."""
+    from repro.experiments.orchestrator import SweepRunner
+    from repro.fabric.backend import RemoteBackend
+    from repro.fabric.coordinator import FabricError
+
+    overrides = {"rate_bytes_per_second": [8800.0]}
+    try:
+        backend = RemoteBackend(max_workers=1, chunk_size=1,
+                                per_task_timeout=timeout)
+        remote = SweepRunner(backend=backend).run(
+            "admission_capacity", overrides=overrides)
+    except (FabricError, OSError) as error:
+        return ("worker loopback", False, f"{error}")
+    serial = SweepRunner(max_workers=1).run("admission_capacity",
+                                            overrides=overrides)
+    if remote.to_json() == serial.to_json():
+        return ("worker loopback", True,
+                "spawned worker reproduced the serial result "
+                "byte-for-byte")
+    return ("worker loopback", False,
+            "spawned worker result DIFFERS from the serial backend")
+
+
+def run_checks(store: str, coordinator: Optional[str],
+               skip_loopback: bool) -> List[Check]:
+    checks = check_store(store)
+    if coordinator:
+        checks.append(ping_coordinator(coordinator))
+    if not skip_loopback:
+        checks.append(loopback_check())
+    return checks
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Health checks for the distributed sweep fabric.")
+    parser.add_argument("--store", default=".repro-cache",
+                        help="result store directory "
+                             "(default: %(default)s)")
+    parser.add_argument("--coordinator", metavar="HOST:PORT", default=None,
+                        help="ping a live coordinator at this address")
+    parser.add_argument("--skip-loopback", action="store_true",
+                        help="skip the spawned-worker loopback check")
+    args = parser.parse_args(argv)
+
+    checks = run_checks(args.store, args.coordinator, args.skip_loopback)
+    failed = [name for name, ok, _ in checks if not ok]
+    for name, ok, detail in checks:
+        print(f"[{'ok' if ok else 'FAIL':>4}] {name}: {detail}")
+    if failed:
+        print(f"{len(failed)} of {len(checks)} check(s) failed: "
+              f"{', '.join(failed)}")
+        return 1
+    print(f"all {len(checks)} check(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
